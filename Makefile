@@ -1,0 +1,35 @@
+# Convenience targets for the CAD3 reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt cover experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -run XXX -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test ./internal/... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/cad3-bench
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

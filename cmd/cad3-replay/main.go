@@ -1,0 +1,144 @@
+// Command cad3-replay streams a recorded dataset (the CSV written by
+// cad3-dataset -out, re-encoded to CSV via the trace package) at a running
+// cad3-rsu broker, reproducing real traffic against a live node and
+// reporting end-to-end warning latency.
+//
+// Usage:
+//
+//	cad3-dataset -cars 50 -out /tmp/records.jsonl   # or build a CSV
+//	cad3-replay -addr 127.0.0.1:9092 -csv records.csv [-rate 10] [-n 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cad3/internal/core"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cad3-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9092", "RSU broker address")
+	csvPath := flag.String("csv", "", "records CSV (trace.WriteRecordsCSV format)")
+	rate := flag.Float64("rate", 10, "records per second per vehicle")
+	vehicles := flag.Int("n", 8, "number of emulated vehicles sharing the records")
+	maxRecords := flag.Int("max", 0, "replay at most this many records (0 = all)")
+	flag.Parse()
+
+	if *csvPath == "" {
+		return fmt.Errorf("-csv is required")
+	}
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		return err
+	}
+	records, err := trace.ReadRecordsCSV(f)
+	_ = f.Close()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no records in %s", *csvPath)
+	}
+	if *maxRecords > 0 && len(records) > *maxRecords {
+		records = records[:*maxRecords]
+	}
+	fmt.Printf("replaying %d records through %d vehicles at %.0f Hz each...\n",
+		len(records), *vehicles, *rate)
+
+	client, err := stream.DialRetry(*addr, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	producer, err := stream.NewProducer(client, stream.TopicInData)
+	if err != nil {
+		return err
+	}
+	warnClient, err := stream.DialRetry(*addr, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer warnClient.Close()
+	consumer, err := stream.NewConsumer(warnClient, stream.TopicOutData, 0)
+	if err != nil {
+		return err
+	}
+
+	interval := time.Duration(float64(time.Second) / (*rate * float64(*vehicles)))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	poll := time.NewTicker(10 * time.Millisecond)
+	defer poll.Stop()
+
+	var sent, warnings int
+	var latencySum time.Duration
+	i := 0
+	for sent < len(records) {
+		select {
+		case <-ticker.C:
+			rec := records[i]
+			rec.Car = trace.CarID(i%*vehicles + 1)
+			rec.TimestampMs = time.Now().UnixMilli()
+			payload, err := core.EncodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			if _, _, err := producer.Send(nil, payload); err != nil {
+				return fmt.Errorf("send record %d: %w", i, err)
+			}
+			i++
+			sent++
+		case <-poll.C:
+			msgs, _ := consumer.Poll(256)
+			now := time.Now().UnixMilli()
+			for _, m := range msgs {
+				w, derr := core.DecodeWarning(m.Value)
+				if derr != nil {
+					continue
+				}
+				warnings++
+				if d := now - w.SourceTsMs; d >= 0 {
+					latencySum += time.Duration(d) * time.Millisecond
+				}
+			}
+		}
+	}
+	// Drain the tail.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		msgs, _ := consumer.Poll(256)
+		now := time.Now().UnixMilli()
+		for _, m := range msgs {
+			w, derr := core.DecodeWarning(m.Value)
+			if derr != nil {
+				continue
+			}
+			warnings++
+			if d := now - w.SourceTsMs; d >= 0 {
+				latencySum += time.Duration(d) * time.Millisecond
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Printf("sent %d records, received %d warnings", sent, warnings)
+	if warnings > 0 {
+		fmt.Printf(", mean end-to-end latency %v", (latencySum / time.Duration(warnings)).Round(time.Millisecond))
+	}
+	fmt.Println()
+	return nil
+}

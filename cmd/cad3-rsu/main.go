@@ -1,0 +1,150 @@
+// Command cad3-rsu runs one networked RSU: a TCP event broker plus the
+// detection pipeline, trained on a synthetic scenario at startup. Point
+// cad3-vehicles at its address, and optionally point this RSU's handover
+// traffic at a neighbor RSU.
+//
+// Usage:
+//
+//	cad3-rsu -addr 127.0.0.1:9092 -road-type motorway_link \
+//	         [-neighbor 127.0.0.1:9093] [-collab] [-cars 300] [-seed 1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cad3/internal/core"
+	"cad3/internal/experiments"
+	"cad3/internal/geo"
+	"cad3/internal/rsu"
+	"cad3/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cad3-rsu:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9092", "listen address for the broker")
+	roadTypeName := flag.String("road-type", "motorway_link", "road type this RSU covers")
+	name := flag.String("name", "", "RSU name (defaults to the road type)")
+	neighborAddr := flag.String("neighbor", "", "neighbor RSU broker address for CO-DATA forwarding")
+	collab := flag.Bool("collab", true, "run the collaborative CAD3 model (false: standalone AD3)")
+	modelPath := flag.String("model", "", "load a trained detector bundle (from cad3-train) instead of training")
+	cars := flag.Int("cars", 300, "training scenario fleet size")
+	seed := flag.Int64("seed", 1, "training scenario seed")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
+	verbose := flag.Bool("v", false, "log every warning produced (debug level)")
+	flag.Parse()
+
+	roadType, err := geo.ParseRoadType(*roadTypeName)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = roadType.String()
+	}
+
+	var detector core.Detector
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		detector, err = core.LoadDetector(f)
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("load model %s: %w", *modelPath, err)
+		}
+		fmt.Printf("loaded %s detector from %s\n", detector.Name(), *modelPath)
+	} else {
+		fmt.Printf("training detectors (cars=%d seed=%d)...\n", *cars, *seed)
+		sc, err := experiments.BuildScenario(experiments.ScenarioConfig{Cars: *cars, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+		switch {
+		case roadType == geo.MotorwayLink && *collab:
+			detector = sc.CAD3
+		case roadType == geo.MotorwayLink:
+			detector = sc.AD3
+		case roadType == geo.Motorway:
+			detector = sc.Upstream
+		default:
+			det := core.NewAD3(roadType)
+			if err := det.Train(sc.Train, sc.Labeler); err != nil {
+				return fmt.Errorf("train %v: %w", roadType, err)
+			}
+			detector = det
+		}
+	}
+
+	broker := stream.NewBroker(stream.BrokerConfig{})
+	server, err := stream.NewServer(broker, *addr)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	logLevel := slog.LevelInfo
+	if *verbose {
+		logLevel = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+	node, err := rsu.New(rsu.Config{
+		Name:     *name,
+		Road:     experiments.CorridorLinkID,
+		Detector: detector,
+		Client:   stream.NewInProcClient(broker),
+		Logger:   logger,
+	})
+	if err != nil {
+		return err
+	}
+	if *neighborAddr != "" {
+		neighbor, err := stream.Dial(*neighborAddr)
+		if err != nil {
+			return fmt.Errorf("neighbor: %w", err)
+		}
+		defer neighbor.Close()
+		if err := node.AddNeighbor("neighbor", neighbor); err != nil {
+			return err
+		}
+		fmt.Printf("forwarding handover summaries to %s\n", *neighborAddr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("RSU %q (%s, %s) serving on %s\n", *name, roadType, detector.Name(), server.Addr())
+	go func() {
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				st := node.Stats()
+				fmt.Printf("records=%d warnings=%d summaries(rx/tx)=%d/%d priors(hit/miss)=%d/%d batches=%d\n",
+					st.Records, st.Warnings, st.SummariesReceived, st.SummariesSent,
+					st.PriorHits, st.PriorMisses, st.Engine.Batches)
+			}
+		}
+	}()
+	err = node.Run(ctx)
+	if err == context.Canceled {
+		fmt.Println("\nshutting down")
+		return nil
+	}
+	return err
+}

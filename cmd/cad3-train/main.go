@@ -1,0 +1,80 @@
+// Command cad3-train runs the offline stage (dataset generation,
+// labelling, model training) once and persists the trained detectors as
+// JSON bundles, so cad3-rsu nodes can load them at startup (-model)
+// instead of retraining — the deployment split the paper's two-stage
+// framework implies.
+//
+// Usage:
+//
+//	cad3-train -out models/ [-cars 500] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cad3/internal/core"
+	"cad3/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cad3-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "models", "output directory for the model bundles")
+	cars := flag.Int("cars", 500, "training scenario fleet size")
+	seed := flag.Int64("seed", 42, "training scenario seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	fmt.Printf("training (cars=%d seed=%d)...\n", *cars, *seed)
+	sc, err := experiments.BuildScenario(experiments.ScenarioConfig{Cars: *cars, Seed: *seed})
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+
+	save := func(name string, det core.Detector) error {
+		path := filepath.Join(*out, name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.SaveDetector(f, det); err != nil {
+			return fmt.Errorf("save %s: %w", name, err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %-24s (%d bytes)\n", path, info.Size())
+		return nil
+	}
+	if err := save("motorway-ad3", sc.Upstream); err != nil {
+		return err
+	}
+	if err := save("motorway-link-ad3", sc.AD3); err != nil {
+		return err
+	}
+	if err := save("motorway-link-cad3", sc.CAD3); err != nil {
+		return err
+	}
+	if err := save("centralized", sc.Centralized); err != nil {
+		return err
+	}
+
+	rows, err := experiments.RunModelComparison(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nheld-out performance of the saved models:\n%s", experiments.FormatModelRows(rows))
+	return nil
+}

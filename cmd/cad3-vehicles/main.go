@@ -1,0 +1,89 @@
+// Command cad3-vehicles emulates a fleet of connected vehicles against a
+// running cad3-rsu broker: each vehicle streams synthetic Table II
+// records at 10 Hz and polls for warnings every 10 ms, printing end-to-end
+// latency when done (the role of PC1 in the paper's testbed).
+//
+// Usage:
+//
+//	cad3-vehicles -addr 127.0.0.1:9092 -n 32 -duration 10s [-seed 1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cad3/internal/experiments"
+	"cad3/internal/stream"
+	"cad3/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cad3-vehicles:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9092", "RSU broker address")
+	n := flag.Int("n", 32, "number of vehicles")
+	duration := flag.Duration("duration", 10*time.Second, "run duration")
+	seed := flag.Int64("seed", 1, "record pool seed")
+	flag.Parse()
+
+	pool, _, err := experiments.BuildLatencyInputs(*seed)
+	if err != nil {
+		return err
+	}
+
+	// One TCP connection per vehicle, as in the paper's per-producer
+	// emulation.
+	clients := make([]*stream.RetryClient, 0, *n)
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < *n; i++ {
+		c, err := stream.DialRetry(*addr, 0, 0)
+		if err != nil {
+			return fmt.Errorf("dial vehicle %d: %w", i, err)
+		}
+		clients = append(clients, c)
+	}
+
+	fleet, err := vehicle.NewFleet(*n, pool, func(i int) stream.Client { return clients[i] }, vehicle.Config{Loop: true})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	fmt.Printf("%d vehicles streaming to %s for %s...\n", *n, *addr, *duration)
+	if err := fleet.Run(ctx); err != nil {
+		return err
+	}
+
+	fmt.Printf("sent %d records, received %d warnings\n", fleet.TotalSent(), fleet.TotalReceived())
+	var count int
+	for i, v := range fleet.Vehicles() {
+		rep := v.Latencies()
+		if rep.Total.Count == 0 {
+			continue
+		}
+		count += rep.Total.Count
+		if i < 5 {
+			fmt.Printf("vehicle %d: warnings=%d end-to-end %s\n", i+1, rep.Total.Count, rep.Total)
+		}
+	}
+	fmt.Printf("total warnings with latency samples: %d\n", count)
+	return nil
+}

@@ -1,0 +1,89 @@
+// Onlinelearning: the continuously learning RSU. The paper says each
+// edge node "learns the normal behavior over time"; this example takes
+// that literally with OnlineAD3 — an RSU that folds every observed record
+// into running road statistics and an incrementally trained Naive Bayes —
+// and shows it adapting when the road's condition drifts (a lane closure
+// halves the normal speed): the same absolute speed flips from abnormal
+// to normal as the learned context changes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cad3"
+	"cad3/internal/geo"
+	"cad3/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "onlinelearning:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	online, err := cad3.NewOnlineAD3(cad3.MotorwayLink, 0, 150)
+	if err != nil {
+		return err
+	}
+
+	mk := func(speed, accel float64) cad3.Record {
+		return cad3.Record{
+			Car: 1, Road: 2, RoadType: geo.MotorwayLink,
+			Speed: speed, Accel: accel, Hour: 10, Day: 4, RoadMeanSpeed: 35,
+		}
+	}
+	probe := mk(22, 0) // 22 km/h: crawling on a free-flowing link
+
+	// Phase 1: normal traffic at ~35 km/h (sigma ~4), with ~25% injected
+	// anomalies so both classes exist.
+	fmt.Println("phase 1: free-flowing link (~35 km/h)...")
+	feed(online, 35, 4, 1200)
+	det, err := online.Detect(probe, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  22 km/h while traffic flows at 35: class=%d P(normal)=%.3f (abnormal crawling)\n",
+		det.Class, det.PNormal)
+	if det.Class != cad3.ClassAbnormal {
+		return fmt.Errorf("expected 22 km/h to be abnormal on the free-flowing link")
+	}
+
+	// Phase 2: a lane closure halves the road's speed. The online model
+	// keeps learning; after enough drifted traffic, 22 km/h IS the road's
+	// normal behaviour.
+	fmt.Println("phase 2: lane closure, traffic drops to ~20 km/h; the RSU keeps learning...")
+	feed(online, 20, 3, 12000)
+	det, err = online.Detect(probe, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  22 km/h while traffic crawls at 20: class=%d P(normal)=%.3f (now normal)\n",
+		det.Class, det.PNormal)
+	if det.Class != cad3.ClassNormal {
+		return fmt.Errorf("expected 22 km/h to be normal after the drift")
+	}
+
+	fmt.Printf("\nobservations folded in: %d (no retraining pass ever ran)\n", online.Observations())
+	fmt.Println("done: the edge model followed the road's changing context")
+	return nil
+}
+
+// feed streams n records of Gaussian-ish traffic around the given mean to
+// the online detector, with a deterministic anomaly mix.
+func feed(online *cad3.OnlineAD3, mean, std float64, n int) {
+	offsets := []float64{-0.8, -0.3, 0, 0.2, 0.5, -0.5, 0.9, -1.0, 2.6, -2.6}
+	for i := 0; i < n; i++ {
+		o := offsets[i%len(offsets)]
+		rec := trace.Record{
+			Car: trace.CarID(i%50 + 1), Road: 2, RoadType: geo.MotorwayLink,
+			Speed: mean + o*std, Accel: o * 0.3, Hour: 10, Day: 4, RoadMeanSpeed: mean,
+		}
+		if rec.Speed < 0 {
+			rec.Speed = 0
+		}
+		_ = online.Observe(rec)
+	}
+}

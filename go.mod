@@ -1,0 +1,3 @@
+module cad3
+
+go 1.22

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cad3/internal/trace"
+)
+
+// The potential-accident estimator of §IV-E: Nilsson's power model says
+// the number of injury-causing accidents scales with the square of the
+// speed ratio (Equation 2). Applied per data point, the severity of a
+// speed violation is
+//
+//	delta = 1 - (v_r / v_r(i))^2                      if speeding
+//	delta = 1 - (v_r / (v_r + (v_r - v_r(i))))^2       if slowing
+//
+// and the expected number of potential accidents attributable to a model
+// is the dot product of the false-negative indicator vector with the
+// delta vector (Equation 3): every abnormal speed the model waves through
+// contributes its severity.
+
+// Delta returns the Nilsson severity of a vehicle speed v against the
+// road's normal speed vr (both km/h). It returns 0 when the deviation is
+// negligible or inputs are degenerate (vr <= 0).
+func Delta(v, vr float64) float64 {
+	if vr <= 0 {
+		return 0
+	}
+	var ratio float64
+	if v > vr { // speeding
+		ratio = vr / v
+	} else { // slowing: the effective closing speed grows as v drops
+		denom := vr + (vr - v)
+		if denom <= 0 {
+			return 1
+		}
+		ratio = vr / denom
+	}
+	d := 1 - ratio*ratio
+	return math.Max(0, math.Min(1, d))
+}
+
+// AccidentReport is the outcome of the Table IV estimation.
+type AccidentReport struct {
+	Records        int
+	Abnormal       int
+	FalseNegatives int
+	// Expected is E(Lambda) of Equation 3.
+	Expected float64
+}
+
+// EstimateAccidents evaluates a detector over records: for every record
+// whose ground-truth label (from the labeler) is abnormal but which the
+// detector classifies as normal, the record's Nilsson severity is added
+// to the expectation. summaries supplies per-car priors for collaborative
+// detectors (nil disables collaboration).
+func EstimateAccidents(
+	det Detector,
+	records []trace.Record,
+	labeler *Labeler,
+	summaries map[trace.CarID]PredictionSummary,
+) (AccidentReport, error) {
+	var rep AccidentReport
+	for _, r := range records {
+		truth, err := labeler.Label(r)
+		if err != nil {
+			continue
+		}
+		rep.Records++
+		if truth != ClassAbnormal {
+			continue
+		}
+		rep.Abnormal++
+
+		var prior *PredictionSummary
+		if summaries != nil {
+			if s, ok := summaries[r.Car]; ok {
+				prior = &s
+			}
+		}
+		d, err := det.Detect(r, prior)
+		if err != nil {
+			return rep, fmt.Errorf("estimate accidents: %w", err)
+		}
+		if d.Class == ClassNormal { // false negative
+			rep.FalseNegatives++
+			rep.Expected += Delta(r.Speed, r.RoadMeanSpeed)
+		}
+	}
+	return rep, nil
+}

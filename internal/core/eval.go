@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"cad3/internal/mlkit"
+	"cad3/internal/trace"
+)
+
+// EvaluateDetector runs a detector over records and scores it against the
+// labeler's ground truth, feeding per-car summaries to collaborative
+// detectors (nil disables collaboration).
+func EvaluateDetector(
+	det Detector,
+	records []trace.Record,
+	labeler *Labeler,
+	summaries map[trace.CarID]PredictionSummary,
+) (mlkit.ConfusionMatrix, error) {
+	var m mlkit.ConfusionMatrix
+	for i, r := range records {
+		truth, err := labeler.Label(r)
+		if err != nil {
+			continue
+		}
+		var prior *PredictionSummary
+		if summaries != nil {
+			if s, ok := summaries[r.Car]; ok {
+				prior = &s
+			}
+		}
+		d, err := det.Detect(r, prior)
+		if err != nil {
+			return m, fmt.Errorf("evaluate record %d: %w", i, err)
+		}
+		m.Observe(truth, d.Class)
+	}
+	return m, nil
+}
+
+// TimelinePoint is one step of a mesoscopic (driver-trip) detection
+// timeline (Figure 8): the truth and each model's verdict at one record.
+type TimelinePoint struct {
+	Index   int
+	Road    int64
+	Truth   int
+	Verdict map[string]int // detector name -> class
+}
+
+// DetectionTimeline replays a single car's trip through several detectors,
+// producing the Figure 8 comparison. summaries applies to collaborative
+// detectors only.
+func DetectionTimeline(
+	dets []Detector,
+	tripRecords []trace.Record,
+	labeler *Labeler,
+	summaries map[trace.CarID]PredictionSummary,
+) ([]TimelinePoint, error) {
+	out := make([]TimelinePoint, 0, len(tripRecords))
+	for i, r := range tripRecords {
+		truth, err := labeler.Label(r)
+		if err != nil {
+			continue
+		}
+		pt := TimelinePoint{Index: i, Road: int64(r.Road), Truth: truth, Verdict: make(map[string]int, len(dets))}
+		var prior *PredictionSummary
+		if summaries != nil {
+			if s, ok := summaries[r.Car]; ok {
+				prior = &s
+			}
+		}
+		for _, det := range dets {
+			d, err := det.Detect(r, prior)
+			if err != nil {
+				return nil, fmt.Errorf("timeline %s at %d: %w", det.Name(), i, err)
+			}
+			pt.Verdict[det.Name()] = d.Class
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Flips counts verdict changes between consecutive timeline points for a
+// detector — the paper's "stability" axis in Figure 8 (CAD3 stable, AD3
+// fluctuating, centralized unpredictable).
+func Flips(timeline []TimelinePoint, detector string) int {
+	var flips int
+	for i := 1; i < len(timeline); i++ {
+		if timeline[i].Verdict[detector] != timeline[i-1].Verdict[detector] {
+			flips++
+		}
+	}
+	return flips
+}
+
+// TimelineAccuracy returns the fraction of timeline points where the
+// detector agrees with the ground truth.
+func TimelineAccuracy(timeline []TimelinePoint, detector string) float64 {
+	if len(timeline) == 0 {
+		return 0
+	}
+	var right int
+	for _, pt := range timeline {
+		if pt.Verdict[detector] == pt.Truth {
+			right++
+		}
+	}
+	return float64(right) / float64(len(timeline))
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+
+	"cad3/internal/trace"
+)
+
+// GlobalLabeler is the centralized pipeline's labelling stage: one pooled
+// sigma-cutoff over all road vehicular data at once, with no road-type
+// resolution. The paper attributes the centralized model's weakness
+// exactly here — "cloud solutions tend to deploy city-scale models that
+// lack the fine-grained resolution to address road-level abnormal driving
+// behavior detection" (§II-A): a speed that is wildly abnormal for a
+// motorway link sits comfortably inside the city-wide envelope, so the
+// centralized model never learns to flag it.
+type GlobalLabeler struct {
+	sigmaK              float64
+	speedMu, speedSigma float64
+	accelMu, accelSigma float64
+}
+
+// TrainGlobalLabeler pools every record regardless of road type.
+func TrainGlobalLabeler(records []trace.Record, sigmaK float64) (*GlobalLabeler, error) {
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	if sigmaK <= 0 {
+		sigmaK = DefaultSigmaK
+	}
+	var n float64
+	var sSum, sSq, aSum, aSq float64
+	for _, r := range records {
+		n++
+		sSum += r.Speed
+		sSq += r.Speed * r.Speed
+		aSum += r.Accel
+		aSq += r.Accel * r.Accel
+	}
+	sm := sSum / n
+	am := aSum / n
+	return &GlobalLabeler{
+		sigmaK:     sigmaK,
+		speedMu:    sm,
+		speedSigma: math.Sqrt(math.Max(sSq/n-sm*sm, 0)),
+		accelMu:    am,
+		accelSigma: math.Sqrt(math.Max(aSq/n-am*am, 0)),
+	}, nil
+}
+
+// Label applies the pooled cutoff.
+func (g *GlobalLabeler) Label(r trace.Record) int {
+	k := g.sigmaK
+	speedOK := math.Abs(r.Speed-g.speedMu) <= k*g.speedSigma
+	accelOK := math.Abs(r.Accel-g.accelMu) <= k*g.accelSigma
+	if speedOK && accelOK {
+		return ClassNormal
+	}
+	return ClassAbnormal
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cad3/internal/geo"
+	"cad3/internal/mlkit"
+	"cad3/internal/trace"
+)
+
+// OnlineAD3 is the continuously learning variant of AD3: instead of an
+// offline training pass, the RSU folds every observed record into running
+// per-road statistics (the sigma-cutoff labelling distribution) and into
+// an incrementally trained Gaussian Naive Bayes — "each node learns the
+// normal behavior over time and maintains contextual information of the
+// road in its coverage" (paper §III-A), here taken literally. It adapts
+// to drift (construction, weather, seasonal shifts) without retraining.
+type OnlineAD3 struct {
+	roadType geo.RoadType
+	sigmaK   float64
+	warmup   int64
+
+	// Running speed/accel statistics (Welford) back the online labels.
+	n                  int64
+	speedMean, speedM2 float64
+	accelMean, accelM2 float64
+
+	nb *mlkit.OnlineGaussianNB
+}
+
+// DefaultOnlineWarmup is the number of records observed before the model
+// starts classifying (the distribution needs mass first).
+const DefaultOnlineWarmup = 200
+
+// NewOnlineAD3 creates a continuously learning detector for a road type.
+// sigmaK <= 0 selects the paper's 1-sigma rule; warmup <= 0 selects
+// DefaultOnlineWarmup.
+func NewOnlineAD3(roadType geo.RoadType, sigmaK float64, warmup int64) (*OnlineAD3, error) {
+	if sigmaK <= 0 {
+		sigmaK = DefaultSigmaK
+	}
+	if warmup <= 0 {
+		warmup = DefaultOnlineWarmup
+	}
+	nb, err := mlkit.NewOnlineGaussianNB(3)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineAD3{roadType: roadType, sigmaK: sigmaK, warmup: warmup, nb: nb}, nil
+}
+
+var _ Detector = (*OnlineAD3)(nil)
+
+// Name implements Detector.
+func (o *OnlineAD3) Name() string { return "OnlineAD3" }
+
+// RoadType returns the covered road type.
+func (o *OnlineAD3) RoadType() geo.RoadType { return o.roadType }
+
+// Observe folds one record into the running distribution and the online
+// classifier. Records of other road types are ignored (the RSU only sees
+// its own road, but defensive filtering keeps replays safe).
+func (o *OnlineAD3) Observe(rec trace.Record) error {
+	if rec.RoadType != o.roadType {
+		return nil
+	}
+	o.n++
+	d := rec.Speed - o.speedMean
+	o.speedMean += d / float64(o.n)
+	o.speedM2 += d * (rec.Speed - o.speedMean)
+	d = rec.Accel - o.accelMean
+	o.accelMean += d / float64(o.n)
+	o.accelM2 += d * (rec.Accel - o.accelMean)
+
+	// After warmup the running sigma rule labels the record, and the
+	// labelled record trains the classifier — the online analogue of the
+	// paper's offline labelling + training stages.
+	if o.n <= o.warmup {
+		return nil
+	}
+	label := o.sigmaLabel(rec)
+	if err := o.nb.Observe(Features(rec), label); err != nil {
+		return fmt.Errorf("online AD3 observe: %w", err)
+	}
+	return nil
+}
+
+// sigmaLabel applies the running sigma-cutoff.
+func (o *OnlineAD3) sigmaLabel(rec trace.Record) int {
+	speedSigma := math.Sqrt(o.speedM2 / float64(o.n))
+	accelSigma := math.Sqrt(o.accelM2 / float64(o.n))
+	if math.Abs(rec.Speed-o.speedMean) <= o.sigmaK*speedSigma &&
+		math.Abs(rec.Accel-o.accelMean) <= o.sigmaK*accelSigma {
+		return ClassNormal
+	}
+	return ClassAbnormal
+}
+
+// Ready reports whether the model has warmed up enough to classify with
+// the learned NB (before that, Detect falls back to the sigma rule).
+func (o *OnlineAD3) Ready() bool { return o.n > o.warmup && o.nb.Ready() }
+
+// Observations returns the number of records folded in.
+func (o *OnlineAD3) Observations() int64 { return o.n }
+
+// Detect implements Detector. During warmup it classifies with the
+// running sigma rule directly; afterwards with the learned NB.
+func (o *OnlineAD3) Detect(rec trace.Record, _ *PredictionSummary) (Detection, error) {
+	if o.n < 2 {
+		return Detection{}, ErrNotTrained
+	}
+	det := Detection{Car: rec.Car, Road: int64(rec.Road)}
+	if !o.Ready() {
+		det.Class = o.sigmaLabel(rec)
+		if det.Class == ClassNormal {
+			det.PNormal = 1
+		}
+		return det, nil
+	}
+	p, err := o.nb.PredictProba(Features(rec))
+	if err != nil {
+		return Detection{}, fmt.Errorf("online AD3 detect: %w", err)
+	}
+	det.Class = mlkit.PredictLabel(p)
+	det.PNormal = p
+	return det, nil
+}
+
+// PredictProba exposes the NB probability for summary building.
+func (o *OnlineAD3) PredictProba(rec trace.Record) (float64, error) {
+	if !o.Ready() {
+		if o.n < 2 {
+			return 0, ErrNotTrained
+		}
+		if o.sigmaLabel(rec) == ClassNormal {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return o.nb.PredictProba(Features(rec))
+}
+
+// LogisticAD3 is AD3 with logistic regression in place of Naive Bayes —
+// the first of the "complex anomaly detection algorithms" the paper's
+// future work proposes to run within CAD3, still fully explainable
+// (linear weights).
+type LogisticAD3 struct {
+	roadType geo.RoadType
+	lr       *mlkit.LogisticRegression
+}
+
+var _ Detector = (*LogisticAD3)(nil)
+
+// NewLogisticAD3 creates an untrained logistic detector for a road type.
+func NewLogisticAD3(roadType geo.RoadType, cfg mlkit.LogisticConfig) *LogisticAD3 {
+	return &LogisticAD3{roadType: roadType, lr: mlkit.NewLogisticRegression(cfg)}
+}
+
+// Name implements Detector.
+func (l *LogisticAD3) Name() string { return "LogisticAD3" }
+
+// Train fits the model on the road type's slice of the training records.
+func (l *LogisticAD3) Train(records []trace.Record, labeler *Labeler) error {
+	own := trace.RecordsOfType(records, l.roadType)
+	if len(own) == 0 {
+		return fmt.Errorf("%w for road type %v", ErrNoRecords, l.roadType)
+	}
+	samples, _ := labeler.MakeSamples(own)
+	if err := l.lr.Fit(samples); err != nil {
+		return fmt.Errorf("logistic AD3 fit: %w", err)
+	}
+	return nil
+}
+
+// Detect implements Detector.
+func (l *LogisticAD3) Detect(rec trace.Record, _ *PredictionSummary) (Detection, error) {
+	p, err := l.lr.PredictProba(Features(rec))
+	if err != nil {
+		if err == mlkit.ErrNotTrained {
+			return Detection{}, ErrNotTrained
+		}
+		return Detection{}, fmt.Errorf("logistic AD3 detect: %w", err)
+	}
+	return Detection{
+		Car:     rec.Car,
+		Road:    int64(rec.Road),
+		Class:   mlkit.PredictLabel(p),
+		PNormal: p,
+	}, nil
+}
+
+// PredictProba exposes the model probability for summary building.
+func (l *LogisticAD3) PredictProba(rec trace.Record) (float64, error) {
+	return l.lr.PredictProba(Features(rec))
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"cad3/internal/geo"
+	"cad3/internal/mlkit"
+	"cad3/internal/trace"
+)
+
+func TestOnlineAD3ConvergesToOfflineQuality(t *testing.T) {
+	fx := corridorFixture(t)
+
+	online, err := NewOnlineAD3(geo.MotorwayLink, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range trace.RecordsOfType(fx.train, geo.MotorwayLink) {
+		if err := online.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !online.Ready() {
+		t.Fatalf("online model not ready after %d observations", online.Observations())
+	}
+
+	offline := NewAD3(geo.MotorwayLink)
+	if err := offline.Train(fx.train, fx.labeler); err != nil {
+		t.Fatal(err)
+	}
+
+	testLink := trace.RecordsOfType(fx.test, geo.MotorwayLink)
+	mOn, err := EvaluateDetector(online, testLink, fx.labeler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOff, err := EvaluateDetector(offline, testLink, fx.labeler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("online acc=%.4f f1=%.4f | offline acc=%.4f f1=%.4f",
+		mOn.Accuracy(), mOn.F1(), mOff.Accuracy(), mOff.F1())
+	// The online model labels with running (not final) statistics, so it
+	// may trail the offline model slightly — but must be in the same
+	// league.
+	if mOn.Accuracy() < mOff.Accuracy()-0.08 {
+		t.Errorf("online accuracy %.4f trails offline %.4f by too much", mOn.Accuracy(), mOff.Accuracy())
+	}
+}
+
+func TestOnlineAD3WarmupBehaviour(t *testing.T) {
+	online, err := NewOnlineAD3(geo.MotorwayLink, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := online.Detect(mkRecord(1, geo.MotorwayLink, 35, 0, 9), nil); err != ErrNotTrained {
+		t.Errorf("err = %v, want ErrNotTrained before any data", err)
+	}
+	// Feed a tight normal cluster, below the warmup threshold.
+	for i := 0; i < 30; i++ {
+		rec := mkRecord(1, geo.MotorwayLink, 35+float64(i%5), 0, 9)
+		if err := online.Observe(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if online.Ready() {
+		t.Error("model should not be ready during warmup")
+	}
+	// During warmup the sigma rule still answers.
+	det, err := online.Detect(mkRecord(1, geo.MotorwayLink, 37, 0, 9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Class != ClassNormal {
+		t.Error("in-band record should be normal under the sigma rule")
+	}
+	det, err = online.Detect(mkRecord(1, geo.MotorwayLink, 120, 0, 9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Class != ClassAbnormal {
+		t.Error("wild speeding should be abnormal under the sigma rule")
+	}
+	if p, err := online.PredictProba(mkRecord(1, geo.MotorwayLink, 120, 0, 9)); err != nil || p != 0 {
+		t.Errorf("warmup proba = %v, %v", p, err)
+	}
+}
+
+func TestOnlineAD3IgnoresOtherRoadTypes(t *testing.T) {
+	online, err := NewOnlineAD3(geo.MotorwayLink, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := online.Observe(mkRecord(1, geo.Motorway, 100, 0, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if online.Observations() != 0 {
+		t.Errorf("foreign road type counted: %d observations", online.Observations())
+	}
+}
+
+func TestLogisticAD3OnCorridor(t *testing.T) {
+	fx := corridorFixture(t)
+	det := NewLogisticAD3(geo.MotorwayLink, mlkit.LogisticConfig{})
+	if err := det.Train(fx.train, fx.labeler); err != nil {
+		t.Fatal(err)
+	}
+	testLink := trace.RecordsOfType(fx.test, geo.MotorwayLink)
+	m, err := EvaluateDetector(det, testLink, fx.labeler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("logistic AD3: %v", m)
+	if m.Accuracy() < 0.7 {
+		t.Errorf("logistic accuracy %.3f too low", m.Accuracy())
+	}
+	if p, err := det.PredictProba(testLink[0]); err != nil || p < 0 || p > 1 {
+		t.Errorf("proba = %v, %v", p, err)
+	}
+}
+
+func TestLogisticAD3Errors(t *testing.T) {
+	det := NewLogisticAD3(geo.MotorwayLink, mlkit.LogisticConfig{})
+	if _, err := det.Detect(mkRecord(1, geo.MotorwayLink, 35, 0, 9), nil); err != ErrNotTrained {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+	if err := det.Train(nil, nil); err == nil {
+		t.Error("want error for empty training set")
+	}
+	if det.Name() != "LogisticAD3" {
+		t.Errorf("name = %q", det.Name())
+	}
+}
+
+func TestNewOnlineAD3Defaults(t *testing.T) {
+	o, err := NewOnlineAD3(geo.Motorway, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.RoadType() != geo.Motorway || o.Name() != "OnlineAD3" {
+		t.Errorf("identity = %v %q", o.RoadType(), o.Name())
+	}
+}

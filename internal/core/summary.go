@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"cad3/internal/trace"
+)
+
+// PredictionSummary is the CO-DATA payload a motorway RSU forwards to the
+// next RSU when a vehicle hands over (§IV-D): the vehicle's prediction
+// history along the previous road, condensed to the mean Naive Bayes
+// probability (P̄_prevs in Equation 1) plus bookkeeping.
+type PredictionSummary struct {
+	Car trace.CarID `json:"carId"`
+	// MeanPNormal is the average P(normal) the previous RSU's Naive Bayes
+	// assigned to this vehicle's records.
+	MeanPNormal float64 `json:"meanPNormal"`
+	// Count is the number of predictions the mean aggregates.
+	Count int `json:"count"`
+	// LastPNormal holds the most recent predictions (bounded), supporting
+	// the last-k summary-depth ablation.
+	LastPNormal []float64 `json:"lastPNormal,omitempty"`
+	// FromRoad identifies the summarising RSU's road.
+	FromRoad int64 `json:"fromRd"`
+	// UpdatedMs is the summary's production time (Unix ms).
+	UpdatedMs int64 `json:"updatedMs"`
+}
+
+// EncodeSummary serializes a summary for CO-DATA.
+func EncodeSummary(s PredictionSummary) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSummary parses a CO-DATA payload.
+func DecodeSummary(b []byte) (PredictionSummary, error) {
+	var s PredictionSummary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return PredictionSummary{}, fmt.Errorf("decode summary: %w", err)
+	}
+	return s, nil
+}
+
+// maxLastK bounds the retained per-vehicle prediction tail.
+const maxLastK = 16
+
+// SummaryBuilder accumulates a vehicle's predictions at one RSU and emits
+// summaries on handover. Safe for concurrent use (the micro-batch worker
+// pool calls Observe from several goroutines).
+type SummaryBuilder struct {
+	road int64
+	now  func() time.Time
+
+	mu   sync.Mutex
+	cars map[trace.CarID]*carAgg
+}
+
+type carAgg struct {
+	sum   float64
+	count int
+	last  []float64
+}
+
+// NewSummaryBuilder creates a builder for the RSU covering the given road.
+// now injects the clock; nil selects time.Now.
+func NewSummaryBuilder(road int64, now func() time.Time) *SummaryBuilder {
+	if now == nil {
+		now = time.Now
+	}
+	return &SummaryBuilder{road: road, now: now, cars: make(map[trace.CarID]*carAgg)}
+}
+
+// Observe records one prediction probability for a car.
+func (b *SummaryBuilder) Observe(car trace.CarID, pNormal float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a := b.cars[car]
+	if a == nil {
+		a = &carAgg{}
+		b.cars[car] = a
+	}
+	a.sum += pNormal
+	a.count++
+	a.last = append(a.last, pNormal)
+	if len(a.last) > maxLastK {
+		a.last = a.last[len(a.last)-maxLastK:]
+	}
+}
+
+// Summarize emits the car's summary, or ok=false if the car is unknown.
+func (b *SummaryBuilder) Summarize(car trace.CarID) (PredictionSummary, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, ok := b.cars[car]
+	if !ok || a.count == 0 {
+		return PredictionSummary{}, false
+	}
+	last := make([]float64, len(a.last))
+	copy(last, a.last)
+	return PredictionSummary{
+		Car:         car,
+		MeanPNormal: a.sum / float64(a.count),
+		Count:       a.count,
+		LastPNormal: last,
+		FromRoad:    b.road,
+		UpdatedMs:   b.now().UnixMilli(),
+	}, true
+}
+
+// Forget drops the car's history (after a completed handover).
+func (b *SummaryBuilder) Forget(car trace.CarID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.cars, car)
+}
+
+// Cars returns the number of tracked vehicles.
+func (b *SummaryBuilder) Cars() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cars)
+}
+
+// SummaryStore holds the summaries an RSU has received over CO-DATA,
+// keyed by car, with staleness-based expiry. Safe for concurrent use.
+type SummaryStore struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu   sync.Mutex
+	byID map[trace.CarID]PredictionSummary
+}
+
+// DefaultSummaryTTL expires summaries that are too old to describe the
+// driver's current behaviour.
+const DefaultSummaryTTL = 10 * time.Minute
+
+// NewSummaryStore creates a store. ttl <= 0 selects DefaultSummaryTTL;
+// nil now selects time.Now.
+func NewSummaryStore(ttl time.Duration, now func() time.Time) *SummaryStore {
+	if ttl <= 0 {
+		ttl = DefaultSummaryTTL
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &SummaryStore{ttl: ttl, now: now, byID: make(map[trace.CarID]PredictionSummary)}
+}
+
+// Put stores (or replaces) a car's summary.
+func (s *SummaryStore) Put(sum PredictionSummary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[sum.Car] = sum
+}
+
+// Get returns the car's summary if present and fresh.
+func (s *SummaryStore) Get(car trace.CarID) (PredictionSummary, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum, ok := s.byID[car]
+	if !ok {
+		return PredictionSummary{}, false
+	}
+	if s.now().UnixMilli()-sum.UpdatedMs > s.ttl.Milliseconds() {
+		delete(s.byID, car)
+		return PredictionSummary{}, false
+	}
+	return sum, true
+}
+
+// Len returns the number of stored summaries (including possibly stale
+// ones not yet swept).
+func (s *SummaryStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSummaryBuilderMean(t *testing.T) {
+	b := NewSummaryBuilder(42, nil)
+	if _, ok := b.Summarize(1); ok {
+		t.Error("unknown car should not summarise")
+	}
+	b.Observe(1, 0.2)
+	b.Observe(1, 0.4)
+	b.Observe(1, 0.6)
+	s, ok := b.Summarize(1)
+	if !ok {
+		t.Fatal("summary missing")
+	}
+	if math.Abs(s.MeanPNormal-0.4) > 1e-12 {
+		t.Errorf("mean = %v, want 0.4", s.MeanPNormal)
+	}
+	if s.Count != 3 || s.FromRoad != 42 || s.Car != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if len(s.LastPNormal) != 3 {
+		t.Errorf("last = %v", s.LastPNormal)
+	}
+	if b.Cars() != 1 {
+		t.Errorf("Cars = %d", b.Cars())
+	}
+	b.Forget(1)
+	if _, ok := b.Summarize(1); ok {
+		t.Error("forgotten car should not summarise")
+	}
+}
+
+func TestSummaryBuilderLastKBounded(t *testing.T) {
+	b := NewSummaryBuilder(1, nil)
+	for i := 0; i < 100; i++ {
+		b.Observe(7, float64(i)/100)
+	}
+	s, _ := b.Summarize(7)
+	if len(s.LastPNormal) != maxLastK {
+		t.Errorf("last tail = %d, want %d", len(s.LastPNormal), maxLastK)
+	}
+	// The tail must be the most recent values.
+	if s.LastPNormal[len(s.LastPNormal)-1] != 0.99 {
+		t.Errorf("tail end = %v", s.LastPNormal[len(s.LastPNormal)-1])
+	}
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	in := PredictionSummary{Car: 9, MeanPNormal: 0.31, Count: 12, FromRoad: 5, UpdatedMs: 123456, LastPNormal: []float64{0.1, 0.5}}
+	b, err := EncodeSummary(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSummary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Car != in.Car || out.MeanPNormal != in.MeanPNormal || out.Count != in.Count ||
+		out.FromRoad != in.FromRoad || len(out.LastPNormal) != 2 {
+		t.Errorf("round trip = %+v", out)
+	}
+	if _, err := DecodeSummary([]byte("{broken")); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestSummaryStoreTTL(t *testing.T) {
+	now := time.Date(2016, 7, 1, 8, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	st := NewSummaryStore(time.Minute, clock)
+
+	st.Put(PredictionSummary{Car: 1, MeanPNormal: 0.5, UpdatedMs: now.UnixMilli()})
+	if _, ok := st.Get(1); !ok {
+		t.Fatal("fresh summary missing")
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := st.Get(1); ok {
+		t.Error("stale summary should expire")
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len after expiry = %d", st.Len())
+	}
+	if _, ok := st.Get(99); ok {
+		t.Error("unknown car should miss")
+	}
+}
+
+func TestWarningRoundTrip(t *testing.T) {
+	in := Warning{Car: 3, Road: 7, PNormal: 0.12, SourceTsMs: 111, DetectedTsMs: 222}
+	b, err := EncodeWarning(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeWarning(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+	if _, err := DecodeWarning([]byte("nope")); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := mkRecord(5, 2, 88.5, -1.25, 17)
+	in.TimestampMs = 987654
+	b, err := EncodeRecord(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Car != 5 || out.Speed != 88.5 || out.Accel != -1.25 || out.Hour != 17 || out.TimestampMs != 987654 {
+		t.Errorf("round trip = %+v", out)
+	}
+	if _, err := DecodeRecord([]byte("x")); err == nil {
+		t.Error("want decode error")
+	}
+}

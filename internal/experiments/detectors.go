@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cad3/internal/core"
+	"cad3/internal/geo"
+	"cad3/internal/mlkit"
+	"cad3/internal/trace"
+)
+
+// DetectorRow is one row of the detector-algorithm comparison: the
+// paper's future work proposes running "complex anomaly detection
+// algorithms" within CAD3; this experiment measures what each standalone
+// algorithm buys at the motorway-link RSU.
+type DetectorRow struct {
+	Detector string
+	Accuracy float64
+	F1       float64
+	FNRate   float64
+}
+
+// RunDetectorComparison trains and scores the standalone detector
+// algorithms on the scenario's motorway-link data: the paper's Gaussian
+// NB (AD3), logistic regression, a decision tree over the instantaneous
+// features, and the continuously learning online NB.
+func RunDetectorComparison(sc *Scenario) ([]DetectorRow, error) {
+	var rows []DetectorRow
+	evalRow := func(name string, det core.Detector) error {
+		m, err := core.EvaluateDetector(det, sc.TestLink, sc.Labeler, nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, DetectorRow{
+			Detector: name, Accuracy: m.Accuracy(), F1: m.F1(), FNRate: m.FNRate(),
+		})
+		return nil
+	}
+
+	// Gaussian NB (the paper's AD3) — already trained in the scenario.
+	if err := evalRow("GaussianNB (AD3)", sc.AD3); err != nil {
+		return nil, err
+	}
+
+	// Logistic regression.
+	logit := core.NewLogisticAD3(geo.MotorwayLink, mlkit.LogisticConfig{})
+	if err := logit.Train(sc.Train, sc.Labeler); err != nil {
+		return nil, err
+	}
+	if err := evalRow("Logistic", logit); err != nil {
+		return nil, err
+	}
+
+	// Decision tree over the instantaneous features.
+	tree := &treeDetector{tree: mlkit.NewDecisionTree(mlkit.TreeConfig{})}
+	linkTrain := trace.RecordsOfType(sc.Train, geo.MotorwayLink)
+	samples, _ := sc.Labeler.MakeSamples(linkTrain)
+	if err := tree.tree.Fit(samples); err != nil {
+		return nil, err
+	}
+	if err := evalRow("DecisionTree", tree); err != nil {
+		return nil, err
+	}
+
+	// kNN stores the (standardized) training set.
+	knn := &knnDetector{knn: mlkit.NewKNN(7)}
+	if err := knn.knn.Fit(samples); err != nil {
+		return nil, err
+	}
+	if err := evalRow("kNN(7)", knn); err != nil {
+		return nil, err
+	}
+
+	// Online NB fed the training stream once (the continuously learning
+	// RSU after one day of traffic, so to speak).
+	online, err := core.NewOnlineAD3(geo.MotorwayLink, 0, 100)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range linkTrain {
+		if err := online.Observe(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := evalRow("OnlineNB", online); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// knnDetector adapts kNN over Features to the Detector interface.
+type knnDetector struct {
+	knn *mlkit.KNN
+}
+
+func (d *knnDetector) Name() string { return "kNN" }
+
+func (d *knnDetector) Detect(rec trace.Record, _ *core.PredictionSummary) (core.Detection, error) {
+	p, err := d.knn.PredictProba(core.Features(rec))
+	if err != nil {
+		return core.Detection{}, err
+	}
+	return core.Detection{
+		Car: rec.Car, Road: int64(rec.Road),
+		Class: mlkit.PredictLabel(p), PNormal: p,
+	}, nil
+}
+
+// treeDetector adapts a plain decision tree over Features to the Detector
+// interface.
+type treeDetector struct {
+	tree *mlkit.DecisionTree
+}
+
+func (d *treeDetector) Name() string { return "DecisionTree" }
+
+func (d *treeDetector) Detect(rec trace.Record, _ *core.PredictionSummary) (core.Detection, error) {
+	p, err := d.tree.PredictProba(core.Features(rec))
+	if err != nil {
+		return core.Detection{}, err
+	}
+	return core.Detection{
+		Car: rec.Car, Road: int64(rec.Road),
+		Class: mlkit.PredictLabel(p), PNormal: p,
+	}, nil
+}
+
+// FormatDetectorRows renders the comparison.
+func FormatDetectorRows(rows []DetectorRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %8s %8s %8s\n", "detector", "acc", "F1", "FN-rate")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %8.4f %8.4f %8.4f\n", r.Detector, r.Accuracy, r.F1, r.FNRate)
+	}
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cad3/internal/geo"
+	"cad3/internal/trace"
+)
+
+// SpeedProfileSeries is one curve of Figure 2: per-hour mean speed for a
+// road type and day class, both as the generative model produces it and
+// as measured from generated records.
+type SpeedProfileSeries struct {
+	RoadType geo.RoadType
+	Weekend  bool
+	Model    [24]float64
+	Measured [24]float64
+}
+
+// RunFigure2 regenerates the Figure 2 speed-profile comparison from a
+// scenario's filtered records.
+func RunFigure2(sc *Scenario) []SpeedProfileSeries {
+	profile := trace.DefaultSpeedProfile()
+	all := append(append([]trace.Record(nil), sc.Train...), sc.Test...)
+	var out []SpeedProfileSeries
+	for _, rt := range []geo.RoadType{geo.Motorway, geo.MotorwayLink} {
+		for _, weekend := range []bool{false, true} {
+			out = append(out, SpeedProfileSeries{
+				RoadType: rt,
+				Weekend:  weekend,
+				Model:    profile.HourlyMeans(rt, weekend),
+				Measured: trace.SpeedSeries(all, rt, weekend),
+			})
+		}
+	}
+	return out
+}
+
+// FormatFigure2 renders the hourly series.
+func FormatFigure2(series []SpeedProfileSeries) string {
+	var sb strings.Builder
+	for _, s := range series {
+		day := "weekday"
+		if s.Weekend {
+			day = "weekend"
+		}
+		fmt.Fprintf(&sb, "%s (%s) measured km/h by hour:\n  ", s.RoadType, day)
+		for h := 0; h < 24; h++ {
+			if s.Measured[h] == 0 {
+				fmt.Fprintf(&sb, "%6s", "-")
+			} else {
+				fmt.Fprintf(&sb, "%6.1f", s.Measured[h])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RunTable3 reproduces the dataset-statistics rows (Table III) from a
+// scenario's filtered records.
+func RunTable3(sc *Scenario) []trace.StatsRow {
+	all := append(append([]trace.Record(nil), sc.Train...), sc.Test...)
+	return trace.DatasetStats(all, []geo.RoadType{geo.Motorway, geo.MotorwayLink})
+}
+
+// FormatTable3 renders the Table III reproduction.
+func FormatTable3(rows []trace.StatsRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %8s %8s %12s %14s\n", "region", "#cars", "#trips", "mean-speed", "#trajectories")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %8d %8d %12.1f %14d\n",
+			r.Region, r.Cars, r.Trips, r.MeanSpeedKmh, r.Trajectories)
+	}
+	return sb.String()
+}

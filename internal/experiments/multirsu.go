@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cad3/internal/core"
+	"cad3/internal/metrics"
+	"cad3/internal/netem"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+// MultiRSUConfig configures the Figure 6b/6d experiment: one motorway-link
+// RSU connected to four motorway RSUs (Figure 1's intersection), 128
+// vehicles per RSU, with the motorway RSUs forwarding prediction
+// summaries to the link RSU's CO-DATA topic.
+type MultiRSUConfig struct {
+	// MotorwayRSUs is the number of motorway RSUs feeding the link RSU.
+	// Values <= 0 select 4.
+	MotorwayRSUs int
+	// VehiclesPerRSU. Values <= 0 select 128.
+	VehiclesPerRSU int
+	// Duration is the virtual experiment length. Values <= 0 select 5 s.
+	Duration time.Duration
+	// SummaryInterval is how often each motorway RSU forwards a batch of
+	// handover summaries. Values <= 0 select 1 s.
+	SummaryInterval time.Duration
+	// SummariesPerInterval is how many vehicles hand over per interval.
+	// Values <= 0 select 8.
+	SummariesPerInterval int
+	// Seed drives jitter.
+	Seed int64
+	// Backhaul selects the inter-RSU link technology for CO-DATA
+	// forwarding (paper §IV-A: wired Ethernet, or LTE/5G where RSUs are
+	// beyond cable reach). Zero selects Ethernet.
+	Backhaul netem.BackhaulKind
+	// Records / Detector as in LatencyConfig. Required.
+	Records  []trace.Record
+	Detector core.Detector
+	// Proc / Diss inject substrate cost models (defaults as in
+	// LatencyConfig).
+	Proc ProcessingModel
+	Diss DisseminationModel
+}
+
+func (c MultiRSUConfig) withDefaults() MultiRSUConfig {
+	if c.MotorwayRSUs <= 0 {
+		c.MotorwayRSUs = 4
+	}
+	if c.VehiclesPerRSU <= 0 {
+		c.VehiclesPerRSU = 128
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.SummaryInterval <= 0 {
+		c.SummaryInterval = time.Second
+	}
+	if c.SummariesPerInterval <= 0 {
+		c.SummariesPerInterval = 8
+	}
+	if c.Backhaul == 0 {
+		c.Backhaul = netem.BackhaulEthernet
+	}
+	if c.Proc == (ProcessingModel{}) {
+		c.Proc = DefaultProcessingModel()
+	}
+	if c.Diss == (DisseminationModel{}) {
+		c.Diss = DefaultDisseminationModel()
+	}
+	return c
+}
+
+// RSUResult is one bar of Figure 6b (dissemination latency per RSU) and
+// Figure 6d (received bandwidth per RSU).
+type RSUResult struct {
+	Name          string
+	IsLink        bool
+	Dissemination metrics.Summary
+	// UplinkBps is the vehicle->RSU bandwidth; CoDataBps the extra
+	// inter-RSU summary traffic (nonzero only for the link RSU).
+	UplinkBps float64
+	CoDataBps float64
+	Warnings  int64
+}
+
+// TotalBps returns the RSU's total received bandwidth (Figure 6d).
+func (r RSUResult) TotalBps() float64 { return r.UplinkBps + r.CoDataBps }
+
+// RunMultiRSU executes the 5-RSU discrete-event scenario.
+func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Records) == 0 || cfg.Detector == nil {
+		return nil, fmt.Errorf("experiments: multi-RSU run needs records and a detector")
+	}
+
+	start := time.Date(2016, 7, 4, 8, 0, 0, 0, time.UTC)
+	sim := netem.NewSimulator(start)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	end := start.Add(cfg.Duration)
+
+	type rsuState struct {
+		name     string
+		isLink   bool
+		medium   *netem.Medium
+		broker   *stream.Broker
+		in       *stream.Consumer
+		out      *stream.Producer
+		outCons  *stream.Consumer
+		recorder *metrics.LatencyRecorder
+		coBytes  int64
+		warnings int64
+		// pendingDetected maps warning key -> detection completion time.
+		pendingDetected map[string]time.Time
+	}
+
+	n := cfg.MotorwayRSUs + 1
+	states := make([]*rsuState, 0, n)
+	for i := 0; i < n; i++ {
+		isLink := i == 0
+		name := "Mw Link"
+		if !isLink {
+			name = fmt.Sprintf("Mw R%d", i)
+		}
+		htb, err := netem.NewHTB(netem.DSRCBandwidthBps, start)
+		if err != nil {
+			return nil, err
+		}
+		medium, err := netem.NewMedium(netem.MediumConfig{MCS: netem.MCS8, HTB: htb, Seed: cfg.Seed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		broker := stream.NewBroker(stream.BrokerConfig{Now: sim.Now})
+		for _, topic := range []string{stream.TopicInData, stream.TopicOutData, stream.TopicCoData} {
+			if err := broker.CreateTopic(topic, stream.DefaultPartitions); err != nil {
+				return nil, err
+			}
+		}
+		client := stream.NewInProcClient(broker)
+		in, err := stream.NewConsumer(client, stream.TopicInData, 0)
+		if err != nil {
+			return nil, err
+		}
+		out, err := stream.NewProducer(client, stream.TopicOutData)
+		if err != nil {
+			return nil, err
+		}
+		outCons, err := stream.NewConsumer(client, stream.TopicOutData, 0)
+		if err != nil {
+			return nil, err
+		}
+		st := &rsuState{
+			name: name, isLink: isLink, medium: medium, broker: broker,
+			in: in, out: out, outCons: outCons,
+			recorder:        metrics.NewLatencyRecorder(),
+			pendingDetected: make(map[string]time.Time),
+		}
+		states = append(states, st)
+
+		// Vehicle send loops for this RSU.
+		for v := 1; v <= cfg.VehiclesPerRSU; v++ {
+			class := fmt.Sprintf("veh-%d", v)
+			if err := htb.AddClass(class, netem.PerVehicleFloorBps, 0); err != nil {
+				return nil, err
+			}
+			car := trace.CarID(i*cfg.VehiclesPerRSU + v)
+			offset := time.Duration(rng.Int63n(int64(100 * time.Millisecond)))
+			idx := rng.Intn(len(cfg.Records))
+			var tick func()
+			tick = func() {
+				now := sim.Now()
+				if now.After(end) {
+					return
+				}
+				rec := cfg.Records[idx%len(cfg.Records)]
+				idx++
+				rec.Car = car
+				rec.TimestampMs = now.UnixMilli()
+				if payload, err := core.EncodeRecord(rec); err == nil {
+					if delivered, terr := st.medium.Transmit(class, len(payload), now); terr == nil {
+						sim.At(delivered, func() {
+							_, _, _ = st.broker.Produce(stream.TopicInData, stream.AutoPartition, nil, payload)
+						})
+					}
+				}
+				sim.After(100*time.Millisecond, tick)
+			}
+			sim.After(offset, tick)
+		}
+
+		// Micro-batch loop.
+		var batch func()
+		batch = func() {
+			now := sim.Now()
+			if now.After(end) {
+				return
+			}
+			msgs, _ := st.in.Poll(1 << 16)
+			if len(msgs) > 0 {
+				cost := cfg.Proc.Cost(len(msgs))
+				done := now.Add(cost)
+				for _, m := range msgs {
+					rec, derr := core.DecodeRecord(m.Value)
+					if derr != nil {
+						continue
+					}
+					det, derr := cfg.Detector.Detect(rec, nil)
+					if derr != nil || !det.Abnormal() {
+						continue
+					}
+					w := core.Warning{
+						Car: rec.Car, Road: int64(rec.Road), PNormal: det.PNormal,
+						SourceTsMs: rec.TimestampMs, DetectedTsMs: done.UnixMilli(),
+					}
+					payload, werr := core.EncodeWarning(w)
+					if werr != nil {
+						continue
+					}
+					sim.At(done, func() { _, _, _ = st.out.Send(nil, payload) })
+				}
+			}
+			sim.After(50*time.Millisecond, batch)
+		}
+		sim.After(50*time.Millisecond, batch)
+
+		// Dissemination poll loop (10 ms).
+		var poll func()
+		poll = func() {
+			now := sim.Now()
+			if now.After(end.Add(200 * time.Millisecond)) {
+				return
+			}
+			msgs, _ := st.outCons.Poll(1 << 14)
+			for _, m := range msgs {
+				w, derr := core.DecodeWarning(m.Value)
+				if derr != nil {
+					continue
+				}
+				detected := time.UnixMilli(w.DetectedTsMs)
+				st.recorder.Record(metrics.LatencyBreakdown{
+					Dissemination: now.Sub(detected) + cfg.Diss.sample(rng),
+				})
+				st.warnings++
+			}
+			sim.After(10*time.Millisecond, poll)
+		}
+		sim.After(10*time.Millisecond+time.Duration(rng.Int63n(int64(10*time.Millisecond))), poll)
+	}
+
+	// Inter-RSU collaboration: each motorway RSU periodically forwards
+	// handover summaries to the link RSU's CO-DATA topic over the
+	// configured backhaul link (the delivery pays the link's delay).
+	link := states[0]
+	backhaul, err := netem.NewBackhaul(cfg.Backhaul, cfg.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(states); i++ {
+		i := i
+		var forward func()
+		forward = func() {
+			now := sim.Now()
+			if now.After(end) {
+				return
+			}
+			for k := 0; k < cfg.SummariesPerInterval; k++ {
+				sum := core.PredictionSummary{
+					Car:         trace.CarID(i*cfg.VehiclesPerRSU + rng.Intn(cfg.VehiclesPerRSU) + 1),
+					MeanPNormal: rng.Float64(),
+					Count:       10 + rng.Intn(90),
+					FromRoad:    int64(i),
+					UpdatedMs:   now.UnixMilli(),
+				}
+				payload, err := core.EncodeSummary(sum)
+				if err != nil {
+					continue
+				}
+				sim.After(backhaul.Delay(len(payload)), func() {
+					if _, _, err := link.broker.Produce(stream.TopicCoData, stream.AutoPartition, nil, payload); err == nil {
+						link.coBytes += int64(len(payload))
+					}
+				})
+			}
+			sim.After(cfg.SummaryInterval, forward)
+		}
+		sim.After(cfg.SummaryInterval, forward)
+	}
+
+	sim.RunUntil(end.Add(300 * time.Millisecond))
+
+	dur := cfg.Duration.Seconds()
+	out := make([]RSUResult, 0, len(states))
+	for _, st := range states {
+		ms := st.medium.Stats()
+		out = append(out, RSUResult{
+			Name:          st.name,
+			IsLink:        st.isLink,
+			Dissemination: st.recorder.Report().Dissemination,
+			UplinkBps:     float64(ms.WireBytes) * 8 / dur,
+			CoDataBps:     float64(st.coBytes) * 8 / dur,
+			Warnings:      st.warnings,
+		})
+	}
+	return out, nil
+}
+
+// FormatRSUResults renders Figure 6b + 6d.
+func FormatRSUResults(results []RSUResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %14s %12s %12s %12s\n", "RSU", "dissem(mean)", "dissem(se)", "uplink-mbps", "total-mbps")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-8s %14s %12s %12.3f %12.3f\n",
+			r.Name,
+			r.Dissemination.Mean.Round(10*time.Microsecond),
+			r.Dissemination.StdErr.Round(10*time.Microsecond),
+			r.UplinkBps/1e6,
+			r.TotalBps()/1e6,
+		)
+	}
+	return sb.String()
+}

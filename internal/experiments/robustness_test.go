@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestSeedRobustness re-runs the headline comparison on several seeds and
+// asserts the paper's safety orderings (FN rate and expected accidents
+// strictly decrease centralized -> AD3 -> CAD3) on every one. The F1
+// ordering, which the 7-seed sweep in EXPERIMENTS.md shows holding on
+// most but not all seeds, is reported but not asserted.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep in -short mode")
+	}
+	for _, seed := range []int64{7, 42, 2024} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			sc, err := BuildScenario(ScenarioConfig{Cars: 500, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := RunModelComparison(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, a, x := rows[0], rows[1], rows[2]
+			t.Logf("seed %d: F1 c=%.3f a=%.3f x=%.3f | FN c=%.3f a=%.3f x=%.3f",
+				seed, c.F1, a.F1, x.F1, c.FNRate, a.FNRate, x.FNRate)
+			if !(x.FNRate < a.FNRate && a.FNRate < c.FNRate) {
+				t.Errorf("seed %d: FN ordering violated", seed)
+			}
+			if !(x.ExpectedAccidents < a.ExpectedAccidents && a.ExpectedAccidents < c.ExpectedAccidents) {
+				t.Errorf("seed %d: E(Lambda) ordering violated", seed)
+			}
+			if !(x.Accuracy > c.Accuracy && a.Accuracy > c.Accuracy) {
+				t.Errorf("seed %d: accuracy ordering violated", seed)
+			}
+		})
+	}
+}

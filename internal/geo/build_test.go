@@ -1,0 +1,94 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildNetworkCounts(t *testing.T) {
+	net, err := BuildNetwork(BuildConfig{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range ShenzhenRoadStats() {
+		want := int(math.Round(float64(st.Count) * 0.05))
+		if want < 1 {
+			want = 1
+		}
+		got := len(net.SegmentsOfType(st.Type))
+		if got != want {
+			t.Errorf("%v: %d segments, want %d", st.Type, got, want)
+		}
+	}
+}
+
+func TestBuildNetworkDeterministic(t *testing.T) {
+	a, err := BuildNetwork(BuildConfig{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildNetwork(BuildConfig{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.AllSegments(), b.AllSegments()
+	if len(as) != len(bs) {
+		t.Fatalf("segment counts differ: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i].ID != bs[i].ID || as[i].Type != bs[i].Type ||
+			math.Abs(as[i].LengthMeters()-bs[i].LengthMeters()) > 1e-9 {
+			t.Fatalf("segment %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestBuildNetworkLengthDistribution(t *testing.T) {
+	// With the full-scale network the mean motorway length should land
+	// near the Table V mean (3357 m); lognormal sampling is skewed so we
+	// allow a generous band.
+	net, err := BuildNetwork(BuildConfig{Scale: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := net.SegmentsOfType(Motorway)
+	var mean float64
+	for _, s := range segs {
+		mean += s.LengthMeters()
+	}
+	mean /= float64(len(segs))
+	if mean < 3357*0.6 || mean > 3357*1.6 {
+		t.Errorf("mean motorway length %.0f m, want within 60%%..160%% of 3357", mean)
+	}
+}
+
+func TestBuildNetworkMotorwayLinkConnectivity(t *testing.T) {
+	net, err := BuildNetwork(BuildConfig{Scale: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range net.SegmentsOfType(Motorway) {
+		found := false
+		for _, id := range net.Successors(m.ID) {
+			if net.Segment(id).Type == MotorwayLink {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("motorway %d has no motorway-link successor", m.ID)
+		}
+	}
+}
+
+func TestSampleLengthPositive(t *testing.T) {
+	net, err := BuildNetwork(BuildConfig{Scale: 0.2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range net.AllSegments() {
+		if s.LengthMeters() < 49.9 { // geodesic rounding can shave <0.1 m
+			t.Errorf("segment %d length %.1f < 50 m floor", s.ID, s.LengthMeters())
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The macroscopic feasibility study (Figure 9 of the paper) overlays
+// vehicle density on the existing roadside infrastructure and marks the
+// regions that still need RSU installations (gray circles). This file
+// regenerates that analysis: a density heatmap over a grid, and a
+// coverage-gap finder comparing traffic against infrastructure reach.
+
+// Heatmap is a lat/lon grid of observation counts.
+type Heatmap struct {
+	MinLat, MinLon float64
+	CellDeg        float64
+	Rows, Cols     int
+	Counts         [][]int
+	Total          int
+}
+
+// NewHeatmap builds an empty grid covering the bounding box of the given
+// points with the given cell size in degrees (<= 0 selects 0.01 ≈ 1 km).
+func NewHeatmap(points []Point, cellDeg float64) (*Heatmap, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("geo: heatmap needs at least one point")
+	}
+	if cellDeg <= 0 {
+		cellDeg = 0.01
+	}
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	minLon, maxLon := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minLat = math.Min(minLat, p.Lat)
+		maxLat = math.Max(maxLat, p.Lat)
+		minLon = math.Min(minLon, p.Lon)
+		maxLon = math.Max(maxLon, p.Lon)
+	}
+	rows := int(math.Ceil((maxLat-minLat)/cellDeg)) + 1
+	cols := int(math.Ceil((maxLon-minLon)/cellDeg)) + 1
+	counts := make([][]int, rows)
+	for i := range counts {
+		counts[i] = make([]int, cols)
+	}
+	h := &Heatmap{MinLat: minLat, MinLon: minLon, CellDeg: cellDeg, Rows: rows, Cols: cols, Counts: counts}
+	for _, p := range points {
+		h.Add(p)
+	}
+	return h, nil
+}
+
+// Add records one observation (points outside the grid are clamped to the
+// border cells).
+func (h *Heatmap) Add(p Point) {
+	r := int((p.Lat - h.MinLat) / h.CellDeg)
+	c := int((p.Lon - h.MinLon) / h.CellDeg)
+	if r < 0 {
+		r = 0
+	}
+	if c < 0 {
+		c = 0
+	}
+	if r >= h.Rows {
+		r = h.Rows - 1
+	}
+	if c >= h.Cols {
+		c = h.Cols - 1
+	}
+	h.Counts[r][c]++
+	h.Total++
+}
+
+// CellCenter returns the geographic center of cell (r, c).
+func (h *Heatmap) CellCenter(r, c int) Point {
+	return Point{
+		Lat: h.MinLat + (float64(r)+0.5)*h.CellDeg,
+		Lon: h.MinLon + (float64(c)+0.5)*h.CellDeg,
+	}
+}
+
+// Hotspots returns the n densest cells, ordered by count descending.
+func (h *Heatmap) Hotspots(n int) []HeatCell {
+	var cells []HeatCell
+	for r := 0; r < h.Rows; r++ {
+		for c := 0; c < h.Cols; c++ {
+			if h.Counts[r][c] > 0 {
+				cells = append(cells, HeatCell{Row: r, Col: c, Count: h.Counts[r][c], Center: h.CellCenter(r, c)})
+			}
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Count != cells[j].Count {
+			return cells[i].Count > cells[j].Count
+		}
+		if cells[i].Row != cells[j].Row {
+			return cells[i].Row < cells[j].Row
+		}
+		return cells[i].Col < cells[j].Col
+	})
+	if n > 0 && len(cells) > n {
+		cells = cells[:n]
+	}
+	return cells
+}
+
+// HeatCell is one populated heatmap cell.
+type HeatCell struct {
+	Row, Col int
+	Count    int
+	Center   Point
+}
+
+// Render draws the heatmap as ASCII art (rows top = north), mapping
+// counts to ' .:-=+*#%@'.
+func (h *Heatmap) Render() string {
+	ramp := []byte(" .:-=+*#%@")
+	max := 0
+	for r := 0; r < h.Rows; r++ {
+		for c := 0; c < h.Cols; c++ {
+			if h.Counts[r][c] > max {
+				max = h.Counts[r][c]
+			}
+		}
+	}
+	var sb strings.Builder
+	for r := h.Rows - 1; r >= 0; r-- {
+		for c := 0; c < h.Cols; c++ {
+			idx := 0
+			if max > 0 && h.Counts[r][c] > 0 {
+				idx = 1 + h.Counts[r][c]*(len(ramp)-2)/max
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CoverageGap is a traffic hotspot with no roadside infrastructure within
+// DSRC range — one of the paper's gray circles requiring an RSU
+// installation.
+type CoverageGap struct {
+	Cell HeatCell
+	// NearestInfraMeters is the distance to the closest infrastructure
+	// element.
+	NearestInfraMeters float64
+}
+
+// DefaultDSRCRangeMeters is the coverage radius used by the feasibility
+// study (a few hundred meters; the paper cites ranges up to ~1 km and
+// plans conservatively).
+const DefaultDSRCRangeMeters = 300
+
+// FindCoverageGaps returns the heatmap cells with at least minCount
+// observations whose center lies farther than rangeMeters (<= 0 selects
+// DefaultDSRCRangeMeters) from every infrastructure point, ordered by
+// density.
+func FindCoverageGaps(h *Heatmap, infra []Point, minCount int, rangeMeters float64) []CoverageGap {
+	if rangeMeters <= 0 {
+		rangeMeters = DefaultDSRCRangeMeters
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	var gaps []CoverageGap
+	for _, cell := range h.Hotspots(0) {
+		if cell.Count < minCount {
+			continue
+		}
+		nearest := math.Inf(1)
+		for _, p := range infra {
+			if d := DistanceMeters(cell.Center, p); d < nearest {
+				nearest = d
+				if nearest <= rangeMeters {
+					break
+				}
+			}
+		}
+		if nearest > rangeMeters {
+			gaps = append(gaps, CoverageGap{Cell: cell, NearestInfraMeters: nearest})
+		}
+	}
+	return gaps
+}
+
+// InfrastructurePoints converts a PlaceInfrastructure result into
+// geographic points for coverage analysis.
+func InfrastructurePoints(net *Network, placement map[SegmentID][]float64) []Point {
+	var out []Point
+	ids := make([]SegmentID, 0, len(placement))
+	for id := range placement {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		seg := net.Segment(id)
+		if seg == nil {
+			continue
+		}
+		l := seg.LengthMeters()
+		if l <= 0 {
+			continue
+		}
+		for _, at := range placement[id] {
+			out = append(out, seg.PointAt(at/l))
+		}
+	}
+	return out
+}

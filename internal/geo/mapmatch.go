@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// The map matcher implements the hidden-Markov-model approach of Newson &
+// Krumm ("Hidden Markov Map Matching Through Noise and Sparseness", ACM GIS
+// 2009), which the paper uses to map trajectories onto Shenzhen's road
+// network. States are candidate road segments near each GPS fix; emission
+// probability decays with the perpendicular GPS error, and transition
+// probability decays with the difference between great-circle and
+// route-implied travel distance. Decoding is Viterbi.
+
+// ErrNoMatch is returned when no candidate segment lies within the search
+// radius of any GPS fix.
+var ErrNoMatch = errors.New("mapmatch: no candidate segments within search radius")
+
+// MatcherConfig tunes the HMM map matcher.
+type MatcherConfig struct {
+	// SearchRadiusMeters bounds the candidate search around each fix.
+	// Values <= 0 select 200.
+	SearchRadiusMeters float64
+	// GPSSigmaMeters is the standard deviation of GPS error used by the
+	// emission model. Values <= 0 select 20 (typical automotive GPS).
+	GPSSigmaMeters float64
+	// TransitionBeta is the scale (meters) of the exponential transition
+	// model. Values <= 0 select 50.
+	TransitionBeta float64
+	// MaxCandidates caps the number of candidate segments per fix.
+	// Values <= 0 select 8.
+	MaxCandidates int
+}
+
+func (c MatcherConfig) withDefaults() MatcherConfig {
+	if c.SearchRadiusMeters <= 0 {
+		c.SearchRadiusMeters = 200
+	}
+	if c.GPSSigmaMeters <= 0 {
+		c.GPSSigmaMeters = 20
+	}
+	if c.TransitionBeta <= 0 {
+		c.TransitionBeta = 50
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 8
+	}
+	return c
+}
+
+// Matcher matches GPS fix sequences onto a Network.
+type Matcher struct {
+	net *Network
+	cfg MatcherConfig
+}
+
+// NewMatcher creates a map matcher over the given network.
+func NewMatcher(net *Network, cfg MatcherConfig) *Matcher {
+	return &Matcher{net: net, cfg: cfg.withDefaults()}
+}
+
+// Match returns, for each input fix, the matched segment projection. The
+// output has the same length as fixes. It returns ErrNoMatch if any fix has
+// no candidates within the search radius.
+func (m *Matcher) Match(fixes []Point) ([]Projection, error) {
+	if len(fixes) == 0 {
+		return nil, nil
+	}
+
+	// Candidate generation.
+	cands := make([][]Projection, len(fixes))
+	for i, p := range fixes {
+		c := m.net.Nearby(p, m.cfg.SearchRadiusMeters)
+		if len(c) == 0 {
+			return nil, ErrNoMatch
+		}
+		if len(c) > m.cfg.MaxCandidates {
+			c = c[:m.cfg.MaxCandidates]
+		}
+		cands[i] = c
+	}
+
+	// Viterbi in log space.
+	sigma := m.cfg.GPSSigmaMeters
+	beta := m.cfg.TransitionBeta
+	emit := func(pr Projection) float64 {
+		z := pr.DistanceMeters / sigma
+		return -0.5 * z * z
+	}
+	trans := func(prev, cur Projection, gcDist float64) float64 {
+		// Route distance approximation: same segment -> |along delta|,
+		// different segments -> straight-line between projections plus a
+		// switching penalty unless the segments are connected.
+		var routeDist float64
+		penalty := 0.0
+		if prev.SegmentID == cur.SegmentID {
+			routeDist = math.Abs(cur.AlongMeters - prev.AlongMeters)
+		} else {
+			routeDist = DistanceMeters(prev.Point, cur.Point)
+			if !m.connected(prev.SegmentID, cur.SegmentID) {
+				penalty = 2 // log-space penalty for jumping between roads
+			}
+		}
+		return -math.Abs(gcDist-routeDist)/beta - penalty
+	}
+
+	n := len(fixes)
+	score := make([][]float64, n)
+	back := make([][]int, n)
+	score[0] = make([]float64, len(cands[0]))
+	back[0] = make([]int, len(cands[0]))
+	for j, c := range cands[0] {
+		score[0][j] = emit(c)
+	}
+	for i := 1; i < n; i++ {
+		gc := DistanceMeters(fixes[i-1], fixes[i])
+		score[i] = make([]float64, len(cands[i]))
+		back[i] = make([]int, len(cands[i]))
+		for j, cur := range cands[i] {
+			best, bestK := math.Inf(-1), 0
+			for k, prev := range cands[i-1] {
+				s := score[i-1][k] + trans(prev, cur, gc)
+				if s > best {
+					best, bestK = s, k
+				}
+			}
+			score[i][j] = best + emit(cur)
+			back[i][j] = bestK
+		}
+	}
+
+	// Backtrack.
+	out := make([]Projection, n)
+	bestJ := 0
+	for j := range score[n-1] {
+		if score[n-1][j] > score[n-1][bestJ] {
+			bestJ = j
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		out[i] = cands[i][bestJ]
+		bestJ = back[i][bestJ]
+	}
+	return out, nil
+}
+
+func (m *Matcher) connected(a, b SegmentID) bool {
+	for _, id := range m.net.next[a] {
+		if id == b {
+			return true
+		}
+	}
+	for _, id := range m.net.next[b] {
+		if id == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildCorridor creates a motorway followed by a connected motorway link,
+// returning the network and both segments.
+func buildCorridor(t *testing.T) (*Network, *Segment, *Segment) {
+	t.Helper()
+	net := NewNetwork(0)
+	mw := line(t, 1, Motorway, ShenzhenCenter, 90, 3000, 12)
+	lk := line(t, 2, MotorwayLink, mw.End(), 90, 600, 3)
+	if err := net.AddSegment(mw); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddSegment(lk); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	return net, mw, lk
+}
+
+func noisyTrace(rng *rand.Rand, seg *Segment, n int, sigmaM float64) []Point {
+	fixes := make([]Point, n)
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		p := seg.PointAt(frac)
+		fixes[i] = Destination(p, rng.Float64()*360, rng.Float64()*sigmaM)
+	}
+	return fixes
+}
+
+func TestMatchSingleRoad(t *testing.T) {
+	net, mw, _ := buildCorridor(t)
+	rng := rand.New(rand.NewSource(1))
+	fixes := noisyTrace(rng, mw, 20, 15)
+
+	m := NewMatcher(net, MatcherConfig{})
+	got, err := m.Match(fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fixes) {
+		t.Fatalf("got %d projections, want %d", len(got), len(fixes))
+	}
+	for i, pr := range got {
+		if pr.SegmentID != mw.ID {
+			t.Errorf("fix %d matched to segment %d, want %d", i, pr.SegmentID, mw.ID)
+		}
+	}
+}
+
+func TestMatchHandoverCorridor(t *testing.T) {
+	net, mw, lk := buildCorridor(t)
+	rng := rand.New(rand.NewSource(2))
+	fixes := append(noisyTrace(rng, mw, 15, 10), noisyTrace(rng, lk, 5, 10)...)
+
+	m := NewMatcher(net, MatcherConfig{})
+	got, err := m.Match(fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first stretch must be on the motorway and the tail on the link.
+	for i := 0; i < 10; i++ {
+		if got[i].SegmentID != mw.ID {
+			t.Errorf("fix %d on segment %d, want motorway", i, got[i].SegmentID)
+		}
+	}
+	for i := len(fixes) - 3; i < len(fixes); i++ {
+		if got[i].SegmentID != lk.ID {
+			t.Errorf("fix %d on segment %d, want link", i, got[i].SegmentID)
+		}
+	}
+}
+
+func TestMatchNoCandidates(t *testing.T) {
+	net, _, _ := buildCorridor(t)
+	far := Destination(ShenzhenCenter, 180, 50_000)
+	m := NewMatcher(net, MatcherConfig{})
+	if _, err := m.Match([]Point{far}); err != ErrNoMatch {
+		t.Errorf("err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestMatchEmptyInput(t *testing.T) {
+	net, _, _ := buildCorridor(t)
+	m := NewMatcher(net, MatcherConfig{})
+	got, err := m.Match(nil)
+	if err != nil || got != nil {
+		t.Errorf("Match(nil) = %v, %v", got, err)
+	}
+}
+
+func TestMatchPrefersContinuity(t *testing.T) {
+	// Two parallel roads 60 m apart; a noisy trace down the first should
+	// not flip-flop even when individual fixes are closer to the second.
+	net := NewNetwork(0)
+	r1 := line(t, 1, Primary, ShenzhenCenter, 90, 2000, 8)
+	r2 := line(t, 2, Primary, Destination(ShenzhenCenter, 0, 60), 90, 2000, 8)
+	_ = net.AddSegment(r1)
+	_ = net.AddSegment(r2)
+
+	rng := rand.New(rand.NewSource(3))
+	fixes := make([]Point, 30)
+	for i := range fixes {
+		p := r1.PointAt(float64(i) / 29)
+		// Bias noise northward so some fixes are nearer r2.
+		fixes[i] = Destination(p, 0, rng.Float64()*40)
+	}
+	m := NewMatcher(net, MatcherConfig{GPSSigmaMeters: 30})
+	got, err := m.Match(fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := 0
+	for i := 1; i < len(got); i++ {
+		if got[i].SegmentID != got[i-1].SegmentID {
+			switches++
+		}
+	}
+	if switches > 2 {
+		t.Errorf("matched path switches roads %d times; HMM should smooth", switches)
+	}
+}

@@ -1,0 +1,173 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Network is a collection of road segments with a coarse spatial index.
+// It is the substrate the trace generator drives vehicles over and the map
+// matcher matches GPS fixes against.
+type Network struct {
+	segments map[SegmentID]*Segment
+	byType   map[RoadType][]*Segment
+	// adjacency: successor segments reachable from the end of a segment.
+	next map[SegmentID][]SegmentID
+	// grid index: cell -> segment IDs whose bounding box intersects it.
+	grid     map[gridCell][]SegmentID
+	cellSize float64 // degrees
+}
+
+type gridCell struct{ x, y int }
+
+// NewNetwork creates an empty network. cellSizeDeg controls the spatial
+// index resolution; 0 selects a default of 0.005 degrees (~500 m).
+func NewNetwork(cellSizeDeg float64) *Network {
+	if cellSizeDeg <= 0 {
+		cellSizeDeg = 0.005
+	}
+	return &Network{
+		segments: make(map[SegmentID]*Segment),
+		byType:   make(map[RoadType][]*Segment),
+		next:     make(map[SegmentID][]SegmentID),
+		grid:     make(map[gridCell][]SegmentID),
+		cellSize: cellSizeDeg,
+	}
+}
+
+// AddSegment inserts a segment. Duplicate IDs are rejected.
+func (n *Network) AddSegment(s *Segment) error {
+	if s == nil {
+		return fmt.Errorf("nil segment")
+	}
+	if _, ok := n.segments[s.ID]; ok {
+		return fmt.Errorf("duplicate segment id %d", s.ID)
+	}
+	n.segments[s.ID] = s
+	n.byType[s.Type] = append(n.byType[s.Type], s)
+	for _, c := range n.cellsFor(s) {
+		n.grid[c] = append(n.grid[c], s.ID)
+	}
+	return nil
+}
+
+// Connect declares that segment to is reachable from the end of segment
+// from, used by route generation and the map matcher's transition model.
+func (n *Network) Connect(from, to SegmentID) error {
+	if _, ok := n.segments[from]; !ok {
+		return fmt.Errorf("connect: unknown segment %d", from)
+	}
+	if _, ok := n.segments[to]; !ok {
+		return fmt.Errorf("connect: unknown segment %d", to)
+	}
+	n.next[from] = append(n.next[from], to)
+	return nil
+}
+
+// Segment returns the segment with the given ID, or nil.
+func (n *Network) Segment(id SegmentID) *Segment { return n.segments[id] }
+
+// Successors returns the IDs of segments reachable from the end of id.
+// The returned slice is a copy.
+func (n *Network) Successors(id SegmentID) []SegmentID {
+	src := n.next[id]
+	out := make([]SegmentID, len(src))
+	copy(out, src)
+	return out
+}
+
+// SegmentCount returns the number of segments in the network.
+func (n *Network) SegmentCount() int { return len(n.segments) }
+
+// SegmentsOfType returns all segments of the given type. The returned slice
+// is a copy sorted by ID for determinism.
+func (n *Network) SegmentsOfType(t RoadType) []*Segment {
+	src := n.byType[t]
+	out := make([]*Segment, len(src))
+	copy(out, src)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllSegments returns every segment, sorted by ID.
+func (n *Network) AllSegments() []*Segment {
+	out := make([]*Segment, 0, len(n.segments))
+	for _, s := range n.segments {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TotalLengthMeters returns the summed length of all segments of type t.
+func (n *Network) TotalLengthMeters(t RoadType) float64 {
+	var total float64
+	for _, s := range n.byType[t] {
+		total += s.LengthMeters()
+	}
+	return total
+}
+
+func (n *Network) cellOf(p Point) gridCell {
+	return gridCell{
+		x: int(math.Floor(p.Lon / n.cellSize)),
+		y: int(math.Floor(p.Lat / n.cellSize)),
+	}
+}
+
+func (n *Network) cellsFor(s *Segment) []gridCell {
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	minLon, maxLon := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Polyline {
+		minLat = math.Min(minLat, p.Lat)
+		maxLat = math.Max(maxLat, p.Lat)
+		minLon = math.Min(minLon, p.Lon)
+		maxLon = math.Max(maxLon, p.Lon)
+	}
+	lo := n.cellOf(Point{Lat: minLat, Lon: minLon})
+	hi := n.cellOf(Point{Lat: maxLat, Lon: maxLon})
+	cells := make([]gridCell, 0, (hi.x-lo.x+1)*(hi.y-lo.y+1))
+	for x := lo.x; x <= hi.x; x++ {
+		for y := lo.y; y <= hi.y; y++ {
+			cells = append(cells, gridCell{x: x, y: y})
+		}
+	}
+	return cells
+}
+
+// Nearby returns the segments whose indexed cells fall within radiusMeters
+// of p, sorted by projected distance (closest first). It is the candidate
+// generator for map matching.
+func (n *Network) Nearby(p Point, radiusMeters float64) []Projection {
+	if len(n.segments) == 0 {
+		return nil
+	}
+	// Convert the radius to a cell span.
+	metersPerDegLat := 111_320.0
+	span := int(math.Ceil(radiusMeters/metersPerDegLat/n.cellSize)) + 1
+	center := n.cellOf(p)
+	seen := make(map[SegmentID]bool)
+	var out []Projection
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for _, id := range n.grid[gridCell{x: center.x + dx, y: center.y + dy}] {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				proj := n.segments[id].Project(p)
+				if proj.DistanceMeters <= radiusMeters {
+					out = append(out, proj)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistanceMeters != out[j].DistanceMeters {
+			return out[i].DistanceMeters < out[j].DistanceMeters
+		}
+		return out[i].SegmentID < out[j].SegmentID
+	})
+	return out
+}

@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNetworkAddAndLookup(t *testing.T) {
+	net := NewNetwork(0)
+	s1 := line(t, 1, Motorway, ShenzhenCenter, 90, 1000, 4)
+	s2 := line(t, 2, MotorwayLink, s1.End(), 0, 300, 2)
+	if err := net.AddSegment(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddSegment(s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddSegment(s1); err == nil {
+		t.Error("want duplicate-id error")
+	}
+	if net.SegmentCount() != 2 {
+		t.Errorf("SegmentCount = %d", net.SegmentCount())
+	}
+	if net.Segment(1) != s1 || net.Segment(99) != nil {
+		t.Error("Segment lookup broken")
+	}
+	if got := net.SegmentsOfType(Motorway); len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("SegmentsOfType(Motorway) = %v", got)
+	}
+	if got := net.TotalLengthMeters(Motorway); math.Abs(got-1000) > 5 {
+		t.Errorf("TotalLengthMeters = %.1f", got)
+	}
+}
+
+func TestNetworkConnect(t *testing.T) {
+	net := NewNetwork(0)
+	s1 := line(t, 1, Motorway, ShenzhenCenter, 90, 1000, 2)
+	s2 := line(t, 2, MotorwayLink, s1.End(), 0, 300, 2)
+	_ = net.AddSegment(s1)
+	_ = net.AddSegment(s2)
+	if err := net.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(1, 99); err == nil {
+		t.Error("want error for unknown target")
+	}
+	if err := net.Connect(99, 1); err == nil {
+		t.Error("want error for unknown source")
+	}
+	succ := net.Successors(1)
+	if len(succ) != 1 || succ[0] != 2 {
+		t.Errorf("Successors = %v", succ)
+	}
+	// Mutating the returned slice must not affect the network.
+	succ[0] = 42
+	if got := net.Successors(1); got[0] != 2 {
+		t.Error("Successors must return a copy")
+	}
+}
+
+func TestNetworkNearby(t *testing.T) {
+	net := NewNetwork(0)
+	s1 := line(t, 1, Motorway, ShenzhenCenter, 90, 1000, 4)
+	far := Destination(ShenzhenCenter, 0, 5000)
+	s2 := line(t, 2, Primary, far, 90, 1000, 4)
+	_ = net.AddSegment(s1)
+	_ = net.AddSegment(s2)
+
+	near := Destination(s1.PointAt(0.5), 0, 30)
+	got := net.Nearby(near, 100)
+	if len(got) != 1 || got[0].SegmentID != 1 {
+		t.Fatalf("Nearby = %+v, want only segment 1", got)
+	}
+	if math.Abs(got[0].DistanceMeters-30) > 3 {
+		t.Errorf("distance = %.1f, want ~30", got[0].DistanceMeters)
+	}
+
+	if got := net.Nearby(near, 10_000); len(got) != 2 {
+		t.Errorf("wide search found %d segments, want 2", len(got))
+	}
+	if got := net.Nearby(Destination(ShenzhenCenter, 180, 20_000), 100); len(got) != 0 {
+		t.Errorf("remote search found %d segments, want 0", len(got))
+	}
+}
+
+func TestNearbySortedByDistance(t *testing.T) {
+	net := NewNetwork(0)
+	base := ShenzhenCenter
+	for i := 1; i <= 5; i++ {
+		start := Destination(base, 0, float64(i)*100)
+		_ = net.AddSegment(line(t, SegmentID(i), Primary, start, 90, 500, 2))
+	}
+	got := net.Nearby(base, 2000)
+	for i := 1; i < len(got); i++ {
+		if got[i].DistanceMeters < got[i-1].DistanceMeters {
+			t.Fatalf("Nearby not sorted: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Errorf("found %d segments, want 5", len(got))
+	}
+}

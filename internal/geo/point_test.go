@@ -1,0 +1,135 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceMetersKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64
+	}{
+		{
+			name: "same point",
+			a:    Point{Lat: 22.5431, Lon: 114.0579},
+			b:    Point{Lat: 22.5431, Lon: 114.0579},
+			want: 0, tol: 0.001,
+		},
+		{
+			name: "shenzhen to hong kong",
+			a:    Point{Lat: 22.5431, Lon: 114.0579},
+			b:    Point{Lat: 22.3193, Lon: 114.1694},
+			want: 27_400, tol: 500,
+		},
+		{
+			name: "one degree of latitude at equator",
+			a:    Point{Lat: 0, Lon: 0},
+			b:    Point{Lat: 1, Lon: 0},
+			want: 111_195, tol: 200,
+		},
+		{
+			name: "antipodal-ish long haul",
+			a:    Point{Lat: 0, Lon: 0},
+			b:    Point{Lat: 0, Lon: 180},
+			want: math.Pi * EarthRadiusMeters, tol: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DistanceMeters(tt.a, tt.b)
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("DistanceMeters(%v,%v) = %.1f, want %.1f +- %.1f", tt.a, tt.b, got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func clampPoint(lat, lon float64) Point {
+	// Map arbitrary floats into valid coordinate space near Shenzhen so
+	// property tests stay in the regime the code is used in.
+	return Point{
+		Lat: 22 + math.Mod(math.Abs(lat), 1.0),
+		Lon: 113 + math.Mod(math.Abs(lon), 1.0),
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := clampPoint(lat1, lon1)
+		b := clampPoint(lat2, lon2)
+		d1 := DistanceMeters(a, b)
+		d2 := DistanceMeters(b, a)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceIdentityProperty(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		p := clampPoint(lat, lon)
+		return DistanceMeters(p, p) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := clampPoint(lat1, lon1)
+		b := clampPoint(lat2, lon2)
+		c := clampPoint(lat3, lon3)
+		return DistanceMeters(a, c) <= DistanceMeters(a, b)+DistanceMeters(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	start := ShenzhenCenter
+	for _, bearing := range []float64{0, 45, 90, 180, 270, 359} {
+		for _, dist := range []float64{10, 500, 5000} {
+			dst := Destination(start, bearing, dist)
+			got := DistanceMeters(start, dst)
+			if math.Abs(got-dist) > dist*0.001+0.01 {
+				t.Errorf("Destination bearing=%v dist=%v: measured %.3f m", bearing, dist, got)
+			}
+			back := BearingDeg(start, dst)
+			diff := math.Abs(math.Mod(back-bearing+540, 360) - 180)
+			if diff > 1 { // bearings should agree within 1 degree
+				t.Errorf("BearingDeg = %.2f, want ~%.2f", back, bearing)
+			}
+		}
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	valid := []Point{{0, 0}, {90, 180}, {-90, -180}, ShenzhenCenter}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	invalid := []Point{{91, 0}, {0, 181}, {-91, 0}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Point{Lat: 22.5, Lon: 114.0}
+	b := Point{Lat: 22.6, Lon: 114.2}
+	m := Midpoint(a, b)
+	if math.Abs(m.Lat-22.55) > 1e-9 || math.Abs(m.Lon-114.1) > 1e-9 {
+		t.Errorf("Midpoint = %v", m)
+	}
+}

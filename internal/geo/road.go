@@ -1,0 +1,238 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// RoadType classifies a road segment following the OpenStreetMap highway
+// taxonomy used by the paper (Table V).
+type RoadType int
+
+// Road types, ordered as in Table V of the paper.
+const (
+	Motorway RoadType = iota + 1
+	MotorwayLink
+	Trunk
+	TrunkLink
+	Primary
+	PrimaryLink
+	Secondary
+	SecondaryLink
+	Tertiary
+	Residential
+)
+
+// AllRoadTypes lists every road type in Table V order.
+func AllRoadTypes() []RoadType {
+	return []RoadType{
+		Motorway, MotorwayLink, Trunk, TrunkLink, Primary,
+		PrimaryLink, Secondary, SecondaryLink, Tertiary, Residential,
+	}
+}
+
+var roadTypeNames = map[RoadType]string{
+	Motorway:      "motorway",
+	MotorwayLink:  "motorway_link",
+	Trunk:         "trunk",
+	TrunkLink:     "trunk_link",
+	Primary:       "primary",
+	PrimaryLink:   "primary_link",
+	Secondary:     "secondary",
+	SecondaryLink: "secondary_link",
+	Tertiary:      "tertiary",
+	Residential:   "residential",
+}
+
+// String implements fmt.Stringer.
+func (t RoadType) String() string {
+	if s, ok := roadTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("roadtype(%d)", int(t))
+}
+
+// ParseRoadType parses the OSM-style name of a road type.
+func ParseRoadType(s string) (RoadType, error) {
+	for t, name := range roadTypeNames {
+		if name == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown road type %q", s)
+}
+
+// Valid reports whether t is a known road type.
+func (t RoadType) Valid() bool {
+	_, ok := roadTypeNames[t]
+	return ok
+}
+
+// SpeedLimitKmh returns a representative speed limit for the road type,
+// used by the synthetic trace generator as the center of the normal-driving
+// speed distribution during free flow.
+func (t RoadType) SpeedLimitKmh() float64 {
+	switch t {
+	case Motorway:
+		return 100
+	case MotorwayLink:
+		return 40
+	case Trunk:
+		return 80
+	case TrunkLink:
+		return 40
+	case Primary:
+		return 60
+	case PrimaryLink:
+		return 35
+	case Secondary:
+		return 50
+	case SecondaryLink:
+		return 30
+	case Tertiary:
+		return 40
+	case Residential:
+		return 30
+	default:
+		return 50
+	}
+}
+
+// Lanes returns a representative per-direction lane count for the type.
+func (t RoadType) Lanes() int {
+	switch t {
+	case Motorway:
+		return 4
+	case Trunk:
+		return 3
+	case Primary:
+		return 3
+	case Secondary:
+		return 2
+	case Tertiary:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// SegmentID identifies a road segment within a Network. It corresponds to
+// the RdID column of the paper's Table II schema.
+type SegmentID int64
+
+// Segment is a directed road segment: a polyline of geographic points with
+// a road type. Segments are the unit of context in CAD3 — each RSU covers
+// one or more segments and learns that road's normal speed profile.
+type Segment struct {
+	ID       SegmentID
+	Type     RoadType
+	Name     string
+	Polyline []Point // at least two points
+	length   float64 // cached, meters
+}
+
+// NewSegment builds a segment and caches its length. It returns an error if
+// the polyline has fewer than two points or contains invalid coordinates.
+func NewSegment(id SegmentID, t RoadType, name string, polyline []Point) (*Segment, error) {
+	if len(polyline) < 2 {
+		return nil, fmt.Errorf("segment %d: polyline needs >= 2 points, got %d", id, len(polyline))
+	}
+	for i, p := range polyline {
+		if !p.Valid() {
+			return nil, fmt.Errorf("segment %d: invalid point %d: %v", id, i, p)
+		}
+	}
+	pts := make([]Point, len(polyline))
+	copy(pts, polyline)
+	s := &Segment{ID: id, Type: t, Name: name, Polyline: pts}
+	s.length = polylineLength(pts)
+	return s, nil
+}
+
+func polylineLength(pts []Point) float64 {
+	var total float64
+	for i := 1; i < len(pts); i++ {
+		total += DistanceMeters(pts[i-1], pts[i])
+	}
+	return total
+}
+
+// LengthMeters returns the polyline length of the segment in meters.
+func (s *Segment) LengthMeters() float64 { return s.length }
+
+// Start returns the first polyline point.
+func (s *Segment) Start() Point { return s.Polyline[0] }
+
+// End returns the last polyline point.
+func (s *Segment) End() Point { return s.Polyline[len(s.Polyline)-1] }
+
+// PointAt returns the point at the given fraction (0..1) of the segment's
+// length, interpolated along the polyline. Fractions outside [0,1] are
+// clamped.
+func (s *Segment) PointAt(frac float64) Point {
+	if frac <= 0 {
+		return s.Start()
+	}
+	if frac >= 1 {
+		return s.End()
+	}
+	target := frac * s.length
+	var walked float64
+	for i := 1; i < len(s.Polyline); i++ {
+		a, b := s.Polyline[i-1], s.Polyline[i]
+		leg := DistanceMeters(a, b)
+		if walked+leg >= target && leg > 0 {
+			f := (target - walked) / leg
+			return Point{
+				Lat: a.Lat + (b.Lat-a.Lat)*f,
+				Lon: a.Lon + (b.Lon-a.Lon)*f,
+			}
+		}
+		walked += leg
+	}
+	return s.End()
+}
+
+// Projection is the result of projecting a GPS point onto a segment.
+type Projection struct {
+	SegmentID      SegmentID
+	Point          Point   // closest point on the polyline
+	DistanceMeters float64 // perpendicular distance from the GPS point
+	AlongMeters    float64 // distance from segment start to the projection
+}
+
+// Project returns the closest point on the segment's polyline to p, the
+// perpendicular distance, and the along-track offset. It approximates each
+// leg as planar, which is accurate for the sub-kilometer legs used here.
+func (s *Segment) Project(p Point) Projection {
+	best := Projection{SegmentID: s.ID, DistanceMeters: math.Inf(1)}
+	var walked float64
+	cosLat := math.Cos(p.Lat * math.Pi / 180)
+	for i := 1; i < len(s.Polyline); i++ {
+		a, b := s.Polyline[i-1], s.Polyline[i]
+		leg := DistanceMeters(a, b)
+		// Planar approximation in a local tangent frame (meters).
+		ax := (a.Lon - p.Lon) * cosLat
+		ay := a.Lat - p.Lat
+		bx := (b.Lon - p.Lon) * cosLat
+		by := b.Lat - p.Lat
+		dx, dy := bx-ax, by-ay
+		t := 0.0
+		if l2 := dx*dx + dy*dy; l2 > 0 {
+			t = -(ax*dx + ay*dy) / l2
+			t = math.Max(0, math.Min(1, t))
+		}
+		proj := Point{
+			Lat: a.Lat + (b.Lat-a.Lat)*t,
+			Lon: a.Lon + (b.Lon-a.Lon)*t,
+		}
+		d := DistanceMeters(p, proj)
+		if d < best.DistanceMeters {
+			best.Point = proj
+			best.DistanceMeters = d
+			best.AlongMeters = walked + t*leg
+		}
+		walked += leg
+	}
+	return best
+}

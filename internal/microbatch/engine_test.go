@@ -1,0 +1,301 @@
+package microbatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cad3/internal/stream"
+)
+
+func pipelineFixture(t *testing.T) (*stream.Broker, *stream.Producer, *stream.Consumer) {
+	t.Helper()
+	b := stream.NewBroker(stream.BrokerConfig{})
+	if err := b.CreateTopic(stream.TopicInData, stream.DefaultPartitions); err != nil {
+		t.Fatal(err)
+	}
+	client := stream.NewInProcClient(b)
+	p, err := stream.NewProducer(client, stream.TopicInData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := stream.NewConsumer(client, stream.TopicInData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, p, c
+}
+
+func intDecode(m stream.Message) (int, error) {
+	return strconv.Atoi(string(m.Value))
+}
+
+func TestEngineStepProcessesAll(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+	var mu sync.Mutex
+	var got []int
+	eng, err := NewEngine(Config[int]{
+		Source: c,
+		Decode: intDecode,
+		Process: func(items []int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, items...)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 100; i++ {
+		if _, _, err := p.Send(nil, []byte(strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records != 100 {
+		t.Errorf("batch records = %d, want 100", bs.Records)
+	}
+	sum := 0
+	for _, x := range got {
+		sum += x
+	}
+	if sum != 4950 {
+		t.Errorf("processed sum = %d, want 4950", sum)
+	}
+	st := eng.Stats()
+	if st.Batches != 1 || st.Records != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineDecodeErrorsCounted(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+	var observed atomic.Int64
+	eng, err := NewEngine(Config[int]{
+		Source:  c,
+		Decode:  intDecode,
+		Process: func([]int) error { return nil },
+		OnError: func(error) { observed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _ = p.Send(nil, []byte("42"))
+	_, _, _ = p.Send(nil, []byte("not-a-number"))
+	_, _, _ = p.Send(nil, []byte("7"))
+
+	bs, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records != 2 || bs.DecodeErrors != 1 {
+		t.Errorf("batch = %+v", bs)
+	}
+	if observed.Load() != 1 {
+		t.Errorf("OnError calls = %d, want 1", observed.Load())
+	}
+}
+
+func TestEngineProcessErrorKeepsRunning(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+	eng, err := NewEngine(Config[int]{
+		Source:  c,
+		Decode:  intDecode,
+		Process: func([]int) error { return errors.New("boom") },
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_, _, _ = p.Send(nil, []byte("1"))
+	}
+	if _, err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.ProcessErrors == 0 {
+		t.Error("process errors not counted")
+	}
+	// Engine still works on the next batch.
+	_, _, _ = p.Send(nil, []byte("1"))
+	if _, err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineParallelWorkersAllItemsOnce(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+	var count atomic.Int64
+	eng, err := NewEngine(Config[int]{
+		Source: c,
+		Decode: intDecode,
+		Process: func(items []int) error {
+			count.Add(int64(len(items)))
+			return nil
+		},
+		Workers: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1001 // deliberately not divisible by 6
+	for i := 0; i < n; i++ {
+		_, _, _ = p.Send(nil, []byte("5"))
+	}
+	if _, err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != n {
+		t.Errorf("processed %d items, want %d", count.Load(), n)
+	}
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	_, _, c := pipelineFixture(t)
+	called := false
+	eng, err := NewEngine(Config[int]{
+		Source:  c,
+		Decode:  intDecode,
+		Process: func([]int) error { called = true; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records != 0 || called {
+		t.Errorf("empty batch: records=%d called=%v", bs.Records, called)
+	}
+	if eng.Stats().Batches != 1 {
+		t.Error("empty batch should still count")
+	}
+}
+
+func TestEngineRunWallClock(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+	var count atomic.Int64
+	eng, err := NewEngine(Config[int]{
+		Source:   c,
+		Decode:   intDecode,
+		Interval: 5 * time.Millisecond,
+		Process: func(items []int) error {
+			count.Add(int64(len(items)))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(ctx) }()
+
+	for i := 0; i < 50; i++ {
+		_, _, _ = p.Send(nil, []byte("1"))
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("Run returned %v, want context.Canceled", err)
+	}
+	if count.Load() != 50 {
+		t.Errorf("wall-clock engine processed %d, want 50", count.Load())
+	}
+	if eng.Stats().AvgProcessingTime() < 0 {
+		t.Error("negative processing time")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	_, _, c := pipelineFixture(t)
+	if _, err := NewEngine(Config[int]{Decode: intDecode, Process: func([]int) error { return nil }}); err == nil {
+		t.Error("want error for nil source")
+	}
+	if _, err := NewEngine(Config[int]{Source: c, Process: func([]int) error { return nil }}); err == nil {
+		t.Error("want error for nil decode")
+	}
+	if _, err := NewEngine(Config[int]{Source: c, Decode: intDecode}); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("err = %v, want ErrNoHandler", err)
+	}
+	eng, err := NewEngine(Config[int]{Source: c, Decode: intDecode, Process: func([]int) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Interval() != DefaultInterval {
+		t.Errorf("Interval = %v, want %v", eng.Interval(), DefaultInterval)
+	}
+}
+
+func TestEnginePollErrorSurfaces(t *testing.T) {
+	b, p, c := pipelineFixture(t)
+	_, _ = p.SendToPartition(0, nil, []byte("1"))
+	b.SetPartitionDown(stream.TopicInData, 1, true)
+	var sawPollErr atomic.Bool
+	eng, err := NewEngine(Config[int]{
+		Source:  c,
+		Decode:  intDecode,
+		Process: func([]int) error { return nil },
+		OnError: func(err error) {
+			if errors.Is(err, stream.ErrPartitionDown) {
+				sawPollErr.Store(true)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, stepErr := eng.Step()
+	if stepErr == nil {
+		t.Error("Step should report the poll error")
+	}
+	if bs.Records != 1 {
+		t.Errorf("healthy partitions yielded %d records, want 1", bs.Records)
+	}
+	if !sawPollErr.Load() {
+		t.Error("OnError did not observe the poll failure")
+	}
+}
+
+func TestEngineStatsAggregation(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+	eng, err := NewEngine(Config[int]{
+		Source:  c,
+		Decode:  intDecode,
+		Process: func([]int) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 5; batch++ {
+		for i := 0; i < 10; i++ {
+			_, _, _ = p.Send(nil, []byte(fmt.Sprint(i)))
+		}
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Batches != 5 || st.Records != 50 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxProcessingTime < st.AvgProcessingTime() {
+		t.Error("max processing time below average")
+	}
+}

@@ -1,0 +1,82 @@
+package microbatch
+
+import "sort"
+
+// Dataset is the in-memory analogue of a Spark RDD scoped to one
+// micro-batch: an immutable slice with functional transforms. Transforms
+// return new Datasets; the input is never mutated.
+type Dataset[T any] struct {
+	items []T
+}
+
+// NewDataset copies items into a dataset.
+func NewDataset[T any](items []T) Dataset[T] {
+	cp := make([]T, len(items))
+	copy(cp, items)
+	return Dataset[T]{items: cp}
+}
+
+// Items returns a copy of the dataset contents.
+func (d Dataset[T]) Items() []T {
+	out := make([]T, len(d.items))
+	copy(out, d.items)
+	return out
+}
+
+// Len returns the element count.
+func (d Dataset[T]) Len() int { return len(d.items) }
+
+// Filter keeps elements for which keep returns true.
+func (d Dataset[T]) Filter(keep func(T) bool) Dataset[T] {
+	out := make([]T, 0, len(d.items))
+	for _, x := range d.items {
+		if keep(x) {
+			out = append(out, x)
+		}
+	}
+	return Dataset[T]{items: out}
+}
+
+// ForEach applies fn to every element in order.
+func (d Dataset[T]) ForEach(fn func(T)) {
+	for _, x := range d.items {
+		fn(x)
+	}
+}
+
+// Map transforms a dataset element-wise. (A method cannot introduce a new
+// type parameter in Go, hence the free function.)
+func Map[T, U any](d Dataset[T], fn func(T) U) Dataset[U] {
+	out := make([]U, 0, len(d.items))
+	for _, x := range d.items {
+		out = append(out, fn(x))
+	}
+	return Dataset[U]{items: out}
+}
+
+// Reduce folds the dataset left-to-right from the initial accumulator.
+func Reduce[T, A any](d Dataset[T], init A, fn func(A, T) A) A {
+	acc := init
+	for _, x := range d.items {
+		acc = fn(acc, x)
+	}
+	return acc
+}
+
+// GroupBy partitions the dataset by a comparable key.
+func GroupBy[T any, K comparable](d Dataset[T], key func(T) K) map[K][]T {
+	out := make(map[K][]T)
+	for _, x := range d.items {
+		k := key(x)
+		out[k] = append(out[k], x)
+	}
+	return out
+}
+
+// SortBy returns a new dataset ordered by less (stable).
+func (d Dataset[T]) SortBy(less func(a, b T) bool) Dataset[T] {
+	out := make([]T, len(d.items))
+	copy(out, d.items)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return Dataset[T]{items: out}
+}

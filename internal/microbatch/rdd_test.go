@@ -1,0 +1,118 @@
+package microbatch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDatasetImmutability(t *testing.T) {
+	src := []int{1, 2, 3}
+	d := NewDataset(src)
+	src[0] = 99
+	if d.Items()[0] != 1 {
+		t.Error("NewDataset must copy its input")
+	}
+	items := d.Items()
+	items[1] = 99
+	if d.Items()[1] != 2 {
+		t.Error("Items must return a copy")
+	}
+}
+
+func TestDatasetFilterMapReduce(t *testing.T) {
+	d := NewDataset([]int{1, 2, 3, 4, 5, 6})
+	even := d.Filter(func(x int) bool { return x%2 == 0 })
+	if even.Len() != 3 {
+		t.Errorf("Filter kept %d, want 3", even.Len())
+	}
+	doubled := Map(even, func(x int) int { return x * 2 })
+	sum := Reduce(doubled, 0, func(a, x int) int { return a + x })
+	if sum != 24 {
+		t.Errorf("sum = %d, want 24", sum)
+	}
+	// Original untouched.
+	if d.Len() != 6 {
+		t.Error("Filter mutated the source dataset")
+	}
+}
+
+func TestMapChangesType(t *testing.T) {
+	d := NewDataset([]int{1, 22, 333})
+	lens := Map(d, func(x int) string {
+		s := ""
+		for ; x > 0; x /= 10 {
+			s += "x"
+		}
+		return s
+	})
+	if got := lens.Items(); got[2] != "xxx" {
+		t.Errorf("Map to string = %v", got)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	d := NewDataset([]int{1, 2, 3, 4, 5})
+	groups := GroupBy(d, func(x int) bool { return x%2 == 0 })
+	if len(groups[true]) != 2 || len(groups[false]) != 3 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	d := NewDataset([]int{3, 1, 2})
+	s := d.SortBy(func(a, b int) bool { return a < b })
+	got := s.Items()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("sorted = %v", got)
+	}
+	if d.Items()[0] != 3 {
+		t.Error("SortBy mutated source")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	d := NewDataset([]int{5, 6, 7})
+	var got []int
+	d.ForEach(func(x int) { got = append(got, x) })
+	if len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Errorf("ForEach order = %v", got)
+	}
+}
+
+func TestFilterMapCompositionProperty(t *testing.T) {
+	// Filter-then-map equals map-then-filter when the predicate commutes
+	// with the mapping (here: doubling preserves parity of x vs 2x>0).
+	f := func(raw []int16) bool {
+		xs := make([]int, len(raw)) // int16 inputs avoid doubling overflow
+		for i, x := range raw {
+			xs[i] = int(x)
+		}
+		d := NewDataset(xs)
+		a := Map(d.Filter(func(x int) bool { return x > 0 }), func(x int) int { return x * 2 })
+		b := Map(d, func(x int) int { return x * 2 }).Filter(func(x int) bool { return x > 0 })
+		ai, bi := a.Items(), b.Items()
+		if len(ai) != len(bi) {
+			return false
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceCountProperty(t *testing.T) {
+	f := func(xs []int8) bool {
+		d := NewDataset(xs)
+		count := Reduce(d, 0, func(a int, _ int8) int { return a + 1 })
+		return count == d.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package microbatch
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// SlidingWindow is a keyed, time-bucketed aggregation over a stream — the
+// micro-batch analogue of Spark Streaming's window operations. The RSU
+// pipeline uses it for rolling per-road statistics; it is generic enough
+// for any keyed count/mean/variance over the last W of stream time.
+type SlidingWindow[K comparable] struct {
+	mu      sync.Mutex
+	bucketD time.Duration
+	buckets int
+	now     func() time.Time
+	byKey   map[K][]windowBucket
+}
+
+type windowBucket struct {
+	tick  int64
+	n     int64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// NewSlidingWindow creates a window of `buckets` intervals of `bucketD`
+// each (total span = buckets * bucketD). bucketD <= 0 selects 1 s;
+// buckets <= 0 selects 60; now nil selects time.Now.
+func NewSlidingWindow[K comparable](bucketD time.Duration, buckets int, now func() time.Time) *SlidingWindow[K] {
+	if bucketD <= 0 {
+		bucketD = time.Second
+	}
+	if buckets <= 0 {
+		buckets = 60
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &SlidingWindow[K]{
+		bucketD: bucketD,
+		buckets: buckets,
+		now:     now,
+		byKey:   make(map[K][]windowBucket),
+	}
+}
+
+// Observe folds one value for a key into the current bucket.
+func (w *SlidingWindow[K]) Observe(key K, value float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tick := w.now().UnixNano() / int64(w.bucketD)
+	ring, ok := w.byKey[key]
+	if !ok {
+		ring = make([]windowBucket, w.buckets)
+		w.byKey[key] = ring
+	}
+	b := &ring[tick%int64(w.buckets)]
+	if b.tick != tick {
+		*b = windowBucket{tick: tick, min: math.Inf(1), max: math.Inf(-1)}
+	}
+	b.n++
+	b.sum += value
+	b.sumSq += value * value
+	if value < b.min {
+		b.min = value
+	}
+	if value > b.max {
+		b.max = value
+	}
+}
+
+// WindowStats summarises a key's window.
+type WindowStats struct {
+	Count int64
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+}
+
+// Stats returns the windowed aggregate for a key; ok=false when the
+// window holds no samples.
+func (w *SlidingWindow[K]) Stats(key K) (WindowStats, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ring, found := w.byKey[key]
+	if !found {
+		return WindowStats{}, false
+	}
+	tick := w.now().UnixNano() / int64(w.bucketD)
+	oldest := tick - int64(w.buckets) + 1
+	var st WindowStats
+	st.Min, st.Max = math.Inf(1), math.Inf(-1)
+	var sum, sumSq float64
+	for i := range ring {
+		b := ring[i]
+		if b.tick < oldest || b.tick > tick || b.n == 0 {
+			continue
+		}
+		st.Count += b.n
+		sum += b.sum
+		sumSq += b.sumSq
+		if b.min < st.Min {
+			st.Min = b.min
+		}
+		if b.max > st.Max {
+			st.Max = b.max
+		}
+	}
+	if st.Count == 0 {
+		return WindowStats{}, false
+	}
+	st.Mean = sum / float64(st.Count)
+	variance := sumSq/float64(st.Count) - st.Mean*st.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	st.Std = math.Sqrt(variance)
+	return st, true
+}
+
+// Keys returns the keys with at least one sample inside the window.
+func (w *SlidingWindow[K]) Keys() []K {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tick := w.now().UnixNano() / int64(w.bucketD)
+	oldest := tick - int64(w.buckets) + 1
+	var out []K
+	for k, ring := range w.byKey {
+		for i := range ring {
+			if b := ring[i]; b.tick >= oldest && b.tick <= tick && b.n > 0 {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Span returns the window's total time span.
+func (w *SlidingWindow[K]) Span() time.Duration {
+	return time.Duration(w.buckets) * w.bucketD
+}

@@ -1,0 +1,87 @@
+package microbatch
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSlidingWindowStats(t *testing.T) {
+	now := time.Date(2016, 7, 4, 9, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	w := NewSlidingWindow[string](time.Second, 10, clock)
+
+	if _, ok := w.Stats("road-1"); ok {
+		t.Error("empty window should report ok=false")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe("road-1", v)
+	}
+	st, ok := w.Stats("road-1")
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if st.Count != 8 || math.Abs(st.Mean-5) > 1e-12 || math.Abs(st.Std-2) > 1e-12 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Min != 2 || st.Max != 9 {
+		t.Errorf("min/max = %v/%v", st.Min, st.Max)
+	}
+	if w.Span() != 10*time.Second {
+		t.Errorf("Span = %v", w.Span())
+	}
+}
+
+func TestSlidingWindowKeysIsolated(t *testing.T) {
+	now := time.Date(2016, 7, 4, 9, 0, 0, 0, time.UTC)
+	w := NewSlidingWindow[int](time.Second, 5, func() time.Time { return now })
+	w.Observe(1, 10)
+	w.Observe(2, 99)
+	s1, _ := w.Stats(1)
+	s2, _ := w.Stats(2)
+	if s1.Mean != 10 || s2.Mean != 99 {
+		t.Errorf("keys leak: %+v %+v", s1, s2)
+	}
+	if keys := w.Keys(); len(keys) != 2 {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestSlidingWindowEviction(t *testing.T) {
+	now := time.Date(2016, 7, 4, 9, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	w := NewSlidingWindow[string](time.Second, 3, clock)
+
+	w.Observe("k", 100)
+	now = now.Add(time.Second)
+	w.Observe("k", 50)
+	st, _ := w.Stats("k")
+	if st.Count != 2 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	// Move past the window: the old samples vanish.
+	now = now.Add(5 * time.Second)
+	if _, ok := w.Stats("k"); ok {
+		t.Error("window should be empty after span passes")
+	}
+	if keys := w.Keys(); len(keys) != 0 {
+		t.Errorf("Keys after eviction = %v", keys)
+	}
+	// New samples repopulate cleanly despite stale ring entries.
+	w.Observe("k", 7)
+	st, ok := w.Stats("k")
+	if !ok || st.Count != 1 || st.Mean != 7 {
+		t.Errorf("post-eviction stats = %+v ok=%v", st, ok)
+	}
+}
+
+func TestSlidingWindowDefaults(t *testing.T) {
+	w := NewSlidingWindow[string](0, 0, nil)
+	if w.Span() != time.Minute {
+		t.Errorf("default span = %v, want 1m", w.Span())
+	}
+	w.Observe("x", 1)
+	if st, ok := w.Stats("x"); !ok || st.Count != 1 {
+		t.Errorf("stats = %+v, %v", st, ok)
+	}
+}

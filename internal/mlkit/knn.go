@@ -1,0 +1,139 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbors binary classifier with standardized
+// Euclidean distance — another candidate for the paper's future-work
+// "complex anomaly detection algorithms", at the opposite end of the
+// memory/latency trade-off from Naive Bayes (it stores the training set
+// and pays O(n) per prediction).
+type KNN struct {
+	k         int
+	features  [][]float64 // standardized
+	labels    []int
+	mean, std []float64
+	trained   bool
+}
+
+var _ Classifier = (*KNN)(nil)
+
+// NewKNN creates an untrained classifier. k <= 0 selects 5; k is rounded
+// up to odd so votes cannot tie.
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	if k%2 == 0 {
+		k++
+	}
+	return &KNN{k: k}
+}
+
+// Fit stores the standardized training set.
+func (kn *KNN) Fit(samples []Sample) error {
+	width, err := validateSamples(samples)
+	if err != nil {
+		return err
+	}
+	kn.mean = make([]float64, width)
+	kn.std = make([]float64, width)
+	n := float64(len(samples))
+	for _, s := range samples {
+		for f, x := range s.Features {
+			kn.mean[f] += x
+		}
+	}
+	for f := range kn.mean {
+		kn.mean[f] /= n
+	}
+	for _, s := range samples {
+		for f, x := range s.Features {
+			d := x - kn.mean[f]
+			kn.std[f] += d * d
+		}
+	}
+	for f := range kn.std {
+		kn.std[f] = math.Sqrt(kn.std[f] / n)
+		if kn.std[f] < 1e-9 {
+			kn.std[f] = 1
+		}
+	}
+	kn.features = make([][]float64, len(samples))
+	kn.labels = make([]int, len(samples))
+	for i, s := range samples {
+		row := make([]float64, width)
+		for f, x := range s.Features {
+			row[f] = (x - kn.mean[f]) / kn.std[f]
+		}
+		kn.features[i] = row
+		kn.labels[i] = s.Label
+	}
+	kn.trained = true
+	return nil
+}
+
+// PredictProba returns the normal-vote fraction among the k nearest
+// neighbors.
+func (kn *KNN) PredictProba(features []float64) (float64, error) {
+	if !kn.trained {
+		return 0, ErrNotTrained
+	}
+	if len(features) != len(kn.mean) {
+		return 0, ErrFeatureWidth
+	}
+	q := make([]float64, len(features))
+	for f, x := range features {
+		q[f] = (x - kn.mean[f]) / kn.std[f]
+	}
+	type hit struct {
+		dist  float64
+		label int
+	}
+	hits := make([]hit, len(kn.features))
+	for i, row := range kn.features {
+		var d float64
+		for f := range row {
+			diff := row[f] - q[f]
+			d += diff * diff
+		}
+		hits[i] = hit{dist: d, label: kn.labels[i]}
+	}
+	k := kn.k
+	if k > len(hits) {
+		k = len(hits)
+	}
+	// Partial selection of the k nearest.
+	sort.Slice(hits, func(i, j int) bool { return hits[i].dist < hits[j].dist })
+	var normal int
+	for _, h := range hits[:k] {
+		if h.label == ClassNormal {
+			normal++
+		}
+	}
+	return float64(normal) / float64(k), nil
+}
+
+// Predict returns the majority vote.
+func (kn *KNN) Predict(features []float64) (int, error) {
+	p, err := kn.PredictProba(features)
+	if err != nil {
+		return 0, err
+	}
+	return PredictLabel(p), nil
+}
+
+// K returns the (odd) neighbor count.
+func (kn *KNN) K() int { return kn.k }
+
+// Trained reports whether Fit has succeeded.
+func (kn *KNN) Trained() bool { return kn.trained }
+
+// TrainingSize returns the stored sample count.
+func (kn *KNN) TrainingSize() int { return len(kn.features) }
+
+// String implements fmt.Stringer.
+func (kn *KNN) String() string { return fmt.Sprintf("kNN(k=%d,n=%d)", kn.k, len(kn.features)) }

@@ -1,0 +1,114 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKNNSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := gaussianSamples(rng, 300, 5)
+	test := gaussianSamples(rng, 100, 5)
+
+	kn := NewKNN(5)
+	if err := kn.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(kn, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy() < 0.97 {
+		t.Errorf("accuracy %.3f on separable data", m.Accuracy())
+	}
+	if !kn.Trained() || kn.TrainingSize() != 600 {
+		t.Errorf("state: trained=%v n=%d", kn.Trained(), kn.TrainingSize())
+	}
+	if kn.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestKNNXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	kn := NewKNN(7)
+	if err := kn.Fit(xorSamples(rng, 600)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(kn, xorSamples(rng, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy() < 0.95 {
+		t.Errorf("kNN XOR accuracy %.3f", m.Accuracy())
+	}
+}
+
+func TestKNNOddK(t *testing.T) {
+	if NewKNN(4).K() != 5 {
+		t.Error("even k should round up to odd")
+	}
+	if NewKNN(0).K() != 5 {
+		t.Error("default k should be 5")
+	}
+	if NewKNN(3).K() != 3 {
+		t.Error("odd k preserved")
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	kn := NewKNN(3)
+	if _, err := kn.Predict([]float64{1}); err != ErrNotTrained {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+	if err := kn.Fit(nil); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := kn.Fit(gaussianSamples(rng, 20, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kn.Predict([]float64{1, 2, 3}); err != ErrFeatureWidth {
+		t.Errorf("err = %v, want ErrFeatureWidth", err)
+	}
+}
+
+func TestKNNKLargerThanTrainingSet(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{0}, Label: ClassNormal},
+		{Features: []float64{10}, Label: ClassAbnormal},
+		{Features: []float64{0.5}, Label: ClassNormal},
+	}
+	kn := NewKNN(99)
+	if err := kn.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	// k clamps to the training size; majority near 0 is normal.
+	cls, err := kn.Predict([]float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != ClassNormal {
+		t.Errorf("class = %d", cls)
+	}
+}
+
+func TestKNNProbabilityRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	kn := NewKNN(5)
+	if err := kn.Fit(gaussianSamples(rng, 100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		p, err := kn.PredictProba([]float64{a, b})
+		return err == nil && p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogisticSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := gaussianSamples(rng, 400, 5)
+	test := gaussianSamples(rng, 200, 5)
+
+	lr := NewLogisticRegression(LogisticConfig{})
+	if err := lr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(lr, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy() < 0.97 {
+		t.Errorf("accuracy %.3f on separable data, want >= 0.97", m.Accuracy())
+	}
+	if !lr.Trained() {
+		t.Error("Trained() should be true")
+	}
+	if len(lr.Weights()) != 2 {
+		t.Errorf("weights = %v", lr.Weights())
+	}
+}
+
+func TestLogisticProbabilityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lr := NewLogisticRegression(LogisticConfig{Epochs: 50})
+	if err := lr.Fit(gaussianSamples(rng, 200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		p, err := lr.PredictProba([]float64{a, b})
+		return err == nil && p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogisticErrors(t *testing.T) {
+	lr := NewLogisticRegression(LogisticConfig{})
+	if _, err := lr.Predict([]float64{1}); err != ErrNotTrained {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+	if err := lr.Fit(nil); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := lr.Fit(gaussianSamples(rng, 50, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.PredictProba([]float64{1, 2, 3}); err != ErrFeatureWidth {
+		t.Errorf("err = %v, want ErrFeatureWidth", err)
+	}
+}
+
+func TestLogisticConstantFeature(t *testing.T) {
+	var samples []Sample
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		samples = append(samples,
+			Sample{Features: []float64{7, rng.NormFloat64()}, Label: ClassNormal},
+			Sample{Features: []float64{7, 5 + rng.NormFloat64()}, Label: ClassAbnormal},
+		)
+	}
+	lr := NewLogisticRegression(LogisticConfig{})
+	if err := lr.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lr.PredictProba([]float64{7, 0})
+	if err != nil || math.IsNaN(p) {
+		t.Fatalf("p = %v, err = %v", p, err)
+	}
+	if p < 0.5 {
+		t.Errorf("P(normal|x2=0) = %.3f, want > 0.5", p)
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Errorf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Errorf("sigmoid(-1000) = %v", s)
+	}
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+}
+
+func TestKFoldCrossValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := gaussianSamples(rng, 300, 5)
+
+	build := func() (Classifier, func([]Sample) error) {
+		nb := NewGaussianNB()
+		return nb, nb.Fit
+	}
+	ms, err := KFoldCrossValidate(samples, 5, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("folds = %d", len(ms))
+	}
+	var total int
+	for _, m := range ms {
+		total += m.Total()
+	}
+	if total != len(samples) {
+		t.Errorf("folds cover %d samples, want %d", total, len(samples))
+	}
+	if f1 := MeanF1(ms); f1 < 0.95 {
+		t.Errorf("mean F1 %.3f on separable data", f1)
+	}
+
+	if _, err := KFoldCrossValidate(samples, 1, build); err == nil {
+		t.Error("want error for k < 2")
+	}
+	if _, err := KFoldCrossValidate(samples[:3], 5, build); err == nil {
+		t.Error("want error for too few samples")
+	}
+	if MeanF1(nil) != 0 {
+		t.Error("MeanF1(nil) should be 0")
+	}
+}
+
+func TestKFoldComparesModels(t *testing.T) {
+	// On XOR data the tree must beat logistic regression.
+	rng := rand.New(rand.NewSource(6))
+	samples := xorSamples(rng, 600)
+
+	treeScores, err := KFoldCrossValidate(samples, 4, func() (Classifier, func([]Sample) error) {
+		dt := NewDecisionTree(TreeConfig{MaxDepth: 4})
+		return dt, dt.Fit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrScores, err := KFoldCrossValidate(samples, 4, func() (Classifier, func([]Sample) error) {
+		lr := NewLogisticRegression(LogisticConfig{Epochs: 100})
+		return lr, lr.Fit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeanF1(treeScores) <= MeanF1(lrScores) {
+		t.Errorf("tree F1 %.3f should beat logistic %.3f on XOR",
+			MeanF1(treeScores), MeanF1(lrScores))
+	}
+}

@@ -1,0 +1,81 @@
+// Package mlkit is a from-scratch, stdlib-only reimplementation of the two
+// Spark MLlib classifiers CAD3 uses — Gaussian Naive Bayes and a CART
+// Decision Tree — together with binary-classification metrics.
+//
+// Both classifiers are binary and expose calibrated-ish class
+// probabilities, because the CAD3 collaboration mechanism (Equation 1 of
+// the paper) fuses the Naive Bayes probability with the vehicle's history
+// before the Decision Tree re-classifies. The paper deliberately chooses
+// these explainable models over neural networks (§VI-D4); so do we.
+package mlkit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class labels follow the paper's encoding: 1 = normal driving,
+// 0 = abnormal driving. "Positive" in the metrics of Table IV means
+// abnormal, so ClassAbnormal is the positive class there.
+const (
+	ClassAbnormal = 0
+	ClassNormal   = 1
+)
+
+// Errors shared by the classifiers.
+var (
+	ErrNotTrained   = errors.New("mlkit: model is not trained")
+	ErrNoSamples    = errors.New("mlkit: no training samples")
+	ErrSingleClass  = errors.New("mlkit: training set contains a single class")
+	ErrFeatureWidth = errors.New("mlkit: feature vector width mismatch")
+)
+
+// Sample is one labelled training example.
+type Sample struct {
+	Features []float64
+	Label    int // ClassAbnormal or ClassNormal
+}
+
+// Classifier is a trained binary classifier.
+type Classifier interface {
+	// PredictProba returns P(class = ClassNormal | features) in [0, 1].
+	PredictProba(features []float64) (float64, error)
+	// Predict returns the most likely class label.
+	Predict(features []float64) (int, error)
+}
+
+// validateSamples checks a training set for emptiness, label sanity and a
+// consistent feature width, returning the width.
+func validateSamples(samples []Sample) (int, error) {
+	if len(samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	width := len(samples[0].Features)
+	if width == 0 {
+		return 0, fmt.Errorf("mlkit: empty feature vector")
+	}
+	seen := [2]bool{}
+	for i, s := range samples {
+		if len(s.Features) != width {
+			return 0, fmt.Errorf("%w: sample %d has %d features, want %d",
+				ErrFeatureWidth, i, len(s.Features), width)
+		}
+		if s.Label != ClassAbnormal && s.Label != ClassNormal {
+			return 0, fmt.Errorf("mlkit: sample %d has label %d, want 0 or 1", i, s.Label)
+		}
+		seen[s.Label] = true
+	}
+	if !seen[0] || !seen[1] {
+		return 0, ErrSingleClass
+	}
+	return width, nil
+}
+
+// PredictLabel converts a P(normal) probability into a class label with a
+// 0.5 decision threshold.
+func PredictLabel(pNormal float64) int {
+	if pNormal >= 0.5 {
+		return ClassNormal
+	}
+	return ClassAbnormal
+}

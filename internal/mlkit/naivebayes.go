@@ -1,0 +1,134 @@
+package mlkit
+
+import (
+	"math"
+)
+
+// GaussianNB is a binary Gaussian Naive Bayes classifier: per-class priors
+// with per-feature independent Gaussian likelihoods. It is the road-aware
+// detector of AD3 — each RSU trains one on its own road type's data and
+// "learns the normal profile" (§IV-C of the paper).
+type GaussianNB struct {
+	trained bool
+	width   int
+	// prior[c] is log P(class c).
+	prior [2]float64
+	// mean[c][f] and vari[c][f] are the per-class Gaussian parameters.
+	mean [2][]float64
+	vari [2][]float64
+}
+
+var _ Classifier = (*GaussianNB)(nil)
+
+// varSmoothing stabilises near-constant features, as in scikit-learn and
+// Spark MLlib: a fraction of the largest feature variance is added to all.
+const varSmoothing = 1e-9
+
+// NewGaussianNB returns an untrained classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Fit estimates priors and Gaussian parameters from the training set.
+func (nb *GaussianNB) Fit(samples []Sample) error {
+	width, err := validateSamples(samples)
+	if err != nil {
+		return err
+	}
+	nb.width = width
+
+	var count [2]int
+	var sum, sumSq [2][]float64
+	for c := 0; c < 2; c++ {
+		sum[c] = make([]float64, width)
+		sumSq[c] = make([]float64, width)
+	}
+	for _, s := range samples {
+		count[s.Label]++
+		for f, x := range s.Features {
+			sum[s.Label][f] += x
+			sumSq[s.Label][f] += x * x
+		}
+	}
+
+	var maxVar float64
+	for c := 0; c < 2; c++ {
+		nb.prior[c] = math.Log(float64(count[c]) / float64(len(samples)))
+		nb.mean[c] = make([]float64, width)
+		nb.vari[c] = make([]float64, width)
+		n := float64(count[c])
+		for f := 0; f < width; f++ {
+			m := sum[c][f] / n
+			v := sumSq[c][f]/n - m*m
+			if v < 0 {
+				v = 0
+			}
+			nb.mean[c][f] = m
+			nb.vari[c][f] = v
+			if v > maxVar {
+				maxVar = v
+			}
+		}
+	}
+	eps := varSmoothing * maxVar
+	if eps <= 0 {
+		eps = varSmoothing
+	}
+	for c := 0; c < 2; c++ {
+		for f := 0; f < width; f++ {
+			nb.vari[c][f] += eps
+		}
+	}
+	nb.trained = true
+	return nil
+}
+
+// PredictProba returns P(normal | features).
+func (nb *GaussianNB) PredictProba(features []float64) (float64, error) {
+	if !nb.trained {
+		return 0, ErrNotTrained
+	}
+	if len(features) != nb.width {
+		return 0, ErrFeatureWidth
+	}
+	var logLik [2]float64
+	for c := 0; c < 2; c++ {
+		ll := nb.prior[c]
+		for f, x := range features {
+			d := x - nb.mean[c][f]
+			v := nb.vari[c][f]
+			ll += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+		}
+		logLik[c] = ll
+	}
+	// Normalise in log space: P(normal) = 1 / (1 + exp(ll0 - ll1)).
+	diff := logLik[ClassAbnormal] - logLik[ClassNormal]
+	if math.IsNaN(diff) {
+		// Both likelihoods underflowed to -Inf (inputs astronomically far
+		// from both classes): fall back to the class priors.
+		diff = nb.prior[ClassAbnormal] - nb.prior[ClassNormal]
+	}
+	return 1 / (1 + math.Exp(diff)), nil
+}
+
+// Predict returns the most likely class label.
+func (nb *GaussianNB) Predict(features []float64) (int, error) {
+	p, err := nb.PredictProba(features)
+	if err != nil {
+		return 0, err
+	}
+	return PredictLabel(p), nil
+}
+
+// Trained reports whether Fit has succeeded.
+func (nb *GaussianNB) Trained() bool { return nb.trained }
+
+// FeatureWidth returns the trained feature width (0 if untrained).
+func (nb *GaussianNB) FeatureWidth() int { return nb.width }
+
+// ClassMean returns the fitted mean of feature f under class c, for
+// explainability surfaces (the paper stresses explainable models).
+func (nb *GaussianNB) ClassMean(c, f int) float64 {
+	if !nb.trained || c < 0 || c > 1 || f < 0 || f >= nb.width {
+		return math.NaN()
+	}
+	return nb.mean[c][f]
+}

@@ -1,0 +1,133 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// OnlineGaussianNB is an incrementally trainable Gaussian Naive Bayes:
+// per-class running means and variances via Welford's algorithm, so an
+// RSU can keep learning its road's normal profile as traffic flows
+// ("each node learns the normal behavior over time", paper §III-A)
+// without retraining from scratch.
+type OnlineGaussianNB struct {
+	width int
+	// Per class: observation count, running mean, and sum of squared
+	// deviations (M2) per feature.
+	count [2]int64
+	mean  [2][]float64
+	m2    [2][]float64
+}
+
+var _ Classifier = (*OnlineGaussianNB)(nil)
+
+// NewOnlineGaussianNB creates an online classifier for the given feature
+// width.
+func NewOnlineGaussianNB(width int) (*OnlineGaussianNB, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("mlkit: online NB width must be positive, got %d", width)
+	}
+	nb := &OnlineGaussianNB{width: width}
+	for c := 0; c < 2; c++ {
+		nb.mean[c] = make([]float64, width)
+		nb.m2[c] = make([]float64, width)
+	}
+	return nb, nil
+}
+
+// Observe folds one labelled sample into the running statistics.
+func (nb *OnlineGaussianNB) Observe(features []float64, label int) error {
+	if len(features) != nb.width {
+		return ErrFeatureWidth
+	}
+	if label != ClassAbnormal && label != ClassNormal {
+		return fmt.Errorf("mlkit: label %d, want 0 or 1", label)
+	}
+	nb.count[label]++
+	n := float64(nb.count[label])
+	for f, x := range features {
+		delta := x - nb.mean[label][f]
+		nb.mean[label][f] += delta / n
+		nb.m2[label][f] += delta * (x - nb.mean[label][f])
+	}
+	return nil
+}
+
+// Ready reports whether both classes have enough observations to predict
+// (at least 2 each, so variances exist).
+func (nb *OnlineGaussianNB) Ready() bool {
+	return nb.count[0] >= 2 && nb.count[1] >= 2
+}
+
+// Count returns the number of observations of the given class.
+func (nb *OnlineGaussianNB) Count(label int) int64 {
+	if label != ClassAbnormal && label != ClassNormal {
+		return 0
+	}
+	return nb.count[label]
+}
+
+// PredictProba returns P(normal | features).
+func (nb *OnlineGaussianNB) PredictProba(features []float64) (float64, error) {
+	if !nb.Ready() {
+		return 0, ErrNotTrained
+	}
+	if len(features) != nb.width {
+		return 0, ErrFeatureWidth
+	}
+	total := float64(nb.count[0] + nb.count[1])
+	var maxVar float64
+	for c := 0; c < 2; c++ {
+		for f := 0; f < nb.width; f++ {
+			if v := nb.m2[c][f] / float64(nb.count[c]); v > maxVar {
+				maxVar = v
+			}
+		}
+	}
+	eps := varSmoothing * maxVar
+	if eps <= 0 {
+		eps = varSmoothing
+	}
+
+	var logLik [2]float64
+	for c := 0; c < 2; c++ {
+		ll := math.Log(float64(nb.count[c]) / total)
+		for f, x := range features {
+			v := nb.m2[c][f]/float64(nb.count[c]) + eps
+			d := x - nb.mean[c][f]
+			ll += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+		}
+		logLik[c] = ll
+	}
+	diff := logLik[ClassAbnormal] - logLik[ClassNormal]
+	if math.IsNaN(diff) {
+		diff = math.Log(float64(nb.count[ClassAbnormal])) - math.Log(float64(nb.count[ClassNormal]))
+	}
+	return 1 / (1 + math.Exp(diff)), nil
+}
+
+// Predict returns the most likely class label.
+func (nb *OnlineGaussianNB) Predict(features []float64) (int, error) {
+	p, err := nb.PredictProba(features)
+	if err != nil {
+		return 0, err
+	}
+	return PredictLabel(p), nil
+}
+
+// Mean returns the running mean of feature f under class c (NaN if out of
+// range).
+func (nb *OnlineGaussianNB) Mean(c, f int) float64 {
+	if c < 0 || c > 1 || f < 0 || f >= nb.width {
+		return math.NaN()
+	}
+	return nb.mean[c][f]
+}
+
+// Variance returns the running variance of feature f under class c.
+func (nb *OnlineGaussianNB) Variance(c, f int) float64 {
+	if c < 0 || c > 1 || f < 0 || f >= nb.width || nb.count[c] < 2 {
+		return math.NaN()
+	}
+	return nb.m2[c][f] / float64(nb.count[c])
+}

@@ -1,0 +1,155 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineNBMatchesBatchNB(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := gaussianSamples(rng, 500, 4)
+
+	batch := NewGaussianNB()
+	if err := batch.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	online, err := NewOnlineGaussianNB(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if err := online.Observe(s.Features, s.Label); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	probe := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := []float64{probe.NormFloat64() * 3, probe.NormFloat64() * 3}
+		pb, err := batch.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := online.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pb-po) > 0.01 {
+			t.Fatalf("batch %.4f vs online %.4f at %v", pb, po, x)
+		}
+	}
+}
+
+func TestOnlineNBWelfordStats(t *testing.T) {
+	nb, err := NewOnlineGaussianNB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known data: class normal gets {2,4,4,4,5,5,7,9}: mean 5, var 4.
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		if err := nb.Observe([]float64{x}, ClassNormal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, x := range []float64{20, 22} {
+		_ = nb.Observe([]float64{x}, ClassAbnormal)
+	}
+	if m := nb.Mean(ClassNormal, 0); math.Abs(m-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if v := nb.Variance(ClassNormal, 0); math.Abs(v-4) > 1e-12 {
+		t.Errorf("variance = %v, want 4", v)
+	}
+	if nb.Count(ClassNormal) != 8 || nb.Count(ClassAbnormal) != 2 {
+		t.Errorf("counts = %d/%d", nb.Count(ClassNormal), nb.Count(ClassAbnormal))
+	}
+	if nb.Count(5) != 0 {
+		t.Error("bogus label count should be 0")
+	}
+	if !math.IsNaN(nb.Mean(3, 0)) || !math.IsNaN(nb.Variance(0, 9)) {
+		t.Error("out-of-range stats should be NaN")
+	}
+}
+
+func TestOnlineNBReadiness(t *testing.T) {
+	nb, err := NewOnlineGaussianNB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Ready() {
+		t.Error("empty model should not be ready")
+	}
+	if _, err := nb.PredictProba([]float64{1}); err != ErrNotTrained {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+	_ = nb.Observe([]float64{1}, ClassNormal)
+	_ = nb.Observe([]float64{2}, ClassNormal)
+	_ = nb.Observe([]float64{10}, ClassAbnormal)
+	if nb.Ready() {
+		t.Error("one abnormal sample should not be enough")
+	}
+	_ = nb.Observe([]float64{11}, ClassAbnormal)
+	if !nb.Ready() {
+		t.Error("2+2 samples should be ready")
+	}
+	if _, err := nb.Predict([]float64{1}); err != nil {
+		t.Errorf("Predict: %v", err)
+	}
+	if _, err := nb.Predict([]float64{1, 2}); err != ErrFeatureWidth {
+		t.Errorf("err = %v, want ErrFeatureWidth", err)
+	}
+}
+
+func TestOnlineNBValidation(t *testing.T) {
+	if _, err := NewOnlineGaussianNB(0); err == nil {
+		t.Error("want error for zero width")
+	}
+	nb, _ := NewOnlineGaussianNB(2)
+	if err := nb.Observe([]float64{1}, ClassNormal); err != ErrFeatureWidth {
+		t.Errorf("err = %v, want ErrFeatureWidth", err)
+	}
+	if err := nb.Observe([]float64{1, 2}, 7); err == nil {
+		t.Error("want error for bogus label")
+	}
+}
+
+func TestOnlineNBAdaptsToDrift(t *testing.T) {
+	// The normal profile shifts (rush hour): the online model follows.
+	nb, _ := NewOnlineGaussianNB(1)
+	for i := 0; i < 200; i++ {
+		_ = nb.Observe([]float64{100 + float64(i%5)}, ClassNormal)
+		_ = nb.Observe([]float64{160 + float64(i%5)}, ClassAbnormal)
+	}
+	p1, _ := nb.PredictProba([]float64{130})
+	// Now the whole road slows down; 130 becomes abnormal territory
+	// relative to the new normal cluster at ~60.
+	for i := 0; i < 2000; i++ {
+		_ = nb.Observe([]float64{60 + float64(i%5)}, ClassNormal)
+		_ = nb.Observe([]float64{130 + float64(i%5)}, ClassAbnormal)
+	}
+	p2, _ := nb.PredictProba([]float64{130})
+	if p2 >= p1 {
+		t.Errorf("P(normal|130) should fall after drift: %.4f -> %.4f", p1, p2)
+	}
+}
+
+func TestOnlineNBProbabilityRangeProperty(t *testing.T) {
+	nb, _ := NewOnlineGaussianNB(1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		_ = nb.Observe([]float64{rng.NormFloat64()}, ClassNormal)
+		_ = nb.Observe([]float64{5 + rng.NormFloat64()}, ClassAbnormal)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		p, err := nb.PredictProba([]float64{x})
+		return err == nil && p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

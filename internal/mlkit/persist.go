@@ -1,0 +1,168 @@
+package mlkit
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Model persistence: trained classifiers serialize to versioned JSON so a
+// deployment can train once (or centrally) and ship models to RSUs
+// instead of retraining at every node start.
+
+// gaussianNBState is the serialized form of GaussianNB.
+type gaussianNBState struct {
+	Version int          `json:"version"`
+	Width   int          `json:"width"`
+	Prior   [2]float64   `json:"prior"`
+	Mean    [2][]float64 `json:"mean"`
+	Vari    [2][]float64 `json:"vari"`
+}
+
+const persistVersion = 1
+
+// MarshalJSON implements json.Marshaler.
+func (nb *GaussianNB) MarshalJSON() ([]byte, error) {
+	if !nb.trained {
+		return nil, ErrNotTrained
+	}
+	return json.Marshal(gaussianNBState{
+		Version: persistVersion,
+		Width:   nb.width,
+		Prior:   nb.prior,
+		Mean:    nb.mean,
+		Vari:    nb.vari,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (nb *GaussianNB) UnmarshalJSON(data []byte) error {
+	var st gaussianNBState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("mlkit: decode NB: %w", err)
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("mlkit: NB model version %d, want %d", st.Version, persistVersion)
+	}
+	if st.Width <= 0 {
+		return fmt.Errorf("mlkit: NB model width %d invalid", st.Width)
+	}
+	for c := 0; c < 2; c++ {
+		if len(st.Mean[c]) != st.Width || len(st.Vari[c]) != st.Width {
+			return fmt.Errorf("mlkit: NB model class %d parameter width mismatch", c)
+		}
+		for f, v := range st.Vari[c] {
+			if v <= 0 {
+				return fmt.Errorf("mlkit: NB model class %d feature %d variance %v invalid", c, f, v)
+			}
+		}
+	}
+	nb.width = st.Width
+	nb.prior = st.Prior
+	nb.mean = st.Mean
+	nb.vari = st.Vari
+	nb.trained = true
+	return nil
+}
+
+// treeNodeState is the serialized form of one decision-tree node.
+type treeNodeState struct {
+	Leaf      bool           `json:"leaf"`
+	PNormal   float64        `json:"pNormal,omitempty"`
+	N         int            `json:"n,omitempty"`
+	Feature   int            `json:"feature,omitempty"`
+	Threshold float64        `json:"threshold,omitempty"`
+	Left      *treeNodeState `json:"left,omitempty"`
+	Right     *treeNodeState `json:"right,omitempty"`
+}
+
+type decisionTreeState struct {
+	Version int            `json:"version"`
+	Width   int            `json:"width"`
+	Root    *treeNodeState `json:"root"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *DecisionTree) MarshalJSON() ([]byte, error) {
+	if !t.trained {
+		return nil, ErrNotTrained
+	}
+	return json.Marshal(decisionTreeState{
+		Version: persistVersion,
+		Width:   t.width,
+		Root:    encodeTreeNode(t.root),
+	})
+}
+
+func encodeTreeNode(n *treeNode) *treeNodeState {
+	if n == nil {
+		return nil
+	}
+	return &treeNodeState{
+		Leaf:      n.leaf,
+		PNormal:   n.pNormal,
+		N:         n.n,
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Left:      encodeTreeNode(n.left),
+		Right:     encodeTreeNode(n.right),
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *DecisionTree) UnmarshalJSON(data []byte) error {
+	var st decisionTreeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("mlkit: decode tree: %w", err)
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("mlkit: tree model version %d, want %d", st.Version, persistVersion)
+	}
+	if st.Width <= 0 || st.Root == nil {
+		return fmt.Errorf("mlkit: tree model incomplete")
+	}
+	root, err := decodeTreeNode(st.Root, st.Width, 0)
+	if err != nil {
+		return err
+	}
+	t.cfg = t.cfg.withDefaults()
+	t.width = st.Width
+	t.root = root
+	t.trained = true
+	return nil
+}
+
+// maxPersistDepth bounds recursion while decoding untrusted model files.
+const maxPersistDepth = 64
+
+func decodeTreeNode(st *treeNodeState, width, depth int) (*treeNode, error) {
+	if depth > maxPersistDepth {
+		return nil, fmt.Errorf("mlkit: tree model deeper than %d", maxPersistDepth)
+	}
+	n := &treeNode{
+		leaf:      st.Leaf,
+		pNormal:   st.PNormal,
+		n:         st.N,
+		feature:   st.Feature,
+		threshold: st.Threshold,
+	}
+	if st.Leaf {
+		if n.pNormal < 0 || n.pNormal > 1 {
+			return nil, fmt.Errorf("mlkit: tree leaf probability %v invalid", n.pNormal)
+		}
+		return n, nil
+	}
+	if st.Feature < 0 || st.Feature >= width {
+		return nil, fmt.Errorf("mlkit: tree split feature %d out of width %d", st.Feature, width)
+	}
+	if st.Left == nil || st.Right == nil {
+		return nil, fmt.Errorf("mlkit: tree split missing children")
+	}
+	var err error
+	if n.left, err = decodeTreeNode(st.Left, width, depth+1); err != nil {
+		return nil, err
+	}
+	if n.right, err = decodeTreeNode(st.Right, width, depth+1); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,114 @@
+package mlkit
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestGaussianNBJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nb := NewGaussianNB()
+	if err := nb.Fit(gaussianSamples(rng, 300, 4)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewGaussianNB()
+	if err := json.Unmarshal(data, loaded); err != nil {
+		t.Fatal(err)
+	}
+	probe := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		x := []float64{probe.NormFloat64() * 3, probe.NormFloat64() * 3}
+		a, _ := nb.PredictProba(x)
+		b, err := loaded.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("probabilities diverge after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestGaussianNBMarshalUntrained(t *testing.T) {
+	if _, err := json.Marshal(NewGaussianNB()); err == nil {
+		t.Error("want error marshaling untrained NB")
+	}
+}
+
+func TestGaussianNBUnmarshalRejectsBadState(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `»`,
+		"bad version":    `{"version":9,"width":1,"mean":[[0],[1]],"vari":[[1],[1]]}`,
+		"zero width":     `{"version":1,"width":0,"mean":[[],[]],"vari":[[],[]]}`,
+		"width mismatch": `{"version":1,"width":2,"mean":[[0],[1]],"vari":[[1],[1]]}`,
+		"bad variance":   `{"version":1,"width":1,"mean":[[0],[1]],"vari":[[0],[1]]}`,
+	}
+	for name, in := range cases {
+		nb := NewGaussianNB()
+		if err := json.Unmarshal([]byte(in), nb); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+		if nb.Trained() {
+			t.Errorf("%s: failed unmarshal left NB trained", name)
+		}
+	}
+}
+
+func TestDecisionTreeJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dt := NewDecisionTree(TreeConfig{MaxDepth: 5})
+	if err := dt.Fit(xorSamples(rng, 500)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewDecisionTree(TreeConfig{})
+	if err := json.Unmarshal(data, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Depth() != dt.Depth() {
+		t.Errorf("depth %d vs %d after round trip", loaded.Depth(), dt.Depth())
+	}
+	probe := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		x := []float64{probe.Float64() * 1.2, probe.Float64() * 1.2}
+		a, _ := dt.PredictProba(x)
+		b, err := loaded.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("tree probabilities diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDecisionTreeUnmarshalRejectsBadState(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     `{`,
+		"bad version": `{"version":7,"width":1,"root":{"leaf":true,"pNormal":0.5}}`,
+		"no root":     `{"version":1,"width":1}`,
+		"bad leaf":    `{"version":1,"width":1,"root":{"leaf":true,"pNormal":7}}`,
+		"bad feature": `{"version":1,"width":1,"root":{"leaf":false,"feature":3,"left":{"leaf":true},"right":{"leaf":true}}}`,
+		"no children": `{"version":1,"width":1,"root":{"leaf":false,"feature":0}}`,
+	}
+	for name, in := range cases {
+		dt := NewDecisionTree(TreeConfig{})
+		if err := json.Unmarshal([]byte(in), dt); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestDecisionTreeMarshalUntrained(t *testing.T) {
+	if _, err := json.Marshal(NewDecisionTree(TreeConfig{})); err == nil {
+		t.Error("want error marshaling untrained tree")
+	}
+}

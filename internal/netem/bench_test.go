@@ -1,0 +1,65 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkMediumTransmit(b *testing.B) {
+	m, err := NewMedium(MediumConfig{MCS: MCS8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := t0
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		done, err := m.Transmit("v", ReportBytes, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = done
+	}
+}
+
+func BenchmarkHTBReserve(b *testing.B) {
+	h, err := NewHTB(DSRCBandwidthBps, t0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := h.AddClass("v", PerVehicleFloorBps, 0); err != nil {
+		b.Fatal(err)
+	}
+	now := t0
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Reserve("v", ReportBytes, now); err != nil {
+			b.Fatal(err)
+		}
+		now = now.Add(100 * time.Millisecond)
+	}
+}
+
+func BenchmarkSimulatorEvents(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSimulator(t0)
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j)*time.Microsecond, func() {})
+		}
+		if n := s.Run(); n != 1000 {
+			b.Fatalf("ran %d events", n)
+		}
+	}
+}
+
+func BenchmarkMACAccessTimeEval(b *testing.B) {
+	m := MACModel{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AccessTime(256, ReportBytes, MCS8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, 7, 1, 8, 0, 0, 0, time.UTC)
+
+func TestTokenBucketBurstThenDrain(t *testing.T) {
+	// 8000 bits/s = 1000 bytes/s, burst 500 bytes.
+	b, err := NewTokenBucket(8000, 500, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst passes immediately.
+	if got := b.Reserve(500, t0); !got.Equal(t0) {
+		t.Errorf("burst reserve at %v, want %v", got, t0)
+	}
+	// Next 100 bytes need 100 ms of refill.
+	got := b.Reserve(100, t0)
+	want := t0.Add(100 * time.Millisecond)
+	if got.Sub(want).Abs() > time.Millisecond {
+		t.Errorf("drained reserve at %v, want ~%v", got, want)
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	b, err := NewTokenBucket(8000, 1000, t0) // 1000 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Reserve(1000, t0) // empty it
+	later := t0.Add(500 * time.Millisecond)
+	if avail := b.Available(later); math.Abs(avail-500) > 1 {
+		t.Errorf("available after 500ms = %.1f, want ~500", avail)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(0, 100, t0); err == nil {
+		t.Error("want error for zero rate")
+	}
+	if _, err := NewTokenBucket(100, 0, t0); err == nil {
+		t.Error("want error for zero burst")
+	}
+}
+
+func TestTokenBucketNeverExceedsRateProperty(t *testing.T) {
+	// Long-run throughput through a bucket must never exceed rate*time +
+	// burst.
+	f := func(sizes []uint16) bool {
+		b, err := NewTokenBucket(1_000_000, 1000, t0) // 125 kB/s
+		if err != nil {
+			return false
+		}
+		now := t0
+		var total float64
+		for _, s := range sizes {
+			n := int(s%1000) + 1
+			now = b.Reserve(n, now)
+			total += float64(n)
+		}
+		elapsed := now.Sub(t0).Seconds()
+		return total <= 125_000*elapsed+1000+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTBFloorAndCeiling(t *testing.T) {
+	h, err := NewHTB(DSRCBandwidthBps, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"v1", "v2"} {
+		if err := h.AddClass(name, PerVehicleFloorBps, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.AddClass("v1", 1, 0); err == nil {
+		t.Error("want duplicate-class error")
+	}
+	if got := h.TotalAssuredBps(); math.Abs(got-2*PerVehicleFloorBps) > 1 {
+		t.Errorf("TotalAssuredBps = %v", got)
+	}
+	// A vehicle's 200-byte report at 10 Hz (2 kB/s = 16 kb/s) is far
+	// below its 100 kb/s floor: every reservation should clear instantly.
+	now := t0
+	for i := 0; i < 50; i++ {
+		dep, err := h.Reserve("v1", ReportBytes, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dep.After(now.Add(time.Millisecond)) {
+			t.Fatalf("report %d delayed to %v despite floor", i, dep)
+		}
+		now = now.Add(100 * time.Millisecond)
+	}
+	if h.ClassSentBytes("v1") != 50*ReportBytes {
+		t.Errorf("ClassSentBytes = %d", h.ClassSentBytes("v1"))
+	}
+	if _, err := h.Reserve("ghost", 1, t0); err == nil {
+		t.Error("want unknown-class error")
+	}
+}
+
+func TestHTBAggregateCeilingBinds(t *testing.T) {
+	// One greedy class trying to push 54 Mb/s through a 27 Mb/s root must
+	// be delayed to the root's rate.
+	h, err := NewHTB(DSRCBandwidthBps, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddClass("greedy", PerVehicleFloorBps, DSRCBandwidthBps); err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 1_000_000 // 1 MB chunks
+	now := t0
+	var last time.Time
+	for i := 0; i < 10; i++ {
+		dep, err := h.Reserve("greedy", chunk, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = dep
+	}
+	elapsed := last.Sub(t0).Seconds()
+	throughputBits := 10 * chunk * 8 / elapsed
+	if throughputBits > DSRCBandwidthBps*1.05 {
+		t.Errorf("throughput %.0f b/s exceeds 27 Mb/s ceiling", throughputBits)
+	}
+}
+
+func TestPacketDuration(t *testing.T) {
+	// 200 B payload at MCS3 (6 Mb/s, 48 bits/symbol):
+	// bits = 16 + 8*(200+36) + 6 = 1910 -> ceil(1910/48) = 40 symbols
+	// -> 32 + 8 + 320 = 360 us.
+	d, err := PacketDuration(ReportBytes, MCS3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 360*time.Microsecond {
+		t.Errorf("MCS3 duration = %v, want 360us", d)
+	}
+	// MCS8 (27 Mb/s, 216 bits/symbol): ceil(1910/216) = 9 symbols
+	// -> 32 + 8 + 72 = 112 us.
+	d, err = PacketDuration(ReportBytes, MCS8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 112*time.Microsecond {
+		t.Errorf("MCS8 duration = %v, want 112us", d)
+	}
+	if _, err := PacketDuration(10, MCS(99)); err == nil {
+		t.Error("want invalid-MCS error")
+	}
+	if _, err := PacketDuration(-1, MCS3); err == nil {
+		t.Error("want negative-payload error")
+	}
+}
+
+func TestMACAccessTimeEquation5(t *testing.T) {
+	// Reproduce §VI-D1: 256 vehicles, 200 B, p_c = 0.03.
+	m := MACModel{CollisionProb: 0.03}
+	if got := m.Backoff(); got != time.Duration(0.03*255*9000) {
+		t.Errorf("backoff = %v", got)
+	}
+
+	t3, err := m.AccessTime(256, ReportBytes, MCS3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := m.AccessTime(256, ReportBytes, MCS8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 92.62 ms (MCS 3) and 54.28 ms (MCS 8). Our frame
+	// model gives ~101 ms and ~37 ms; assert the paper's qualitative
+	// claims: order of tens of ms, MCS3 > MCS8, and MCS8 fits the 100 ms
+	// reporting period.
+	if t3 < 50*time.Millisecond || t3 > 150*time.Millisecond {
+		t.Errorf("MCS3 access time = %v, want order of ~100ms", t3)
+	}
+	if t8 < 20*time.Millisecond || t8 > 80*time.Millisecond {
+		t.Errorf("MCS8 access time = %v, want order of ~50ms", t8)
+	}
+	if t8 >= t3 {
+		t.Errorf("MCS8 (%v) should beat MCS3 (%v)", t8, t3)
+	}
+	ok, _, err := m.FitsReportingPeriod(256, ReportBytes, MCS8)
+	if err != nil || !ok {
+		t.Errorf("256 vehicles @ MCS8 should fit the 100 ms period (got %v, %v)", ok, err)
+	}
+
+	// §VII-B: 400 vehicles at MCS8 under 85 ms.
+	t400, err := m.AccessTime(400, ReportBytes, MCS8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t400 > 85*time.Millisecond {
+		t.Errorf("400 vehicles @ MCS8 = %v, paper says under 85 ms", t400)
+	}
+
+	if _, err := m.AccessTime(-1, 10, MCS3); err == nil {
+		t.Error("want negative-vehicles error")
+	}
+}
+
+func TestMACAccessTimeMonotoneProperty(t *testing.T) {
+	m := MACModel{}
+	f := func(n uint8) bool {
+		a, err1 := m.AccessTime(int(n), ReportBytes, MCS3)
+		b, err2 := m.AccessTime(int(n)+1, ReportBytes, MCS3)
+		return err1 == nil && err2 == nil && b > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMCSLadder(t *testing.T) {
+	prev := 0.0
+	for mcs := MCS1; mcs <= MCS8; mcs++ {
+		if !mcs.Valid() {
+			t.Fatalf("%v invalid", mcs)
+		}
+		if r := mcs.DataRateMbps(); r <= prev {
+			t.Errorf("%v rate %.1f not increasing", mcs, r)
+		} else {
+			prev = r
+		}
+	}
+	if MCS(0).Valid() || MCS(9).Valid() {
+		t.Error("out-of-ladder MCS should be invalid")
+	}
+	if MCS8.BitsPerSymbol() != 216 {
+		t.Errorf("MCS8 NDBPS = %v, want 216", MCS8.BitsPerSymbol())
+	}
+	if MCS3.String() == "" || MCS(42).String() == "" {
+		t.Error("String must not be empty")
+	}
+}

@@ -1,0 +1,112 @@
+package netem
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Simulator is a minimal discrete-event simulator: a virtual clock and an
+// event queue. The latency experiments run the whole CAD3 pipeline —
+// vehicle transmissions, MAC contention, micro-batch boundaries,
+// processing, consumer polling — on this clock, making the Figure 6
+// benches deterministic and wall-clock-independent.
+type Simulator struct {
+	now    time.Time
+	queue  eventQueue
+	nextID int64
+}
+
+// ErrSimEmpty is returned by Step when no events remain.
+var ErrSimEmpty = errors.New("netem: simulator has no pending events")
+
+type event struct {
+	at  time.Time
+	seq int64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// NewSimulator starts a simulator at the given virtual instant.
+func NewSimulator(start time.Time) *Simulator {
+	return &Simulator{now: start}
+}
+
+// Now returns the current virtual time. It has the signature of time.Now
+// so components accept it as an injected clock.
+func (s *Simulator) Now() time.Time { return s.now }
+
+// At schedules fn at an absolute virtual time. Scheduling in the past
+// fires at the current instant.
+func (s *Simulator) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.nextID++
+	heap.Push(&s.queue, event{at: t, seq: s.nextID, fn: fn})
+}
+
+// After schedules fn after a virtual delay.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Step pops and runs the next event, advancing the clock.
+func (s *Simulator) Step() error {
+	if s.queue.Len() == 0 {
+		return ErrSimEmpty
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.at
+	e.fn()
+	return nil
+}
+
+// RunUntil processes events until the queue is empty or the clock would
+// pass the deadline; events scheduled after the deadline stay queued. It
+// returns the number of events processed.
+func (s *Simulator) RunUntil(deadline time.Time) int {
+	var n int
+	for s.queue.Len() > 0 {
+		next := s.queue[0].at
+		if next.After(deadline) {
+			break
+		}
+		_ = s.Step()
+		n++
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return n
+}
+
+// Run processes all pending events (including those newly scheduled by
+// event handlers), returning the count. Use with care: a self-rescheduling
+// event makes this loop forever — prefer RunUntil in that case.
+func (s *Simulator) Run() int {
+	var n int
+	for s.queue.Len() > 0 {
+		_ = s.Step()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }

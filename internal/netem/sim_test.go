@@ -1,0 +1,195 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := NewSimulator(t0)
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run processed %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if got := s.Now(); !got.Equal(t0.Add(30 * time.Millisecond)) {
+		t.Errorf("clock = %v", got)
+	}
+}
+
+func TestSimulatorFIFOTiebreak(t *testing.T) {
+	s := NewSimulator(t0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestSimulatorCascade(t *testing.T) {
+	s := NewSimulator(t0)
+	var fired int
+	var chain func()
+	chain = func() {
+		fired++
+		if fired < 10 {
+			s.After(time.Millisecond, chain)
+		}
+	}
+	s.After(0, chain)
+	s.Run()
+	if fired != 10 {
+		t.Errorf("cascade fired %d times, want 10", fired)
+	}
+}
+
+func TestSimulatorRunUntil(t *testing.T) {
+	s := NewSimulator(t0)
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	n := s.RunUntil(t0.Add(25 * time.Millisecond))
+	if n != 2 || len(fired) != 2 {
+		t.Errorf("RunUntil processed %d events, fired %v", n, fired)
+	}
+	if !s.Now().Equal(t0.Add(25 * time.Millisecond)) {
+		t.Errorf("clock after RunUntil = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestSimulatorPastScheduling(t *testing.T) {
+	s := NewSimulator(t0)
+	var at time.Time
+	s.At(t0.Add(-time.Hour), func() { at = s.Now() })
+	s.Run()
+	if !at.Equal(t0) {
+		t.Errorf("past event fired at %v, want clamped to %v", at, t0)
+	}
+	s.After(-5*time.Second, func() {})
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(); err != ErrSimEmpty {
+		t.Errorf("err = %v, want ErrSimEmpty", err)
+	}
+}
+
+func TestMediumSerializesTransmissions(t *testing.T) {
+	m, err := NewMedium(MediumConfig{MCS: MCS3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two frames entering at the same instant: the second must wait for
+	// the first to clear the channel.
+	d1, err := m.Transmit("v1", ReportBytes, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m.Transmit("v2", ReportBytes, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.After(d1) {
+		t.Errorf("second frame delivered at %v, not after first %v", d2, d1)
+	}
+	gap := d2.Sub(d1)
+	if gap < 360*time.Microsecond {
+		t.Errorf("gap %v below one frame airtime", gap)
+	}
+	st := m.Stats()
+	if st.Transmissions != 2 || st.PayloadBytes != 2*ReportBytes {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.WireBytes <= st.PayloadBytes {
+		t.Error("wire bytes must include MAC overhead")
+	}
+	if m.MCS() != MCS3 {
+		t.Errorf("MCS = %v", m.MCS())
+	}
+}
+
+func TestMediumIdleChannelFast(t *testing.T) {
+	m, err := NewMedium(MediumConfig{MCS: MCS8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On an idle channel a report should deliver in well under 1 ms.
+	d, err := m.Transmit("v1", ReportBytes, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := d.Sub(t0); lat > time.Millisecond {
+		t.Errorf("idle-channel latency %v, want < 1ms", lat)
+	}
+}
+
+func TestMediumWithHTBShaping(t *testing.T) {
+	h, err := NewHTB(DSRCBandwidthBps, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddClass("v1", PerVehicleFloorBps, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMedium(MediumConfig{MCS: MCS3, HTB: h, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transmit("v1", ReportBytes, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transmit("ghost", ReportBytes, t0); err == nil {
+		t.Error("want unknown-class error through shaping")
+	}
+}
+
+func TestMediumInvalidConfig(t *testing.T) {
+	if _, err := NewMedium(MediumConfig{MCS: MCS(42)}); err == nil {
+		t.Error("want invalid-MCS error")
+	}
+	m, err := NewMedium(MediumConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MCS() != MCS3 {
+		t.Errorf("default MCS = %v, want MCS3", m.MCS())
+	}
+}
+
+func TestMedium256VehiclesOneRound(t *testing.T) {
+	// 256 vehicles each sending one 200 B report: the channel must drain
+	// them in the same order of magnitude as Equation 5 predicts (~100 ms
+	// at MCS3) and within a few reporting periods.
+	m, err := NewMedium(MediumConfig{MCS: MCS3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Time
+	for v := 0; v < 256; v++ {
+		d, err := m.Transmit("v", ReportBytes, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = d
+	}
+	total := last.Sub(t0)
+	if total < 50*time.Millisecond || total > 250*time.Millisecond {
+		t.Errorf("256-vehicle drain = %v, want ~100ms order", total)
+	}
+}

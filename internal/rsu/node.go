@@ -1,0 +1,400 @@
+// Package rsu assembles the CAD3 edge node: a roadside unit co-located
+// with compute that ingests vehicle telemetry from its IN-DATA topic in
+// 50 ms micro-batches, runs the detection model, writes warnings to
+// OUT-DATA, accumulates per-vehicle prediction summaries, and forwards
+// them to the next RSU's CO-DATA topic on vehicle handover (Figures 3-4
+// of the paper).
+package rsu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cad3/internal/core"
+	"cad3/internal/geo"
+	"cad3/internal/microbatch"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+// Errors callers match.
+var (
+	ErrNoDetector = errors.New("rsu: config requires a trained detector")
+	ErrNoClient   = errors.New("rsu: config requires a broker client")
+	ErrNoNeighbor = errors.New("rsu: unknown neighbor")
+)
+
+// probaSource is implemented by detectors that expose the raw Naive Bayes
+// probability (the quantity CO-DATA summaries aggregate).
+type probaSource interface {
+	PredictProba(rec trace.Record) (float64, error)
+}
+
+// Config configures a Node.
+type Config struct {
+	// Name identifies the node in logs and stats (e.g. "Mw R1").
+	Name string
+	// Road is the covered road segment.
+	Road geo.SegmentID
+	// Detector is the trained detection model. Required.
+	Detector core.Detector
+	// Client reaches this node's broker. Required.
+	Client stream.Client
+	// BatchInterval is the micro-batch window (paper: 50 ms). Values
+	// <= 0 select microbatch.DefaultInterval.
+	BatchInterval time.Duration
+	// Workers is the engine parallelism (paper: 6). Values <= 0 select 6.
+	Workers int
+	// SummaryTTL expires stale CO-DATA summaries. Values <= 0 select
+	// core.DefaultSummaryTTL.
+	SummaryTTL time.Duration
+	// Now injects the clock (virtual time in simulation). Nil selects
+	// time.Now.
+	Now func() time.Time
+	// Partitions is the per-topic partition count. Values <= 0 select
+	// stream.DefaultPartitions.
+	Partitions int
+	// WarnCooldown suppresses repeat warnings to the same vehicle within
+	// the window ("less disturbance to other drivers with false
+	// warnings", paper SVI-D4). Zero disables suppression.
+	WarnCooldown time.Duration
+	// Logger receives structured operational events (warnings produced,
+	// handovers, degraded batches). Nil discards them.
+	Logger *slog.Logger
+}
+
+// Stats summarises a node's activity.
+type Stats struct {
+	Records            int64
+	Warnings           int64
+	SummariesSent      int64
+	SummariesReceived  int64
+	PriorHits          int64
+	PriorMisses        int64
+	DetectErrors       int64
+	WarningsSuppressed int64
+	Engine             microbatch.EngineStats
+}
+
+// Node is one deployed RSU.
+type Node struct {
+	cfg    Config
+	engine *microbatch.Engine[trace.Record]
+
+	outProducer *stream.Producer
+	coConsumer  *stream.Consumer
+
+	summaries *core.SummaryStore
+	builder   *core.SummaryBuilder
+	profile   *RoadProfile
+
+	mu        sync.Mutex
+	neighbors map[string]*stream.Producer
+	lastWarn  map[trace.CarID]time.Time
+
+	records      atomic.Int64
+	warnings     atomic.Int64
+	sentSumm     atomic.Int64
+	recvSumm     atomic.Int64
+	priorHits    atomic.Int64
+	priorMisses  atomic.Int64
+	detectErrors atomic.Int64
+	suppressed   atomic.Int64
+}
+
+// New creates the node, provisioning its three topics on the broker.
+func New(cfg Config) (*Node, error) {
+	if cfg.Detector == nil {
+		return nil, ErrNoDetector
+	}
+	if cfg.Client == nil {
+		return nil, ErrNoClient
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = stream.DefaultPartitions
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(discardHandler{})
+	}
+	for _, topic := range []string{stream.TopicInData, stream.TopicOutData, stream.TopicCoData} {
+		if err := cfg.Client.CreateTopic(topic, cfg.Partitions); err != nil {
+			return nil, fmt.Errorf("rsu %s: create %s: %w", cfg.Name, topic, err)
+		}
+	}
+	inConsumer, err := stream.NewConsumer(cfg.Client, stream.TopicInData, 0)
+	if err != nil {
+		return nil, fmt.Errorf("rsu %s: in consumer: %w", cfg.Name, err)
+	}
+	coConsumer, err := stream.NewConsumer(cfg.Client, stream.TopicCoData, 0)
+	if err != nil {
+		return nil, fmt.Errorf("rsu %s: co consumer: %w", cfg.Name, err)
+	}
+	outProducer, err := stream.NewProducer(cfg.Client, stream.TopicOutData)
+	if err != nil {
+		return nil, fmt.Errorf("rsu %s: out producer: %w", cfg.Name, err)
+	}
+
+	n := &Node{
+		cfg:         cfg,
+		outProducer: outProducer,
+		coConsumer:  coConsumer,
+		summaries:   core.NewSummaryStore(cfg.SummaryTTL, cfg.Now),
+		builder:     core.NewSummaryBuilder(int64(cfg.Road), cfg.Now),
+		profile:     NewRoadProfile(0, 0, cfg.Now),
+		neighbors:   make(map[string]*stream.Producer),
+		lastWarn:    make(map[trace.CarID]time.Time),
+	}
+	engine, err := microbatch.NewEngine(microbatch.Config[trace.Record]{
+		Source:   inConsumer,
+		Decode:   func(m stream.Message) (trace.Record, error) { return core.DecodeRecord(m.Value) },
+		Process:  n.processRecords,
+		Interval: cfg.BatchInterval,
+		Workers:  cfg.Workers,
+		Now:      cfg.Now,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rsu %s: engine: %w", cfg.Name, err)
+	}
+	n.engine = engine
+	return n, nil
+}
+
+// Name returns the node's configured name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Road returns the covered segment.
+func (n *Node) Road() geo.SegmentID { return n.cfg.Road }
+
+// AddNeighbor registers an adjacent RSU reachable through the given
+// client: summaries for handovers toward it are produced to its CO-DATA
+// topic (after ensuring the topic exists).
+func (n *Node) AddNeighbor(name string, client stream.Client) error {
+	if client == nil {
+		return ErrNoClient
+	}
+	if err := client.CreateTopic(stream.TopicCoData, n.cfg.Partitions); err != nil {
+		return fmt.Errorf("rsu %s: neighbor %s topic: %w", n.cfg.Name, name, err)
+	}
+	p, err := stream.NewProducer(client, stream.TopicCoData)
+	if err != nil {
+		return fmt.Errorf("rsu %s: neighbor %s producer: %w", n.cfg.Name, name, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.neighbors[name] = p
+	return nil
+}
+
+// processRecords is the engine's worker callback: detect, warn, observe.
+func (n *Node) processRecords(records []trace.Record) error {
+	var firstErr error
+	for _, rec := range records {
+		n.records.Add(1)
+
+		// Maintain the road's rolling speed profile and backfill the
+		// road-mean-speed context for records that arrive without one.
+		n.profile.Observe(rec.Speed)
+		if rec.RoadMeanSpeed == 0 {
+			if mean, _, ok := n.profile.MeanStd(); ok {
+				rec.RoadMeanSpeed = mean
+			}
+		}
+
+		var prior *core.PredictionSummary
+		if s, ok := n.summaries.Get(rec.Car); ok {
+			prior = &s
+			n.priorHits.Add(1)
+		} else {
+			n.priorMisses.Add(1)
+		}
+
+		det, err := n.cfg.Detector.Detect(rec, prior)
+		if err != nil {
+			n.detectErrors.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("detect car %d: %w", rec.Car, err)
+			}
+			continue
+		}
+
+		// Feed the local summary builder with the NB probability when the
+		// detector exposes one (the paper's summaries carry Naive Bayes
+		// prediction probabilities).
+		pNB := det.PNormal
+		if ps, ok := n.cfg.Detector.(probaSource); ok {
+			if p, err := ps.PredictProba(rec); err == nil {
+				pNB = p
+			}
+		}
+		n.builder.Observe(rec.Car, pNB)
+
+		if det.Abnormal() {
+			if n.suppressWarning(rec.Car) {
+				continue
+			}
+			w := core.Warning{
+				Car:          rec.Car,
+				Road:         int64(rec.Road),
+				PNormal:      det.PNormal,
+				SourceTsMs:   rec.TimestampMs,
+				DetectedTsMs: n.cfg.Now().UnixMilli(),
+			}
+			payload, err := core.EncodeWarning(w)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if _, _, err := n.outProducer.Send(carKey(rec.Car), payload); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("warn car %d: %w", rec.Car, err)
+				}
+				continue
+			}
+			n.warnings.Add(1)
+			n.cfg.Logger.Debug("warning produced",
+				"rsu", n.cfg.Name, "car", int64(rec.Car),
+				"road", int64(rec.Road), "pNormal", det.PNormal)
+		}
+	}
+	return firstErr
+}
+
+// suppressWarning reports whether a warning to the car should be dropped
+// under the cooldown, updating the last-warned time otherwise.
+func (n *Node) suppressWarning(car trace.CarID) bool {
+	if n.cfg.WarnCooldown <= 0 {
+		return false
+	}
+	now := n.cfg.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if last, ok := n.lastWarn[car]; ok && now.Sub(last) < n.cfg.WarnCooldown {
+		n.suppressed.Add(1)
+		return true
+	}
+	n.lastWarn[car] = now
+	return false
+}
+
+func carKey(car trace.CarID) []byte {
+	return []byte(fmt.Sprintf("car-%d", car))
+}
+
+// Step runs one pipeline round synchronously: drain received CO-DATA
+// summaries, then process one micro-batch. The discrete-event simulator
+// and the tests drive nodes this way.
+func (n *Node) Step() (microbatch.BatchStats, error) {
+	if err := n.drainSummaries(); err != nil && !errors.Is(err, stream.ErrPartitionDown) {
+		return microbatch.BatchStats{}, err
+	}
+	return n.engine.Step()
+}
+
+// drainSummaries ingests pending CO-DATA messages into the summary store.
+func (n *Node) drainSummaries() error {
+	for {
+		msgs, err := n.coConsumer.Poll(256)
+		if len(msgs) == 0 {
+			return err
+		}
+		for _, m := range msgs {
+			s, derr := core.DecodeSummary(m.Value)
+			if derr != nil {
+				continue // malformed summaries are dropped, not fatal
+			}
+			n.summaries.Put(s)
+			n.recvSumm.Add(1)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Handover forwards the car's prediction summary to the named neighbor
+// (write to its CO-DATA topic) and forgets the local history — the
+// paper's §IV-D mesoscopic mechanism. Unknown cars are a no-op: the car
+// may never have sent data through this RSU.
+func (n *Node) Handover(car trace.CarID, neighbor string) error {
+	n.mu.Lock()
+	p, ok := n.neighbors[neighbor]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoNeighbor, neighbor)
+	}
+	sum, found := n.builder.Summarize(car)
+	if !found {
+		return nil
+	}
+	payload, err := core.EncodeSummary(sum)
+	if err != nil {
+		return fmt.Errorf("rsu %s: encode summary: %w", n.cfg.Name, err)
+	}
+	if _, _, err := p.Send(carKey(car), payload); err != nil {
+		return fmt.Errorf("rsu %s: handover car %d to %s: %w", n.cfg.Name, car, neighbor, err)
+	}
+	n.builder.Forget(car)
+	n.sentSumm.Add(1)
+	n.cfg.Logger.Info("handover",
+		"rsu", n.cfg.Name, "car", int64(car), "neighbor", neighbor,
+		"meanPNormal", sum.MeanPNormal, "count", sum.Count)
+	return nil
+}
+
+// discardHandler drops all records (the nil-logger default).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Run drives the pipeline on the wall clock until the context ends:
+// CO-DATA draining plus micro-batch processing every BatchInterval.
+func (n *Node) Run(ctx context.Context) error {
+	ticker := time.NewTicker(n.engine.Interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			_, _ = n.Step() // per-batch errors are recoverable; stats track them
+		}
+	}
+}
+
+// Stats returns a snapshot of node activity.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Records:            n.records.Load(),
+		Warnings:           n.warnings.Load(),
+		SummariesSent:      n.sentSumm.Load(),
+		SummariesReceived:  n.recvSumm.Load(),
+		PriorHits:          n.priorHits.Load(),
+		PriorMisses:        n.priorMisses.Load(),
+		DetectErrors:       n.detectErrors.Load(),
+		WarningsSuppressed: n.suppressed.Load(),
+		Engine:             n.engine.Stats(),
+	}
+}
+
+// TrackedCars returns the number of vehicles with local prediction
+// history.
+func (n *Node) TrackedCars() int { return n.builder.Cars() }
+
+// Profile returns the node's rolling road speed profile.
+func (n *Node) Profile() *RoadProfile { return n.profile }
+
+// StoredSummaries returns the number of summaries received and retained.
+func (n *Node) StoredSummaries() int { return n.summaries.Len() }

@@ -1,0 +1,116 @@
+package rsu
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RoadProfile is the rolling per-road context an RSU maintains (§IV-C of
+// the paper: each RSU "utilizes contextual information (i.e., road type,
+// hour of the day, and speed profile)"): a time-windowed mean/variance of
+// observed speeds, updated on every record and queried to fill the
+// road-mean-speed context (v̄_r of Equation 4) for records that arrive
+// without one.
+//
+// The window is implemented as a ring of per-interval buckets, so old
+// traffic ages out and the profile follows the road's actual condition
+// (rush hours, incidents) rather than an all-time average.
+type RoadProfile struct {
+	mu       sync.Mutex
+	bucketD  time.Duration
+	buckets  []profileBucket
+	now      func() time.Time
+	lastTick int64
+}
+
+type profileBucket struct {
+	tick  int64 // bucket epoch (unix / bucketD); stale buckets are reset
+	n     int64
+	sum   float64
+	sumSq float64
+}
+
+// Window defaults: 10 buckets of 1 minute — a 10-minute rolling profile.
+const (
+	defaultProfileBuckets  = 10
+	defaultProfileBucketD  = time.Minute
+	minProfileObservations = 8
+)
+
+// NewRoadProfile creates a rolling profile. bucketD <= 0 selects 1 min,
+// buckets <= 0 selects 10; now nil selects time.Now.
+func NewRoadProfile(bucketD time.Duration, buckets int, now func() time.Time) *RoadProfile {
+	if bucketD <= 0 {
+		bucketD = defaultProfileBucketD
+	}
+	if buckets <= 0 {
+		buckets = defaultProfileBuckets
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &RoadProfile{
+		bucketD: bucketD,
+		buckets: make([]profileBucket, buckets),
+		now:     now,
+	}
+}
+
+// Observe folds one speed sample into the current bucket.
+func (p *RoadProfile) Observe(speedKmh float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tick := p.now().UnixNano() / int64(p.bucketD)
+	b := &p.buckets[tick%int64(len(p.buckets))]
+	if b.tick != tick {
+		*b = profileBucket{tick: tick}
+	}
+	b.n++
+	b.sum += speedKmh
+	b.sumSq += speedKmh * speedKmh
+}
+
+// MeanStd returns the windowed mean and standard deviation of speed, and
+// ok=false until enough samples accumulated.
+func (p *RoadProfile) MeanStd() (mean, std float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tick := p.now().UnixNano() / int64(p.bucketD)
+	oldest := tick - int64(len(p.buckets)) + 1
+	var n int64
+	var sum, sumSq float64
+	for i := range p.buckets {
+		b := p.buckets[i]
+		if b.tick < oldest || b.tick > tick {
+			continue // stale or future bucket
+		}
+		n += b.n
+		sum += b.sum
+		sumSq += b.sumSq
+	}
+	if n < minProfileObservations {
+		return 0, 0, false
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance), true
+}
+
+// Samples returns the number of samples currently inside the window.
+func (p *RoadProfile) Samples() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tick := p.now().UnixNano() / int64(p.bucketD)
+	oldest := tick - int64(len(p.buckets)) + 1
+	var n int64
+	for i := range p.buckets {
+		if b := p.buckets[i]; b.tick >= oldest && b.tick <= tick {
+			n += b.n
+		}
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package rsu
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cad3/internal/geo"
+	"cad3/internal/trace"
+)
+
+func TestRoadProfileWindowedStats(t *testing.T) {
+	now := time.Date(2016, 7, 4, 9, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	p := NewRoadProfile(time.Minute, 5, clock)
+
+	if _, _, ok := p.MeanStd(); ok {
+		t.Error("empty profile should not be ready")
+	}
+	for i := 0; i < 20; i++ {
+		p.Observe(35 + float64(i%3)) // 35, 36, 37 repeating
+	}
+	mean, std, ok := p.MeanStd()
+	if !ok {
+		t.Fatal("profile not ready after 20 samples")
+	}
+	if math.Abs(mean-36) > 0.2 {
+		t.Errorf("mean = %.2f, want ~36", mean)
+	}
+	if std < 0.5 || std > 1.5 {
+		t.Errorf("std = %.2f", std)
+	}
+	if p.Samples() != 20 {
+		t.Errorf("Samples = %d", p.Samples())
+	}
+}
+
+func TestRoadProfileAgesOut(t *testing.T) {
+	now := time.Date(2016, 7, 4, 9, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	p := NewRoadProfile(time.Minute, 5, clock)
+
+	// Old traffic at ~80 km/h.
+	for i := 0; i < 30; i++ {
+		p.Observe(80)
+	}
+	mean, _, ok := p.MeanStd()
+	if !ok || math.Abs(mean-80) > 0.1 {
+		t.Fatalf("initial mean = %.1f, %v", mean, ok)
+	}
+
+	// 3 minutes later traffic slows to ~30 (incident).
+	now = now.Add(3 * time.Minute)
+	for i := 0; i < 30; i++ {
+		p.Observe(30)
+	}
+	mean, _, _ = p.MeanStd()
+	if mean >= 80 || mean <= 30 {
+		t.Errorf("mixed-window mean = %.1f, want between 30 and 80", mean)
+	}
+
+	// After the window passes, only the new condition remains.
+	now = now.Add(5 * time.Minute)
+	for i := 0; i < 30; i++ {
+		p.Observe(30)
+	}
+	mean, _, _ = p.MeanStd()
+	if math.Abs(mean-30) > 0.1 {
+		t.Errorf("post-window mean = %.1f, want 30 (old traffic aged out)", mean)
+	}
+}
+
+func TestNodeMaintainsProfileAndBackfills(t *testing.T) {
+	_, link, _, _ := trainedDetectors(t)
+	n, _, client := newNode(t, "MwLink", link)
+
+	// Stream records carrying no road mean speed.
+	for i := 0; i < 20; i++ {
+		rec := mkRec(trace.CarID(100+i), geo.MotorwayLink, 35, 14)
+		rec.RoadMeanSpeed = 0
+		sendRecord(t, client, rec)
+	}
+	if _, err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	mean, _, ok := n.Profile().MeanStd()
+	if !ok {
+		t.Fatal("node profile not ready after 20 records")
+	}
+	if math.Abs(mean-35) > 0.5 {
+		t.Errorf("profile mean = %.2f, want ~35", mean)
+	}
+	if n.Profile().Samples() != 20 {
+		t.Errorf("Samples = %d", n.Profile().Samples())
+	}
+}

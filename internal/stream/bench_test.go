@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkProduce(b *testing.B) {
+	broker := NewBroker(BrokerConfig{})
+	if err := broker.CreateTopic("t", 3); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 200)
+	key := []byte("car-42")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := broker.Produce("t", AutoPartition, key, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetch64(b *testing.B) {
+	broker := NewBroker(BrokerConfig{})
+	if err := broker.CreateTopic("t", 1); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 200)
+	for i := 0; i < 1<<14; i++ {
+		if _, _, err := broker.Produce("t", 0, nil, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var off int64
+	for i := 0; i < b.N; i++ {
+		msgs, err := broker.Fetch("t", 0, off, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			off = 0
+			continue
+		}
+		off = msgs[len(msgs)-1].Offset + 1
+	}
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	msgs := make([]Message, 64)
+	for i := range msgs {
+		msgs[i] = Message{
+			Topic: "IN-DATA", Partition: int32(i % 3), Offset: int64(i),
+			Key: []byte(fmt.Sprintf("car-%d", i)), Value: make([]byte, 200),
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var enc wireEncoder
+	for i := 0; i < b.N; i++ {
+		enc.reset(respFetch)
+		enc.messages(msgs)
+		frame := enc.frame()
+		dec := wireDecoder{buf: frame[5:]}
+		if out := dec.messages(); len(out) != 64 || dec.err != nil {
+			b.Fatalf("decode: %d msgs, err %v", len(out), dec.err)
+		}
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	broker := NewBroker(BrokerConfig{})
+	s, err := NewServer(broker, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("t", 3); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 200)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Produce("t", AutoPartition, nil, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Broker errors that callers match with errors.Is.
+var (
+	ErrTopicExists    = errors.New("stream: topic already exists")
+	ErrUnknownTopic   = errors.New("stream: unknown topic")
+	ErrBadPartition   = errors.New("stream: partition out of range")
+	ErrBrokerClosed   = errors.New("stream: broker closed")
+	ErrPartitionDown  = errors.New("stream: partition unavailable")
+	ErrValueTooLarge  = errors.New("stream: value exceeds max message size")
+	ErrEmptyTopicName = errors.New("stream: empty topic name")
+)
+
+// MaxMessageSize bounds a single message value (1 MiB, as Kafka's default).
+const MaxMessageSize = 1 << 20
+
+// AutoPartition selects key-hash (or round-robin for nil keys)
+// partitioning on Produce.
+const AutoPartition int32 = -1
+
+// BrokerConfig tunes a broker.
+type BrokerConfig struct {
+	// MaxRetainedPerPartition bounds per-partition log memory. Values
+	// <= 0 select the default (65536 messages).
+	MaxRetainedPerPartition int
+	// RetentionAge additionally drops messages older than this (0 keeps
+	// them until the size bound evicts them), like Kafka's time-based
+	// retention.
+	RetentionAge time.Duration
+	// Now injects the clock (virtual time in simulations). Nil selects
+	// time.Now.
+	Now func() time.Time
+}
+
+// Broker is an in-memory, thread-safe event broker: the per-RSU Kafka
+// substitute. One broker instance backs one RSU.
+type Broker struct {
+	cfg    BrokerConfig
+	mu     sync.RWMutex
+	topics map[string]*topic
+	closed bool
+	rr     atomic.Uint64 // round-robin counter for nil-key produce
+	// downPartitions supports failure injection in tests: a (topic,
+	// partition) marked down rejects produce and fetch.
+	downMu sync.RWMutex
+	down   map[string]map[int32]bool
+
+	// Counters for bandwidth accounting.
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// NewBroker creates an empty broker.
+func NewBroker(cfg BrokerConfig) *Broker {
+	return &Broker{
+		cfg:    cfg,
+		topics: make(map[string]*topic),
+		down:   make(map[string]map[int32]bool),
+	}
+}
+
+// CreateTopic creates a topic with the given partition count. Creating an
+// existing topic with the same partition count is a no-op; with a
+// different count it returns ErrTopicExists.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if name == "" {
+		return ErrEmptyTopicName
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBrokerClosed
+	}
+	if existing, ok := b.topics[name]; ok {
+		if len(existing.partitions) == partitions {
+			return nil
+		}
+		return fmt.Errorf("%w: %q with %d partitions", ErrTopicExists, name, len(existing.partitions))
+	}
+	t, err := newTopic(name, partitions, b.cfg.MaxRetainedPerPartition, b.cfg.RetentionAge, b.cfg.Now)
+	if err != nil {
+		return err
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// Topics returns the topic names, sorted.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartitionCount returns the number of partitions of a topic.
+func (b *Broker) PartitionCount(name string) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTopic, name)
+	}
+	return len(t.partitions), nil
+}
+
+// Produce appends a message. partition AutoPartition selects a partition
+// by FNV key hash, or round-robin when key is nil. It returns the chosen
+// partition and the assigned offset.
+func (b *Broker) Produce(topicName string, partition int32, key, value []byte) (int32, int64, error) {
+	if len(value) > MaxMessageSize {
+		return 0, 0, ErrValueTooLarge
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, 0, ErrBrokerClosed
+	}
+	t, ok := b.topics[topicName]
+	b.mu.RUnlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownTopic, topicName)
+	}
+
+	if partition == AutoPartition {
+		partition = b.pickPartition(key, len(t.partitions))
+	}
+	if partition < 0 || int(partition) >= len(t.partitions) {
+		return 0, 0, fmt.Errorf("%w: %q/%d", ErrBadPartition, topicName, partition)
+	}
+	if b.partitionDown(topicName, partition) {
+		return 0, 0, fmt.Errorf("%w: %q/%d", ErrPartitionDown, topicName, partition)
+	}
+
+	msg := Message{Topic: topicName, Partition: partition, Key: key, Value: value}.Clone()
+	offset := t.partitions[partition].append(msg)
+	b.bytesIn.Add(int64(msg.WireSize()))
+	return partition, offset, nil
+}
+
+// Fetch reads up to max messages from a partition starting at offset.
+func (b *Broker) Fetch(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrBrokerClosed
+	}
+	t, ok := b.topics[topicName]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTopic, topicName)
+	}
+	if partition < 0 || int(partition) >= len(t.partitions) {
+		return nil, fmt.Errorf("%w: %q/%d", ErrBadPartition, topicName, partition)
+	}
+	if b.partitionDown(topicName, partition) {
+		return nil, fmt.Errorf("%w: %q/%d", ErrPartitionDown, topicName, partition)
+	}
+	msgs := t.partitions[partition].read(offset, max)
+	var bytes int64
+	for i := range msgs {
+		bytes += int64(msgs[i].WireSize())
+	}
+	b.bytesOut.Add(bytes)
+	return msgs, nil
+}
+
+// HighWaterMark returns the next offset to be assigned in a partition.
+func (b *Broker) HighWaterMark(topicName string, partition int32) (int64, error) {
+	b.mu.RLock()
+	t, ok := b.topics[topicName]
+	b.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTopic, topicName)
+	}
+	if partition < 0 || int(partition) >= len(t.partitions) {
+		return 0, fmt.Errorf("%w: %q/%d", ErrBadPartition, topicName, partition)
+	}
+	return t.partitions[partition].highWaterMark(), nil
+}
+
+// SetPartitionDown marks a partition available or unavailable — the
+// failure-injection hook used by resilience tests.
+func (b *Broker) SetPartitionDown(topicName string, partition int32, down bool) {
+	b.downMu.Lock()
+	defer b.downMu.Unlock()
+	m, ok := b.down[topicName]
+	if !ok {
+		m = make(map[int32]bool)
+		b.down[topicName] = m
+	}
+	m[partition] = down
+}
+
+func (b *Broker) partitionDown(topicName string, partition int32) bool {
+	b.downMu.RLock()
+	defer b.downMu.RUnlock()
+	return b.down[topicName][partition]
+}
+
+// BytesIn returns the cumulative produced bytes (wire-size accounted).
+func (b *Broker) BytesIn() int64 { return b.bytesIn.Load() }
+
+// BytesOut returns the cumulative fetched bytes.
+func (b *Broker) BytesOut() int64 { return b.bytesOut.Load() }
+
+// Close marks the broker closed; subsequent produce/fetch fail.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	return nil
+}
+
+func (b *Broker) pickPartition(key []byte, n int) int32 {
+	if n == 1 {
+		return 0
+	}
+	if key == nil {
+		return int32(b.rr.Add(1) % uint64(n))
+	}
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	return int32(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Consumer pulls messages from every partition of one topic, tracking its
+// own per-partition offsets (there are no consumer groups: CAD3's
+// consumers — the Spark ingestion loop and the vehicles' warning listeners
+// — each read the whole topic). It is safe for concurrent use.
+type Consumer struct {
+	client Client
+	topic  string
+
+	mu         sync.Mutex
+	offsets    []int64
+	next       int // round-robin partition cursor
+	totalBytes int64
+	totalMsgs  int64
+}
+
+// NewConsumer creates a consumer positioned at the given start offset on
+// every partition of the topic (0 = earliest retained).
+func NewConsumer(client Client, topicName string, startOffset int64) (*Consumer, error) {
+	if client == nil {
+		return nil, fmt.Errorf("stream: consumer requires a client")
+	}
+	n, err := client.PartitionCount(topicName)
+	if err != nil {
+		return nil, fmt.Errorf("consumer for %q: %w", topicName, err)
+	}
+	offsets := make([]int64, n)
+	for i := range offsets {
+		offsets[i] = startOffset
+	}
+	return &Consumer{client: client, topic: topicName, offsets: offsets}, nil
+}
+
+// Poll fetches up to max messages, cycling through partitions round-robin
+// and advancing offsets past what it returns. An empty result means no new
+// messages were available.
+func (c *Consumer) Poll(max int) ([]Message, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var out []Message
+	var firstErr error
+	n := len(c.offsets)
+	for tried := 0; tried < n && len(out) < max; tried++ {
+		part := int32((c.next + tried) % n)
+		msgs, err := c.client.Fetch(c.topic, part, c.offsets[part], max-len(out))
+		if err != nil {
+			// Keep draining the healthy partitions; report the first
+			// failure so callers can degrade gracefully.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fetch %q/%d: %w", c.topic, part, err)
+			}
+			continue
+		}
+		if len(msgs) > 0 {
+			c.offsets[part] = msgs[len(msgs)-1].Offset + 1
+			for i := range msgs {
+				c.totalBytes += int64(msgs[i].WireSize())
+			}
+			c.totalMsgs += int64(len(msgs))
+			out = append(out, msgs...)
+		}
+	}
+	c.next = (c.next + 1) % n
+	return out, firstErr
+}
+
+// SeekTo positions every partition offset.
+func (c *Consumer) SeekTo(offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.offsets {
+		c.offsets[i] = offset
+	}
+}
+
+// Offsets returns a copy of the per-partition offsets.
+func (c *Consumer) Offsets() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, len(c.offsets))
+	copy(out, c.offsets)
+	return out
+}
+
+// Received returns the cumulative (messages, wire bytes) consumed.
+func (c *Consumer) Received() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalMsgs, c.totalBytes
+}
+
+// Topic returns the topic the consumer reads.
+func (c *Consumer) Topic() string { return c.topic }

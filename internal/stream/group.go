@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Group errors.
+var (
+	ErrMemberExists  = errors.New("stream: group member already exists")
+	ErrUnknownMember = errors.New("stream: unknown group member")
+)
+
+// Group coordinates a set of consumers sharing one topic: the topic's
+// partitions are divided round-robin among members, each message is
+// delivered to exactly one member, and joins/leaves rebalance the
+// assignment. Offsets are owned by the group, so work resumes where the
+// previous assignee left off — the client-side analogue of Kafka consumer
+// groups, sufficient for scaling an RSU's ingestion across workers.
+type Group struct {
+	client Client
+	topic  string
+
+	mu         sync.Mutex
+	partitions int
+	offsets    []int64
+	members    []string // join order
+	generation int64
+}
+
+// NewGroup creates a group over a topic, with all partition offsets at
+// startOffset.
+func NewGroup(client Client, topicName string, startOffset int64) (*Group, error) {
+	if client == nil {
+		return nil, fmt.Errorf("stream: group requires a client")
+	}
+	n, err := client.PartitionCount(topicName)
+	if err != nil {
+		return nil, fmt.Errorf("group for %q: %w", topicName, err)
+	}
+	offsets := make([]int64, n)
+	for i := range offsets {
+		offsets[i] = startOffset
+	}
+	return &Group{client: client, topic: topicName, partitions: n, offsets: offsets}, nil
+}
+
+// Join adds a member and returns its handle. The assignment of every
+// member changes (generation bump).
+func (g *Group) Join(id string) (*GroupMember, error) {
+	if id == "" {
+		return nil, fmt.Errorf("stream: empty member id")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m == id {
+			return nil, fmt.Errorf("%w: %q", ErrMemberExists, id)
+		}
+	}
+	g.members = append(g.members, id)
+	g.generation++
+	return &GroupMember{group: g, id: id}, nil
+}
+
+// Leave removes a member; its partitions are redistributed.
+func (g *Group) Leave(id string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, m := range g.members {
+		if m == id {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			g.generation++
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownMember, id)
+}
+
+// Members returns the current member ids in join order.
+func (g *Group) Members() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.members))
+	copy(out, g.members)
+	return out
+}
+
+// Generation returns the rebalance generation (bumped on join/leave).
+func (g *Group) Generation() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.generation
+}
+
+// assignmentLocked returns the partitions assigned to member id under the
+// current generation (round-robin by join order).
+func (g *Group) assignmentLocked(id string) []int32 {
+	idx := -1
+	for i, m := range g.members {
+		if m == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	var out []int32
+	for p := idx; p < g.partitions; p += len(g.members) {
+		out = append(out, int32(p))
+	}
+	return out
+}
+
+// Offsets returns a copy of the group's committed per-partition offsets.
+func (g *Group) Offsets() []int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int64, len(g.offsets))
+	copy(out, g.offsets)
+	return out
+}
+
+// GroupMember is one consumer within a group.
+type GroupMember struct {
+	group *Group
+	id    string
+}
+
+// ID returns the member's id.
+func (m *GroupMember) ID() string { return m.id }
+
+// Assignment returns the member's current partitions, sorted.
+func (m *GroupMember) Assignment() []int32 {
+	m.group.mu.Lock()
+	defer m.group.mu.Unlock()
+	out := m.group.assignmentLocked(m.id)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Poll fetches up to max messages from the member's assigned partitions,
+// committing group offsets past what it returns. A member that has left
+// the group gets ErrUnknownMember.
+func (m *GroupMember) Poll(max int) ([]Message, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	g := m.group
+	g.mu.Lock()
+	assigned := g.assignmentLocked(m.id)
+	if assigned == nil {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMember, m.id)
+	}
+	// Snapshot offsets for the assigned partitions.
+	starts := make(map[int32]int64, len(assigned))
+	for _, p := range assigned {
+		starts[p] = g.offsets[p]
+	}
+	gen := g.generation
+	g.mu.Unlock()
+
+	var out []Message
+	var firstErr error
+	commits := make(map[int32]int64)
+	for _, p := range assigned {
+		if len(out) >= max {
+			break
+		}
+		msgs, err := g.client.Fetch(g.topic, p, starts[p], max-len(out))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("group fetch %q/%d: %w", g.topic, p, err)
+			}
+			continue
+		}
+		if len(msgs) > 0 {
+			commits[p] = msgs[len(msgs)-1].Offset + 1
+			out = append(out, msgs...)
+		}
+	}
+
+	// Commit, unless a rebalance happened mid-poll (the messages are
+	// still delivered; offsets stay put so the new assignee re-reads —
+	// at-least-once semantics, as in Kafka).
+	g.mu.Lock()
+	if g.generation == gen {
+		for p, off := range commits {
+			if off > g.offsets[p] {
+				g.offsets[p] = off
+			}
+		}
+	}
+	g.mu.Unlock()
+	return out, firstErr
+}

@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func groupFixture(t *testing.T) (*Broker, Client, *Producer) {
+	t.Helper()
+	b := newTestBroker(t)
+	client := NewInProcClient(b)
+	p, err := NewProducer(client, TopicInData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, client, p
+}
+
+func TestGroupSingleMemberGetsAll(t *testing.T) {
+	_, client, p := groupFixture(t)
+	g, err := NewGroup(client, TopicInData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Assignment(); len(got) != DefaultPartitions {
+		t.Errorf("assignment = %v, want all %d partitions", got, DefaultPartitions)
+	}
+	for i := 0; i < 30; i++ {
+		_, _, _ = p.Send([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	var got int
+	for {
+		msgs, err := m.Poll(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		got += len(msgs)
+	}
+	if got != 30 {
+		t.Errorf("single member consumed %d, want 30", got)
+	}
+}
+
+func TestGroupPartitionsSplitExactlyOnce(t *testing.T) {
+	_, client, p := groupFixture(t)
+	g, err := NewGroup(client, TopicInData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := g.Join("a")
+	m2, _ := g.Join("b")
+	m3, _ := g.Join("c")
+
+	// Every partition assigned to exactly one member.
+	seen := make(map[int32]string)
+	for _, m := range []*GroupMember{m1, m2, m3} {
+		for _, part := range m.Assignment() {
+			if owner, dup := seen[part]; dup {
+				t.Fatalf("partition %d assigned to %s and %s", part, owner, m.ID())
+			}
+			seen[part] = m.ID()
+		}
+	}
+	if len(seen) != DefaultPartitions {
+		t.Fatalf("assignments cover %d partitions, want %d", len(seen), DefaultPartitions)
+	}
+
+	for i := 0; i < 60; i++ {
+		_, _, _ = p.Send([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("m%d", i)))
+	}
+	delivered := make(map[string]bool)
+	for _, m := range []*GroupMember{m1, m2, m3} {
+		for {
+			msgs, err := m.Poll(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, msg := range msgs {
+				v := string(msg.Value)
+				if delivered[v] {
+					t.Fatalf("message %q delivered twice", v)
+				}
+				delivered[v] = true
+			}
+		}
+	}
+	if len(delivered) != 60 {
+		t.Errorf("group consumed %d unique messages, want 60", len(delivered))
+	}
+}
+
+func TestGroupRebalanceOnLeave(t *testing.T) {
+	_, client, p := groupFixture(t)
+	g, _ := NewGroup(client, TopicInData, 0)
+	m1, _ := g.Join("a")
+	m2, _ := g.Join("b")
+	gen := g.Generation()
+
+	for i := 0; i < 30; i++ {
+		_, _, _ = p.Send([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("m%d", i)))
+	}
+	// m1 consumes its share, then leaves.
+	first, err := m1.Poll(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Leave("a"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Generation() == gen {
+		t.Error("generation should bump on leave")
+	}
+	// m2 now owns everything and picks up from committed offsets: the
+	// remaining messages come through exactly once.
+	if got := m2.Assignment(); len(got) != DefaultPartitions {
+		t.Errorf("survivor assignment = %v", got)
+	}
+	seen := make(map[string]bool)
+	for _, msg := range first {
+		seen[string(msg.Value)] = true
+	}
+	for {
+		msgs, err := m2.Poll(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		for _, msg := range msgs {
+			v := string(msg.Value)
+			if seen[v] {
+				t.Fatalf("message %q delivered twice across rebalance", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 30 {
+		t.Errorf("group consumed %d unique messages, want 30", len(seen))
+	}
+	// The departed member can no longer poll.
+	if _, err := m1.Poll(1); !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("err = %v, want ErrUnknownMember", err)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	_, client, _ := groupFixture(t)
+	if _, err := NewGroup(nil, TopicInData, 0); err == nil {
+		t.Error("want error for nil client")
+	}
+	if _, err := NewGroup(client, "missing", 0); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("err = %v, want ErrUnknownTopic", err)
+	}
+	g, _ := NewGroup(client, TopicInData, 0)
+	if _, err := g.Join(""); err == nil {
+		t.Error("want error for empty member id")
+	}
+	if _, err := g.Join("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Join("x"); !errors.Is(err, ErrMemberExists) {
+		t.Errorf("err = %v, want ErrMemberExists", err)
+	}
+	if err := g.Leave("ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("err = %v, want ErrUnknownMember", err)
+	}
+	if got := g.Members(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Members = %v", got)
+	}
+	if offs := g.Offsets(); len(offs) != DefaultPartitions {
+		t.Errorf("Offsets = %v", offs)
+	}
+	m, _ := g.Join("y")
+	if msgs, err := m.Poll(0); err != nil || msgs != nil {
+		t.Errorf("Poll(0) = %v, %v", msgs, err)
+	}
+}
+
+func TestListTopicsInProcAndTCP(t *testing.T) {
+	b, s := startServer(t)
+	if err := b.CreateTopic("b-topic", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("a-topic", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	inproc := NewInProcClient(b)
+	got, err := inproc.ListTopics()
+	if err != nil || len(got) != 2 || got[0] != "a-topic" {
+		t.Errorf("inproc ListTopics = %v, %v", got, err)
+	}
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err = c.ListTopics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a-topic" || got[1] != "b-topic" {
+		t.Errorf("tcp ListTopics = %v", got)
+	}
+}

@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// partitionLog is one partition's append-only message log. It retains a
+// bounded number of messages: once the log exceeds maxRetained the oldest
+// half is discarded and the base offset advances, like Kafka segment
+// deletion. Offsets are stable across truncation.
+type partitionLog struct {
+	mu          sync.Mutex
+	base        int64 // offset of msgs[0]
+	msgs        []Message
+	maxRetained int
+	maxAge      time.Duration // 0 = no age-based retention
+	now         func() time.Time
+}
+
+// defaultMaxRetained bounds per-partition memory; at ~200 B/message this is
+// ~50 MB across a 3-partition topic under sustained load.
+const defaultMaxRetained = 1 << 16
+
+func newPartitionLog(maxRetained int, maxAge time.Duration, now func() time.Time) *partitionLog {
+	if maxRetained <= 0 {
+		maxRetained = defaultMaxRetained
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &partitionLog{maxRetained: maxRetained, maxAge: maxAge, now: now}
+}
+
+// append adds a message and returns its offset.
+func (l *partitionLog) append(m Message) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	offset := l.base + int64(len(l.msgs))
+	m.Offset = offset
+	m.AppendedAt = l.now()
+	l.msgs = append(l.msgs, m)
+	if len(l.msgs) > l.maxRetained {
+		l.dropLocked(len(l.msgs) / 2)
+	}
+	if l.maxAge > 0 {
+		cutoff := m.AppendedAt.Add(-l.maxAge)
+		drop := 0
+		for drop < len(l.msgs)-1 && l.msgs[drop].AppendedAt.Before(cutoff) {
+			drop++
+		}
+		if drop > 0 {
+			l.dropLocked(drop)
+		}
+	}
+	return offset
+}
+
+// dropLocked discards the oldest n messages, advancing the base offset.
+func (l *partitionLog) dropLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > len(l.msgs) {
+		n = len(l.msgs)
+	}
+	remaining := len(l.msgs) - n
+	fresh := make([]Message, remaining)
+	copy(fresh, l.msgs[n:])
+	l.msgs = fresh
+	l.base += int64(n)
+}
+
+// read returns up to max messages starting at offset. Reading below the
+// base offset (truncated history) transparently resumes at the base, like
+// a Kafka consumer resetting to earliest. Reading at or past the high
+// watermark returns an empty slice.
+func (l *partitionLog) read(offset int64, max int) []Message {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset < l.base {
+		offset = l.base
+	}
+	start := int(offset - l.base)
+	if start >= len(l.msgs) || max <= 0 {
+		return nil
+	}
+	end := start + max
+	if end > len(l.msgs) {
+		end = len(l.msgs)
+	}
+	out := make([]Message, end-start)
+	for i := range out {
+		out[i] = l.msgs[start+i].Clone()
+	}
+	return out
+}
+
+// highWaterMark returns the offset the next append will receive.
+func (l *partitionLog) highWaterMark() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + int64(len(l.msgs))
+}
+
+// baseOffset returns the earliest retained offset.
+func (l *partitionLog) baseOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// topic is a named set of partition logs.
+type topic struct {
+	name       string
+	partitions []*partitionLog
+}
+
+func newTopic(name string, partitions, maxRetained int, maxAge time.Duration, now func() time.Time) (*topic, error) {
+	if name == "" {
+		return nil, fmt.Errorf("stream: empty topic name")
+	}
+	if partitions <= 0 {
+		return nil, fmt.Errorf("stream: topic %q needs >= 1 partition, got %d", name, partitions)
+	}
+	t := &topic{name: name, partitions: make([]*partitionLog, partitions)}
+	for i := range t.partitions {
+		t.partitions[i] = newPartitionLog(maxRetained, maxAge, now)
+	}
+	return t, nil
+}

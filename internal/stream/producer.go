@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Producer publishes messages to one topic through a Client. It is safe
+// for concurrent use. Each emulated vehicle runs one producer (the paper's
+// "Kafka Producers" on PC1).
+type Producer struct {
+	client Client
+	topic  string
+	sent   atomic.Int64
+	bytes  atomic.Int64
+}
+
+// NewProducer binds a producer to a topic. The topic must already exist
+// (or be created by the caller); Send surfaces ErrUnknownTopic otherwise.
+func NewProducer(client Client, topicName string) (*Producer, error) {
+	if client == nil {
+		return nil, fmt.Errorf("stream: producer requires a client")
+	}
+	if topicName == "" {
+		return nil, ErrEmptyTopicName
+	}
+	return &Producer{client: client, topic: topicName}, nil
+}
+
+// Send publishes value under key with automatic partitioning and returns
+// the (partition, offset) the broker assigned.
+func (p *Producer) Send(key, value []byte) (int32, int64, error) {
+	part, off, err := p.client.Produce(p.topic, AutoPartition, key, value)
+	if err != nil {
+		return 0, 0, fmt.Errorf("produce to %q: %w", p.topic, err)
+	}
+	p.sent.Add(1)
+	p.bytes.Add(int64(len(key) + len(value)))
+	return part, off, nil
+}
+
+// SendToPartition publishes to an explicit partition.
+func (p *Producer) SendToPartition(partition int32, key, value []byte) (int64, error) {
+	_, off, err := p.client.Produce(p.topic, partition, key, value)
+	if err != nil {
+		return 0, fmt.Errorf("produce to %q/%d: %w", p.topic, partition, err)
+	}
+	p.sent.Add(1)
+	p.bytes.Add(int64(len(key) + len(value)))
+	return off, nil
+}
+
+// Sent returns the number of successfully published messages.
+func (p *Producer) Sent() int64 { return p.sent.Load() }
+
+// Bytes returns the cumulative payload bytes published.
+func (p *Producer) Bytes() int64 { return p.bytes.Load() }
+
+// Topic returns the topic the producer publishes to.
+func (p *Producer) Topic() string { return p.topic }

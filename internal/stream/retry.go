@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RetryClient decorates a TCP client with automatic reconnection: when a
+// request fails with a transport error, it redials (with capped
+// exponential backoff) and retries. Broker-level errors (unknown topic,
+// bad partition, ...) are returned as-is — only the connection is
+// healed. Vehicles and inter-RSU links use it so a restarted RSU does not
+// strand its peers.
+type RetryClient struct {
+	addr string
+	// MaxAttempts per operation. Values <= 0 select 3.
+	maxAttempts int
+	// baseBackoff doubles per retry, capped at maxBackoff.
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	sleep       func(time.Duration) // injectable for tests
+
+	mu     sync.Mutex
+	client *TCPClient
+	closed bool
+}
+
+var _ Client = (*RetryClient)(nil)
+
+// ErrClientClosed is returned after Close.
+var ErrClientClosed = errors.New("stream: retry client closed")
+
+// DialRetry connects with reconnection support. maxAttempts <= 0 selects
+// 3; backoff <= 0 selects 50 ms doubling to 1 s.
+func DialRetry(addr string, maxAttempts int, backoff time.Duration) (*RetryClient, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	rc := &RetryClient{
+		addr:        addr,
+		maxAttempts: maxAttempts,
+		baseBackoff: backoff,
+		maxBackoff:  time.Second,
+		sleep:       time.Sleep,
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.client = c
+	return rc, nil
+}
+
+// brokerError reports whether the error is an application-level broker
+// response (retrying cannot help) rather than a transport failure.
+func brokerError(err error) bool {
+	for _, sentinel := range []error{
+		ErrTopicExists, ErrUnknownTopic, ErrBadPartition,
+		ErrBrokerClosed, ErrPartitionDown, ErrValueTooLarge, ErrEmptyTopicName,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// do runs op, redialing on transport errors.
+func (rc *RetryClient) do(op func(c *TCPClient) error) error {
+	backoff := rc.baseBackoff
+	var lastErr error
+	for attempt := 0; attempt < rc.maxAttempts; attempt++ {
+		rc.mu.Lock()
+		if rc.closed {
+			rc.mu.Unlock()
+			return ErrClientClosed
+		}
+		c := rc.client
+		rc.mu.Unlock()
+
+		if c != nil {
+			err := op(c)
+			if err == nil || brokerError(err) {
+				return err
+			}
+			lastErr = err
+			_ = c.Close()
+		}
+
+		// Redial.
+		if attempt < rc.maxAttempts-1 {
+			rc.sleep(backoff)
+			backoff *= 2
+			if backoff > rc.maxBackoff {
+				backoff = rc.maxBackoff
+			}
+		}
+		fresh, err := Dial(rc.addr)
+		rc.mu.Lock()
+		if rc.closed {
+			rc.mu.Unlock()
+			if err == nil {
+				_ = fresh.Close()
+			}
+			return ErrClientClosed
+		}
+		if err != nil {
+			rc.client = nil
+			lastErr = err
+		} else {
+			rc.client = fresh
+		}
+		rc.mu.Unlock()
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("stream: retry budget exhausted for %s", rc.addr)
+	}
+	return fmt.Errorf("stream retry %s: %w", rc.addr, lastErr)
+}
+
+// CreateTopic implements Client.
+func (rc *RetryClient) CreateTopic(name string, partitions int) error {
+	return rc.do(func(c *TCPClient) error { return c.CreateTopic(name, partitions) })
+}
+
+// Produce implements Client.
+func (rc *RetryClient) Produce(topicName string, partition int32, key, value []byte) (int32, int64, error) {
+	var part int32
+	var off int64
+	err := rc.do(func(c *TCPClient) error {
+		var e error
+		part, off, e = c.Produce(topicName, partition, key, value)
+		return e
+	})
+	return part, off, err
+}
+
+// Fetch implements Client.
+func (rc *RetryClient) Fetch(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	var msgs []Message
+	err := rc.do(func(c *TCPClient) error {
+		var e error
+		msgs, e = c.Fetch(topicName, partition, offset, max)
+		return e
+	})
+	return msgs, err
+}
+
+// PartitionCount implements Client.
+func (rc *RetryClient) PartitionCount(topicName string) (int, error) {
+	var n int
+	err := rc.do(func(c *TCPClient) error {
+		var e error
+		n, e = c.PartitionCount(topicName)
+		return e
+	})
+	return n, err
+}
+
+// ListTopics implements Client.
+func (rc *RetryClient) ListTopics() ([]string, error) {
+	var topics []string
+	err := rc.do(func(c *TCPClient) error {
+		var e error
+		topics, e = c.ListTopics()
+		return e
+	})
+	return topics, err
+}
+
+// Close implements Client. Closing twice is a no-op.
+func (rc *RetryClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil
+	}
+	rc.closed = true
+	if rc.client != nil {
+		return rc.client.Close()
+	}
+	return nil
+}

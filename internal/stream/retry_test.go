@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// restartableServer serves a broker on a fixed port and can be bounced.
+type restartableServer struct {
+	t      *testing.T
+	broker *Broker
+	addr   string
+	srv    *Server
+}
+
+func newRestartableServer(t *testing.T) *restartableServer {
+	t.Helper()
+	b := NewBroker(BrokerConfig{})
+	if err := b.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Reserve a port deterministically by binding :0 once.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	rs := &restartableServer{t: t, broker: b, addr: addr}
+	rs.start()
+	t.Cleanup(rs.stop)
+	return rs
+}
+
+func (rs *restartableServer) start() {
+	rs.t.Helper()
+	var err error
+	// The just-freed port may linger briefly; retry the bind.
+	for i := 0; i < 20; i++ {
+		rs.srv, err = NewServer(rs.broker, rs.addr)
+		if err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rs.t.Fatalf("restart server: %v", err)
+}
+
+func (rs *restartableServer) stop() {
+	if rs.srv != nil {
+		_ = rs.srv.Close()
+		rs.srv = nil
+	}
+}
+
+func TestRetryClientSurvivesServerRestart(t *testing.T) {
+	rs := newRestartableServer(t)
+	rc, err := DialRetry(rs.addr, 5, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	if _, _, err := rc.Produce("t", AutoPartition, nil, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bounce the server: the client's connection dies, the retry client
+	// redials transparently.
+	rs.stop()
+	rs.start()
+
+	if _, _, err := rc.Produce("t", AutoPartition, nil, []byte("after")); err != nil {
+		t.Fatalf("produce after restart: %v", err)
+	}
+	var total int64
+	for p := int32(0); p < 3; p++ {
+		hwm, err := rs.broker.HighWaterMark("t", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hwm
+	}
+	if total != 2 {
+		t.Errorf("broker holds %d messages, want 2", total)
+	}
+}
+
+func TestRetryClientBrokerErrorsNotRetried(t *testing.T) {
+	rs := newRestartableServer(t)
+	rc, err := DialRetry(rs.addr, 5, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	// Application-level errors surface immediately with matching.
+	if _, _, err := rc.Produce("missing", 0, nil, []byte("x")); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("err = %v, want ErrUnknownTopic", err)
+	}
+	if _, err := rc.Fetch("t", 99, 0, 1); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("err = %v, want ErrBadPartition", err)
+	}
+}
+
+func TestRetryClientExhaustsBudget(t *testing.T) {
+	rs := newRestartableServer(t)
+	rc, err := DialRetry(rs.addr, 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.sleep = func(time.Duration) {} // no real waiting in tests
+	defer rc.Close()
+	rs.stop() // server never comes back
+
+	if _, _, err := rc.Produce("t", 0, nil, []byte("x")); err == nil {
+		t.Error("want error when the server stays down")
+	}
+}
+
+func TestRetryClientClosed(t *testing.T) {
+	rs := newRestartableServer(t)
+	rc, err := DialRetry(rs.addr, 3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rc.Produce("t", 0, nil, []byte("x")); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("err = %v, want ErrClientClosed", err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRetryClientFullSurface(t *testing.T) {
+	rs := newRestartableServer(t)
+	rc, err := DialRetry(rs.addr, 3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := rc.CreateTopic("u", 2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rc.PartitionCount("u")
+	if err != nil || n != 2 {
+		t.Errorf("PartitionCount = %d, %v", n, err)
+	}
+	topics, err := rc.ListTopics()
+	if err != nil || len(topics) != 2 {
+		t.Errorf("ListTopics = %v, %v", topics, err)
+	}
+	if _, _, err := rc.Produce("u", 0, nil, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := rc.Fetch("u", 0, 0, 10)
+	if err != nil || len(msgs) != 1 {
+		t.Errorf("Fetch = %v, %v", msgs, err)
+	}
+}

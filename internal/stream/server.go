@@ -1,0 +1,327 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+func timeFromUnixNano(nanos int64) time.Time {
+	if nanos <= 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, nanos)
+}
+
+// Server exposes a Broker over TCP using the binary wire protocol. One
+// server per RSU mirrors the paper's per-RSU Kafka broker.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the broker on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is bound. Close shuts it down.
+func NewServer(broker *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream server listen: %w", err)
+	}
+	s := &Server{broker: broker, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes live connections, and waits for all
+// connection handlers to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var enc wireEncoder
+	for {
+		msgType, payload, err := readFrame(conn)
+		if err != nil {
+			return // peer closed or protocol error
+		}
+		resp, err := s.handle(&enc, msgType, payload)
+		if err != nil {
+			enc.reset(respError)
+			enc.str(err.Error())
+			resp = enc.frame()
+		}
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(enc *wireEncoder, msgType byte, payload []byte) ([]byte, error) {
+	dec := wireDecoder{buf: payload}
+	switch msgType {
+	case reqCreateTopic:
+		name := dec.str()
+		parts := int(dec.u32())
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if err := s.broker.CreateTopic(name, parts); err != nil {
+			return nil, err
+		}
+		enc.reset(respOK)
+		return enc.frame(), nil
+
+	case reqProduce:
+		topicName := dec.str()
+		partition := int32(dec.u32())
+		key := dec.bytes()
+		value := dec.bytes()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if len(key) == 0 {
+			key = nil
+		}
+		part, off, err := s.broker.Produce(topicName, partition, key, value)
+		if err != nil {
+			return nil, err
+		}
+		enc.reset(respProduce)
+		enc.u32(uint32(part))
+		enc.u64(uint64(off))
+		return enc.frame(), nil
+
+	case reqFetch:
+		topicName := dec.str()
+		partition := int32(dec.u32())
+		offset := int64(dec.u64())
+		max := int(dec.u32())
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		msgs, err := s.broker.Fetch(topicName, partition, offset, max)
+		if err != nil {
+			return nil, err
+		}
+		enc.reset(respFetch)
+		enc.messages(msgs)
+		return enc.frame(), nil
+
+	case reqPartitionCount:
+		topicName := dec.str()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		n, err := s.broker.PartitionCount(topicName)
+		if err != nil {
+			return nil, err
+		}
+		enc.reset(respPartitionCount)
+		enc.u32(uint32(n))
+		return enc.frame(), nil
+
+	case reqListTopics:
+		topics := s.broker.Topics()
+		enc.reset(respListTopics)
+		enc.u32(uint32(len(topics)))
+		for _, t := range topics {
+			enc.str(t)
+		}
+		return enc.frame(), nil
+
+	default:
+		return nil, fmt.Errorf("stream: unknown request type %d", msgType)
+	}
+}
+
+// TCPClient is a Client speaking the wire protocol to a Server. Requests
+// are serialized over a single connection; wrap one per goroutine for
+// parallelism.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  wireEncoder
+}
+
+var _ Client = (*TCPClient)(nil)
+
+// DialTimeout is the TCP connect timeout.
+const DialTimeout = 5 * time.Second
+
+// Dial connects to a stream server.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("stream dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends the encoded frame and reads one response.
+func (c *TCPClient) roundTrip() (byte, wireDecoder, error) {
+	if _, err := c.conn.Write(c.enc.frame()); err != nil {
+		return 0, wireDecoder{}, fmt.Errorf("stream write: %w", err)
+	}
+	msgType, payload, err := readFrame(c.conn)
+	if err != nil {
+		return 0, wireDecoder{}, fmt.Errorf("stream read: %w", err)
+	}
+	dec := wireDecoder{buf: payload}
+	if msgType == respError {
+		msg := dec.str()
+		return 0, wireDecoder{}, remoteError(msg)
+	}
+	return msgType, dec, nil
+}
+
+// remoteError maps server-side sentinel messages back to matchable errors.
+func remoteError(msg string) error {
+	for _, sentinel := range []error{
+		ErrTopicExists, ErrUnknownTopic, ErrBadPartition,
+		ErrBrokerClosed, ErrPartitionDown, ErrValueTooLarge,
+	} {
+		if len(msg) >= len(sentinel.Error()) && msg[:len(sentinel.Error())] == sentinel.Error() {
+			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
+		}
+	}
+	return errors.New("stream remote: " + msg)
+}
+
+// CreateTopic implements Client.
+func (c *TCPClient) CreateTopic(name string, partitions int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.reset(reqCreateTopic)
+	c.enc.str(name)
+	c.enc.u32(uint32(partitions))
+	_, _, err := c.roundTrip()
+	return err
+}
+
+// Produce implements Client.
+func (c *TCPClient) Produce(topicName string, partition int32, key, value []byte) (int32, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.reset(reqProduce)
+	c.enc.str(topicName)
+	c.enc.u32(uint32(partition))
+	c.enc.bytes(key)
+	c.enc.bytes(value)
+	_, dec, err := c.roundTrip()
+	if err != nil {
+		return 0, 0, err
+	}
+	part := int32(dec.u32())
+	off := int64(dec.u64())
+	return part, off, dec.err
+}
+
+// Fetch implements Client.
+func (c *TCPClient) Fetch(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.reset(reqFetch)
+	c.enc.str(topicName)
+	c.enc.u32(uint32(partition))
+	c.enc.u64(uint64(offset))
+	c.enc.u32(uint32(max))
+	_, dec, err := c.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	msgs := dec.messages()
+	return msgs, dec.err
+}
+
+// ListTopics implements Client.
+func (c *TCPClient) ListTopics() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.reset(reqListTopics)
+	_, dec, err := c.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	n := int(dec.u32())
+	if dec.err != nil || n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("stream: implausible topic count %d", n)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, dec.str())
+	}
+	return out, dec.err
+}
+
+// PartitionCount implements Client.
+func (c *TCPClient) PartitionCount(topicName string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.reset(reqPartitionCount)
+	c.enc.str(topicName)
+	_, dec, err := c.roundTrip()
+	if err != nil {
+		return 0, err
+	}
+	n := int(dec.u32())
+	return n, dec.err
+}

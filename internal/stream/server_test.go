@@ -1,0 +1,241 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func startServer(t *testing.T) (*Broker, *Server) {
+	t.Helper()
+	b := NewBroker(BrokerConfig{})
+	s, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return b, s
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	_, s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.CreateTopic(TopicInData, 3); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.PartitionCount(TopicInData)
+	if err != nil || n != 3 {
+		t.Fatalf("PartitionCount = %d, %v", n, err)
+	}
+	part, off, err := c.Produce(TopicInData, AutoPartition, []byte("car-7"), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := c.Fetch(TopicInData, part, off, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Value) != "payload" || string(msgs[0].Key) != "car-7" {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+	if msgs[0].Offset != off || msgs[0].Partition != part {
+		t.Errorf("metadata mismatch: %+v", msgs[0])
+	}
+	if msgs[0].AppendedAt.IsZero() {
+		t.Error("AppendedAt lost on the wire")
+	}
+}
+
+func TestTCPProducerConsumer(t *testing.T) {
+	_, s := startServer(t)
+	admin, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if err := admin.CreateTopic(TopicOutData, DefaultPartitions); err != nil {
+		t.Fatal(err)
+	}
+
+	pc, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	cc, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	p, err := NewProducer(pc, TopicOutData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(cc, TopicOutData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		if _, _, err := p.Send([]byte("k"), []byte(fmt.Sprintf("warn-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got int
+	deadline := time.Now().Add(2 * time.Second)
+	for got < 20 && time.Now().Before(deadline) {
+		msgs, err := cons.Poll(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(msgs)
+	}
+	if got != 20 {
+		t.Errorf("consumed %d over TCP, want 20", got)
+	}
+}
+
+func TestTCPErrorMapping(t *testing.T) {
+	_, s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Produce("missing", 0, nil, []byte("x")); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("err = %v, want ErrUnknownTopic", err)
+	}
+	if err := c.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 9); !errors.Is(err, ErrTopicExists) {
+		t.Errorf("err = %v, want ErrTopicExists", err)
+	}
+	if _, err := c.Fetch("t", 42, 0, 1); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("err = %v, want ErrBadPartition", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	b, s := startServer(t)
+	admin, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	_ = admin.Close()
+
+	const clients = 6
+	const perClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				if _, _, err := c.Produce("t", AutoPartition, []byte(fmt.Sprintf("c%d", i)), []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var total int64
+	for part := int32(0); part < 3; part++ {
+		hwm, err := b.HighWaterMark("t", part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hwm
+	}
+	if total != clients*perClient {
+		t.Errorf("server received %d messages, want %d", total, clients*perClient)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	_, s := startServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := Dial(s.Addr()); err == nil {
+		t.Error("dial after close should fail")
+	}
+}
+
+func TestWireCodecRoundTripProperty(t *testing.T) {
+	f := func(topic string, partition int32, offset int64, key, value []byte) bool {
+		if len(topic) > 1000 || len(key) > 10000 || len(value) > 10000 {
+			return true
+		}
+		in := []Message{{
+			Topic:      topic,
+			Partition:  partition,
+			Offset:     offset,
+			Key:        key,
+			Value:      value,
+			AppendedAt: time.Unix(0, 1467331200000000000),
+		}}
+		var enc wireEncoder
+		enc.reset(respFetch)
+		enc.messages(in)
+		frame := enc.frame()
+		// Strip length + type.
+		dec := wireDecoder{buf: frame[5:]}
+		out := dec.messages()
+		if dec.err != nil || len(out) != 1 {
+			return false
+		}
+		m := out[0]
+		keyEq := bytes.Equal(m.Key, key) || (len(key) == 0 && len(m.Key) == 0)
+		valEq := bytes.Equal(m.Value, value) || (len(value) == 0 && len(m.Value) == 0)
+		return m.Topic == topic && m.Partition == partition && m.Offset == offset &&
+			keyEq && valEq && m.AppendedAt.UnixNano() == 1467331200000000000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireDecoderTruncatedInput(t *testing.T) {
+	var enc wireEncoder
+	enc.reset(respFetch)
+	enc.messages([]Message{{Topic: "t", Key: []byte("k"), Value: []byte("v")}})
+	frame := enc.frame()
+	// Chop the payload progressively; the decoder must error, not panic.
+	for cut := 5; cut < len(frame)-1; cut++ {
+		dec := wireDecoder{buf: frame[5:cut]}
+		if msgs := dec.messages(); dec.err == nil && len(msgs) == 1 {
+			t.Fatalf("truncated frame of %d bytes decoded successfully", cut)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: every frame is a uint32 big-endian length followed by a
+// one-byte message type and a type-specific payload. Strings and byte
+// slices are length-prefixed with uint32. The protocol is synchronous:
+// one request, one response, per connection, in order.
+
+// Request / response type tags.
+const (
+	reqCreateTopic byte = iota + 1
+	reqProduce
+	reqFetch
+	reqPartitionCount
+	reqListTopics
+
+	respOK byte = iota + 100
+	respError
+	respProduce
+	respFetch
+	respPartitionCount
+	respListTopics
+)
+
+// maxFrameSize bounds a single frame to defend against corrupt lengths.
+const maxFrameSize = 8 << 20
+
+// errFrameTooLarge is returned when a peer announces an oversized frame.
+var errFrameTooLarge = errors.New("stream: frame exceeds max size")
+
+type wireEncoder struct {
+	buf []byte
+}
+
+func (e *wireEncoder) reset(msgType byte) {
+	e.buf = append(e.buf[:0], 0, 0, 0, 0, msgType)
+}
+
+func (e *wireEncoder) u32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+func (e *wireEncoder) u64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+func (e *wireEncoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *wireEncoder) str(s string) { e.bytes([]byte(s)) }
+
+// frame finalises the frame, patching the length prefix, and returns the
+// wire bytes (valid until the next reset).
+func (e *wireEncoder) frame() []byte {
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	return e.buf
+}
+
+type wireDecoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *wireDecoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+4 > len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *wireDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *wireDecoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.pos+n > len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.pos:d.pos+n])
+	d.pos += n
+	return out
+}
+
+func (d *wireDecoder) str() string { return string(d.bytes()) }
+
+// readFrame reads one frame (type byte + payload) from r.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	if n > maxFrameSize {
+		return 0, nil, errFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// encodeMessages appends a message list to the encoder.
+func (e *wireEncoder) messages(msgs []Message) {
+	e.u32(uint32(len(msgs)))
+	for _, m := range msgs {
+		e.str(m.Topic)
+		e.u32(uint32(m.Partition))
+		e.u64(uint64(m.Offset))
+		e.u64(uint64(m.AppendedAt.UnixNano()))
+		e.bytes(m.Key)
+		e.bytes(m.Value)
+	}
+}
+
+// decodeMessages reads a message list.
+func (d *wireDecoder) messages() []Message {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<20 {
+		if d.err == nil {
+			d.err = fmt.Errorf("stream: implausible message count %d", n)
+		}
+		return nil
+	}
+	out := make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		var m Message
+		m.Topic = d.str()
+		m.Partition = int32(d.u32())
+		m.Offset = int64(d.u64())
+		nanos := int64(d.u64())
+		m.AppendedAt = timeFromUnixNano(nanos)
+		m.Key = d.bytes()
+		m.Value = d.bytes()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, m)
+	}
+	return out
+}

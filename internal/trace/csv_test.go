@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cad3/internal/geo"
+)
+
+func TestRecordsCSVRoundTrip(t *testing.T) {
+	net, ds := generateSmallDataset(t, 5, 12)
+	recs, err := DeriveRecords(net, ds.Trajectories, DeriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := FilterRecords(recs)
+	if len(clean) > 500 {
+		clean = clean[:500]
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, clean); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecordsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(clean) {
+		t.Fatalf("round trip: %d records, want %d", len(got), len(clean))
+	}
+	for i := range got {
+		a, b := clean[i], got[i]
+		if a.Car != b.Car || a.Road != b.Road || a.RoadType != b.RoadType ||
+			a.Speed != b.Speed || a.Accel != b.Accel || a.Lat != b.Lat ||
+			a.Lon != b.Lon || a.Heading != b.Heading || a.Hour != b.Hour ||
+			a.Day != b.Day || a.RoadMeanSpeed != b.RoadMeanSpeed ||
+			a.TimestampMs != b.TimestampMs || a.Anomalous != b.Anomalous {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestRecordsCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecordsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty round trip yielded %d records", len(got))
+	}
+}
+
+func TestReadRecordsCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":  "",
+		"wrong header": "a,b,c,d,e,f,g,h,i,j,k,l,m\n",
+		"bad car":      strings.Join(recordCSVHeader, ",") + "\nx,1,motorway,1,0,0,0,0,1,1,1,1,false\n",
+		"bad roadtype": strings.Join(recordCSVHeader, ",") + "\n1,1,bogus,1,0,0,0,0,1,1,1,1,false\n",
+		"bad float":    strings.Join(recordCSVHeader, ",") + "\n1,1,motorway,x,0,0,0,0,1,1,1,1,false\n",
+		"bad hour":     strings.Join(recordCSVHeader, ",") + "\n1,1,motorway,1,0,0,0,0,x,1,1,1,false\n",
+		"bad bool":     strings.Join(recordCSVHeader, ",") + "\n1,1,motorway,1,0,0,0,0,1,1,1,1,maybe\n",
+		"short row":    strings.Join(recordCSVHeader, ",") + "\n1,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadRecordsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestRecordsCSVPreservesAnomalyFlag(t *testing.T) {
+	recs := []Record{
+		{Car: 1, Road: 2, RoadType: geo.Motorway, Speed: 100, Hour: 9, Day: 4, Anomalous: true},
+		{Car: 2, Road: 2, RoadType: geo.MotorwayLink, Speed: 35, Hour: 9, Day: 4},
+	}
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecordsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Anomalous || got[1].Anomalous {
+		t.Errorf("anomaly flags lost: %+v", got)
+	}
+}

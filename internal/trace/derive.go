@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"cad3/internal/geo"
+)
+
+// DeriveOptions configures feature derivation.
+type DeriveOptions struct {
+	// UseMapMatching recovers each fix's road segment from coordinates
+	// with the HMM matcher instead of the generator ground truth,
+	// exercising the full offline pipeline of the paper. Slower.
+	UseMapMatching bool
+	// Matcher is required when UseMapMatching is set.
+	Matcher *geo.Matcher
+}
+
+// DeriveRecords converts raw trajectories into the Table II analysis
+// records: instantaneous speed per Equation 4, acceleration as the speed
+// delta over time, hour/day context, road type, and the per-road mean
+// speed v̄_r. Records for which speed cannot be derived (the last point of
+// each trip) are omitted.
+//
+// The input order does not matter: points are grouped by trip and sorted
+// by time internally.
+func DeriveRecords(net *geo.Network, points []TrajectoryPoint, opts DeriveOptions) ([]Record, error) {
+	byTrip := make(map[TripID][]TrajectoryPoint)
+	for _, p := range points {
+		byTrip[p.Trip] = append(byTrip[p.Trip], p)
+	}
+	tripIDs := make([]TripID, 0, len(byTrip))
+	for id := range byTrip {
+		tripIDs = append(tripIDs, id)
+	}
+	sort.Slice(tripIDs, func(i, j int) bool { return tripIDs[i] < tripIDs[j] })
+
+	var records []Record
+	for _, id := range tripIDs {
+		pts := byTrip[id]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].GPSTime.Before(pts[j].GPSTime) })
+
+		segIDs := make([]geo.SegmentID, len(pts))
+		if opts.UseMapMatching && opts.Matcher != nil {
+			fixes := make([]geo.Point, len(pts))
+			for i, p := range pts {
+				fixes[i] = geo.Point{Lat: p.Lat, Lon: p.Lon}
+			}
+			projs, err := opts.Matcher.Match(fixes)
+			if err != nil {
+				// Unmatchable trips (e.g. dominated by teleported fixes)
+				// fall back to ground truth; the filter removes the
+				// resulting out-of-range records anyway.
+				for i, p := range pts {
+					segIDs[i] = p.SegmentID
+				}
+			} else {
+				for i, pr := range projs {
+					segIDs[i] = pr.SegmentID
+				}
+			}
+		} else {
+			for i, p := range pts {
+				segIDs[i] = p.SegmentID
+			}
+		}
+
+		var prevSpeed float64
+		var havePrev bool
+		for i := 0; i+1 < len(pts); i++ {
+			a, b := pts[i], pts[i+1]
+			dt := b.GPSTime.Sub(a.GPSTime)
+			if dt <= 0 {
+				havePrev = false
+				continue
+			}
+			distM := geo.DistanceMeters(
+				geo.Point{Lat: a.Lat, Lon: a.Lon},
+				geo.Point{Lat: b.Lat, Lon: b.Lon},
+			)
+			speed := distM / dt.Seconds() * 3.6 // km/h
+			accel := 0.0
+			if havePrev {
+				accel = (speed - prevSpeed) / dt.Seconds()
+			}
+			prevSpeed, havePrev = speed, true
+
+			seg := net.Segment(segIDs[i])
+			if seg == nil {
+				continue
+			}
+			records = append(records, Record{
+				Car:   a.Car,
+				Road:  seg.ID,
+				Accel: accel,
+				Speed: speed,
+				Lat:   a.Lat,
+				Lon:   a.Lon,
+				Heading: geo.BearingDeg(
+					geo.Point{Lat: a.Lat, Lon: a.Lon},
+					geo.Point{Lat: b.Lat, Lon: b.Lon},
+				),
+				Hour:        a.GPSTime.Hour(),
+				Day:         a.GPSTime.Day(),
+				RoadType:    seg.Type,
+				TimestampMs: a.GPSTime.UnixMilli(),
+				Anomalous:   a.Anomalous || b.Anomalous,
+			})
+		}
+	}
+
+	attachRoadMeanSpeed(records)
+	return records, nil
+}
+
+// attachRoadMeanSpeed computes v̄_r per road segment over the plausible
+// (< MaxPlausibleSpeedKmh) observations and writes it into every record.
+func attachRoadMeanSpeed(records []Record) {
+	type agg struct {
+		sum float64
+		n   int
+	}
+	byRoad := make(map[geo.SegmentID]*agg)
+	for _, r := range records {
+		if r.Speed < 0 || r.Speed > MaxPlausibleSpeedKmh {
+			continue
+		}
+		a := byRoad[r.Road]
+		if a == nil {
+			a = &agg{}
+			byRoad[r.Road] = a
+		}
+		a.sum += r.Speed
+		a.n++
+	}
+	for i := range records {
+		if a := byRoad[records[i].Road]; a != nil && a.n > 0 {
+			records[i].RoadMeanSpeed = a.sum / float64(a.n)
+		}
+	}
+}
+
+// ReplayClock rewrites record timestamps so a slice of records can be
+// replayed starting at the given instant with the given inter-record gap.
+// Used by the vehicle emulator, which streams dataset rows at 10 Hz.
+func ReplayClock(records []Record, start time.Time, gap time.Duration) []Record {
+	out := make([]Record, len(records))
+	copy(out, records)
+	for i := range out {
+		out[i].TimestampMs = start.Add(time.Duration(i) * gap).UnixMilli()
+	}
+	return out
+}

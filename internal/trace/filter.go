@@ -1,0 +1,48 @@
+package trace
+
+// MaxPlausibleSpeedKmh is the cutoff above which a derived speed is
+// considered a sensor error (GPS teleport) rather than driving, matching
+// the paper's "filtering the erroneous values" step.
+const MaxPlausibleSpeedKmh = 250
+
+// MaxPlausibleAccel is the physically plausible |acceleration| bound in
+// km/h per second (~8.3 m/s^2, beyond hard emergency braking).
+const MaxPlausibleAccel = 30
+
+// FilterResult summarises a filtering pass.
+type FilterResult struct {
+	Kept            int
+	DroppedSpeed    int
+	DroppedAccel    int
+	DroppedInvalid  int
+	DroppedNegative int
+}
+
+// Dropped returns the total number of dropped records.
+func (r FilterResult) Dropped() int {
+	return r.DroppedSpeed + r.DroppedAccel + r.DroppedInvalid + r.DroppedNegative
+}
+
+// FilterRecords removes erroneous records: negative or implausible speeds,
+// implausible accelerations, and out-of-range context fields. It returns
+// the clean records and a summary of what was dropped.
+func FilterRecords(records []Record) ([]Record, FilterResult) {
+	out := make([]Record, 0, len(records))
+	var res FilterResult
+	for _, r := range records {
+		switch {
+		case r.Speed < 0:
+			res.DroppedNegative++
+		case r.Speed > MaxPlausibleSpeedKmh:
+			res.DroppedSpeed++
+		case r.Accel > MaxPlausibleAccel || r.Accel < -MaxPlausibleAccel:
+			res.DroppedAccel++
+		case r.Validate() != nil:
+			res.DroppedInvalid++
+		default:
+			out = append(out, r)
+		}
+	}
+	res.Kept = len(out)
+	return out, res
+}

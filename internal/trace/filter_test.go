@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cad3/internal/geo"
+)
+
+func validRecord() Record {
+	return Record{
+		Car: 1, Road: 1, Speed: 60, Accel: 1, Hour: 10, Day: 5,
+		RoadType: geo.Motorway, RoadMeanSpeed: 80,
+	}
+}
+
+func TestFilterRecords(t *testing.T) {
+	good := validRecord()
+	tooFast := validRecord()
+	tooFast.Speed = 400
+	negative := validRecord()
+	negative.Speed = -5
+	hardAccel := validRecord()
+	hardAccel.Accel = 99
+	badHour := validRecord()
+	badHour.Hour = 25
+	badType := validRecord()
+	badType.RoadType = 0
+
+	out, res := FilterRecords([]Record{good, tooFast, negative, hardAccel, badHour, badType})
+	if len(out) != 1 {
+		t.Fatalf("kept %d records, want 1", len(out))
+	}
+	if res.Kept != 1 || res.DroppedSpeed != 1 || res.DroppedNegative != 1 ||
+		res.DroppedAccel != 1 || res.DroppedInvalid != 2 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Dropped() != 5 {
+		t.Errorf("Dropped() = %d, want 5", res.Dropped())
+	}
+}
+
+func TestFilterRemovesGeneratorErrors(t *testing.T) {
+	net := testNetwork(t)
+	g, err := NewGenerator(GeneratorConfig{Network: net, Cars: 20, Seed: 8, ErrorRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := g.Generate()
+	recs, err := DeriveRecords(net, ds.Trajectories, DeriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, res := FilterRecords(recs)
+	if res.Dropped() == 0 {
+		t.Error("5% teleport rate should produce dropped records")
+	}
+	for _, r := range clean {
+		if r.Speed > MaxPlausibleSpeedKmh {
+			t.Fatalf("filter left implausible speed %.1f", r.Speed)
+		}
+	}
+	// The teleports corrupt at most a few records each; most must survive.
+	if float64(len(clean)) < 0.5*float64(len(recs)) {
+		t.Errorf("filter kept only %d of %d records", len(clean), len(recs))
+	}
+}
+
+func TestFilterIdempotentProperty(t *testing.T) {
+	f := func(speeds []float64, accels []float64) bool {
+		n := len(speeds)
+		if len(accels) < n {
+			n = len(accels)
+		}
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			r := validRecord()
+			r.Speed = speeds[i]
+			r.Accel = accels[i]
+			recs = append(recs, r)
+		}
+		once, _ := FilterRecords(recs)
+		twice, res := FilterRecords(once)
+		return len(twice) == len(once) && res.Dropped() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

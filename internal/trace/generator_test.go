@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cad3/internal/geo"
+)
+
+func testNetwork(t *testing.T) *geo.Network {
+	t.Helper()
+	net, err := geo.BuildNetwork(geo.BuildConfig{Scale: 0.02, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testGenerator(t *testing.T, cars int, seed int64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(GeneratorConfig{
+		Network: testNetwork(t),
+		Seed:    seed,
+		Cars:    cars,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(GeneratorConfig{Cars: 1}); err != ErrNoNetwork {
+		t.Errorf("err = %v, want ErrNoNetwork", err)
+	}
+	if _, err := NewGenerator(GeneratorConfig{Network: testNetwork(t)}); err != ErrNoCars {
+		t.Errorf("err = %v, want ErrNoCars", err)
+	}
+	empty := geo.NewNetwork(0)
+	if _, err := NewGenerator(GeneratorConfig{Network: empty, Cars: 1}); err == nil {
+		t.Error("want error for empty network")
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	g := testGenerator(t, 20, 1)
+	ds, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Trips) < 20 {
+		t.Errorf("trips = %d, want >= cars (each car takes >= 1 trip)", len(ds.Trips))
+	}
+	if len(ds.Trajectories) == 0 {
+		t.Fatal("no trajectory points")
+	}
+	cars := make(map[CarID]bool)
+	for _, tr := range ds.Trips {
+		cars[tr.Car] = true
+		if !tr.StopTime.After(tr.StartTime) {
+			t.Errorf("trip %d: stop %v not after start %v", tr.ID, tr.StopTime, tr.StartTime)
+		}
+		if tr.MileageM <= 0 {
+			t.Errorf("trip %d: mileage %.1f", tr.ID, tr.MileageM)
+		}
+		if tr.PeriodS <= 0 {
+			t.Errorf("trip %d: period %.1f", tr.ID, tr.PeriodS)
+		}
+	}
+	if len(cars) != 20 {
+		t.Errorf("distinct cars = %d, want 20", len(cars))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1 := testGenerator(t, 5, 7)
+	g2 := testGenerator(t, 5, 7)
+	ds1, _ := g1.Generate()
+	ds2, _ := g2.Generate()
+	if len(ds1.Trajectories) != len(ds2.Trajectories) {
+		t.Fatalf("trajectory counts differ: %d vs %d", len(ds1.Trajectories), len(ds2.Trajectories))
+	}
+	for i := range ds1.Trajectories {
+		a, b := ds1.Trajectories[i], ds2.Trajectories[i]
+		if a.Lat != b.Lat || a.Lon != b.Lon || !a.GPSTime.Equal(b.GPSTime) {
+			t.Fatalf("point %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateTimesMonotonicWithinTrip(t *testing.T) {
+	g := testGenerator(t, 10, 3)
+	ds, _ := g.Generate()
+	last := make(map[TripID]time.Time)
+	for _, p := range ds.Trajectories {
+		if prev, ok := last[p.Trip]; ok && !p.GPSTime.After(prev) {
+			t.Fatalf("trip %d: non-monotonic GPS time", p.Trip)
+		}
+		last[p.Trip] = p.GPSTime
+	}
+}
+
+func TestAggressiveFractionApprox(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{
+		Network:            testNetwork(t),
+		Cars:               2000,
+		Seed:               5,
+		AggressiveFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for c := 1; c <= 2000; c++ {
+		if g.Aggressive(CarID(c)) {
+			n++
+		}
+	}
+	frac := float64(n) / 2000
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Errorf("aggressive fraction %.3f, want ~0.3", frac)
+	}
+	if g.Aggressive(0) || g.Aggressive(99999) {
+		t.Error("out-of-range car IDs must not be aggressive")
+	}
+}
+
+func TestGenerateTripOn(t *testing.T) {
+	net := testNetwork(t)
+	g, err := NewGenerator(GeneratorConfig{Network: net, Cars: 1, Seed: 2, AggressiveFraction: 1, EpisodeProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := net.SegmentsOfType(geo.Motorway)[0]
+	succ := net.Successors(mw.ID)
+	if len(succ) == 0 {
+		t.Fatal("motorway has no successor")
+	}
+	trip, pts, err := g.GenerateTripOn(1, 1, []geo.SegmentID{mw.ID, succ[0]}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trip.StartTime.Day() != 4 || trip.StartTime.Hour() != 8 {
+		t.Errorf("start = %v, want day 4 hour 8", trip.StartTime)
+	}
+	segSet := make(map[geo.SegmentID]bool)
+	anomalous := 0
+	for _, p := range pts {
+		segSet[p.SegmentID] = true
+		if p.Anomalous {
+			anomalous++
+		}
+	}
+	if !segSet[mw.ID] || !segSet[succ[0]] {
+		t.Errorf("trip did not cover both route segments: %v", segSet)
+	}
+	if anomalous == 0 {
+		t.Error("fully aggressive driver with EpisodeProb=1 produced no anomalous points")
+	}
+
+	if _, _, err := g.GenerateTripOn(1, 2, []geo.SegmentID{999999}, 1, 1); err == nil {
+		t.Error("want error for unknown segment")
+	}
+	if _, _, err := g.GenerateTripOn(1, 3, nil, 1, 1); err == nil {
+		t.Error("want error for empty route")
+	}
+}
+
+func TestWeekend(t *testing.T) {
+	// July 2016: Fri 1, Sat 2, Sun 3, ... Sat 9, Sun 10.
+	weekends := map[int]bool{2: true, 3: true, 9: true, 10: true, 16: true, 17: true, 23: true, 24: true, 30: true, 31: true}
+	for d := 1; d <= 31; d++ {
+		if got := Weekend(d); got != weekends[d] {
+			t.Errorf("Weekend(%d) = %v, want %v", d, got, weekends[d])
+		}
+	}
+}
+
+func TestAnomalyKindString(t *testing.T) {
+	for _, k := range []AnomalyKind{Speeding, Slowing, SuddenAcceleration} {
+		if k.String() == "anomaly" {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if AnomalyKind(0).String() != "anomaly" {
+		t.Error("zero kind should fall back to generic name")
+	}
+}

@@ -1,0 +1,124 @@
+// Package trace provides the driving-data substrate for CAD3: a synthetic
+// generator statistically matched to the paper's proprietary Shenzhen
+// private-car dataset (Li et al., ICDEW 2019), the erroneous-record filter,
+// the feature-derivation pipeline of Equation 4, dataset statistics
+// (Table III), and train/test splitting.
+//
+// The paper's dataset (3,306 cars, 214,718 trips, ~18M trajectory points,
+// July 2016) is not public. This package regenerates a dataset with the
+// same schema (Tables I and II), the same spatio-temporal speed structure
+// (Figure 2: per-road-type, per-hour, weekday/weekend profiles), injected
+// anomalous-driving episodes, and injected sensor errors that the filtering
+// stage removes — so every downstream experiment exercises the same code
+// paths as the paper's pipeline.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"cad3/internal/geo"
+)
+
+// CarID identifies a vehicle (the ObjectID column of Table I).
+type CarID int64
+
+// TripID identifies one trip of one car.
+type TripID int64
+
+// Trip is a row of the trips table (Table I, upper half).
+type Trip struct {
+	ID        TripID    `json:"tripId"`
+	Car       CarID     `json:"carId"`
+	StartTime time.Time `json:"startTime"`
+	StopTime  time.Time `json:"stopTime"`
+	StartLon  float64   `json:"startLon"`
+	StartLat  float64   `json:"startLat"`
+	StopLon   float64   `json:"stopLon"`
+	StopLat   float64   `json:"stopLat"`
+	// MileageM is the trip odometer delta in meters (the paper reports
+	// "Mileage"); FuelML the fuel used in milliliters; PeriodS the trip
+	// duration in seconds.
+	MileageM float64 `json:"mileageM"`
+	FuelML   float64 `json:"fuelML"`
+	PeriodS  float64 `json:"periodS"`
+}
+
+// TrajectoryPoint is a row of the trajectories table (Table I, lower half):
+// a raw GPS fix with the accumulated mileage.
+type TrajectoryPoint struct {
+	Car        CarID     `json:"carId"`
+	Trip       TripID    `json:"tripId"`
+	Lon        float64   `json:"lon"`
+	Lat        float64   `json:"lat"`
+	GPSTime    time.Time `json:"gpsTime"`
+	AcMileageM float64   `json:"acMileageM"`
+	// SegmentID is the ground-truth road segment the generator placed the
+	// fix on. The map-matching pipeline recovers it from coordinates; it
+	// is carried here so experiments can validate the matcher.
+	SegmentID geo.SegmentID `json:"-"`
+	// Anomalous marks fixes generated during an injected abnormal-driving
+	// episode (generator ground truth, unused by the detection models).
+	Anomalous bool `json:"-"`
+}
+
+// Record is a row of the preprocessed analysis dataset (Table II) and the
+// vehicle status message CAD3 streams to RSUs. Serialized as JSON it is
+// ~200 bytes, matching the paper's packet-size assumption.
+type Record struct {
+	Car   CarID         `json:"carId"`
+	Road  geo.SegmentID `json:"rdId"`
+	Accel float64       `json:"accel"` // km/h per second
+	Speed float64       `json:"speed"` // instantaneous, km/h
+	// Lat/Lon/Heading carry the vehicle's position fix (heading in
+	// degrees clockwise from north), as the IMU/GPS status packet the
+	// paper describes would.
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+	Heading float64 `json:"hdg"`
+	Hour    int     `json:"hour"` // 0..23
+	Day     int     `json:"day"`  // day of month, 1..31
+	// RoadType is the context the RSU covering the road provides.
+	RoadType geo.RoadType `json:"rdType"`
+	// RoadMeanSpeed is v̄_r of Equation 4: the mean observed speed on the
+	// road, in km/h.
+	RoadMeanSpeed float64 `json:"vr"`
+	// TimestampMs is the generation time (Unix milliseconds); it rides
+	// along for end-to-end latency accounting.
+	TimestampMs int64 `json:"tsMs"`
+	// Anomalous is generator ground truth for an injected abnormal
+	// episode. It is excluded from model features.
+	Anomalous bool `json:"-"`
+}
+
+// Validate reports whether the record's fields are in range.
+func (r Record) Validate() error {
+	if r.Hour < 0 || r.Hour > 23 {
+		return fmt.Errorf("record: hour %d out of range", r.Hour)
+	}
+	if r.Day < 1 || r.Day > 31 {
+		return fmt.Errorf("record: day %d out of range", r.Day)
+	}
+	if r.Speed < 0 {
+		return fmt.Errorf("record: negative speed %.2f", r.Speed)
+	}
+	if !r.RoadType.Valid() {
+		return fmt.Errorf("record: invalid road type %d", int(r.RoadType))
+	}
+	return nil
+}
+
+// Weekend reports whether the given July-2016 day of month fell on a
+// weekend (1 July 2016 was a Friday).
+func Weekend(day int) bool {
+	// 2 July 2016 = Saturday. Days ≡ 2 or 3 (mod 7) are weekend days.
+	m := day % 7
+	return m == 2 || m == 3
+}
+
+// Dataset bundles the generated tables.
+type Dataset struct {
+	Trips        []Trip
+	Trajectories []TrajectoryPoint
+	Records      []Record
+}

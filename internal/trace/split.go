@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Split holds a train/test partition of records.
+type Split struct {
+	Train []Record
+	Test  []Record
+}
+
+// SplitRecords shuffles records deterministically and splits them at
+// trainFrac (the paper uses 80/20). trainFrac outside (0,1) selects 0.8.
+func SplitRecords(records []Record, trainFrac float64, seed int64) Split {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.8
+	}
+	shuffled := make([]Record, len(records))
+	copy(shuffled, records)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	cut := int(float64(len(shuffled)) * trainFrac)
+	return Split{Train: shuffled[:cut], Test: shuffled[cut:]}
+}
+
+// SplitByCar partitions records so that every car's records land entirely
+// in either train or test. This is the split the mesoscopic (driver-trip)
+// experiments need: the test driver's history must be unseen.
+func SplitByCar(records []Record, trainFrac float64, seed int64) Split {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.8
+	}
+	carSet := make(map[CarID]bool)
+	for _, r := range records {
+		carSet[r.Car] = true
+	}
+	cars := make([]CarID, 0, len(carSet))
+	for c := range carSet {
+		cars = append(cars, c)
+	}
+	sort.Slice(cars, func(i, j int) bool { return cars[i] < cars[j] })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(cars), func(i, j int) { cars[i], cars[j] = cars[j], cars[i] })
+
+	cut := int(float64(len(cars)) * trainFrac)
+	trainCars := make(map[CarID]bool, cut)
+	for _, c := range cars[:cut] {
+		trainCars[c] = true
+	}
+	var sp Split
+	for _, r := range records {
+		if trainCars[r.Car] {
+			sp.Train = append(sp.Train, r)
+		} else {
+			sp.Test = append(sp.Test, r)
+		}
+	}
+	return sp
+}

@@ -1,0 +1,267 @@
+// Package vehicle emulates the connected vehicles of the paper's testbed
+// (the "Kafka Producers" and warning consumers on PC1): each vehicle
+// replays dataset records to its RSU's IN-DATA topic at 10 Hz and polls
+// OUT-DATA every 10 ms for warnings, measuring end-to-end latency.
+package vehicle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cad3/internal/core"
+	"cad3/internal/metrics"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+// Defaults from the paper's evaluation setup.
+const (
+	// DefaultSendInterval is the 10 Hz status update period.
+	DefaultSendInterval = 100 * time.Millisecond
+	// DefaultPollInterval is the warning pull period ("each Kafka
+	// consumer pulls every 10 ms to avoid consuming the bandwidth").
+	DefaultPollInterval = 10 * time.Millisecond
+)
+
+// ErrNoRecords is returned when a vehicle has nothing to replay.
+var ErrNoRecords = errors.New("vehicle: no records to replay")
+
+// Config configures one emulated vehicle.
+type Config struct {
+	// ID is the vehicle's car ID; warnings for other cars are ignored.
+	ID trace.CarID
+	// Client reaches the serving RSU's broker. Required.
+	Client stream.Client
+	// Records is the telemetry to replay, in order. Required.
+	Records []trace.Record
+	// SendInterval overrides the 10 Hz update period.
+	SendInterval time.Duration
+	// PollInterval overrides the 10 ms warning poll.
+	PollInterval time.Duration
+	// Loop restarts the replay when the records run out.
+	Loop bool
+	// Now injects the clock. Nil selects time.Now.
+	Now func() time.Time
+}
+
+// Vehicle is one emulated connected vehicle.
+type Vehicle struct {
+	cfg      Config
+	producer *stream.Producer
+	consumer *stream.Consumer
+
+	sent     atomic.Int64
+	received atomic.Int64
+	// latencies holds end-to-end warning latencies (send -> receipt).
+	latencies *metrics.LatencyRecorder
+	bandwidth *metrics.BandwidthMeter
+}
+
+// New validates the config and prepares a vehicle.
+func New(cfg Config) (*Vehicle, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("vehicle: config requires a client")
+	}
+	if len(cfg.Records) == 0 {
+		return nil, ErrNoRecords
+	}
+	if cfg.SendInterval <= 0 {
+		cfg.SendInterval = DefaultSendInterval
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	p, err := stream.NewProducer(cfg.Client, stream.TopicInData)
+	if err != nil {
+		return nil, fmt.Errorf("vehicle %d: %w", cfg.ID, err)
+	}
+	c, err := stream.NewConsumer(cfg.Client, stream.TopicOutData, 0)
+	if err != nil {
+		return nil, fmt.Errorf("vehicle %d: %w", cfg.ID, err)
+	}
+	return &Vehicle{
+		cfg:       cfg,
+		producer:  p,
+		consumer:  c,
+		latencies: metrics.NewLatencyRecorder(),
+		bandwidth: metrics.NewBandwidthMeter(),
+	}, nil
+}
+
+// SendNext publishes the record at the given replay index (modulo the
+// record count when looping), stamped with the current time so latency is
+// measured from transmission. It returns the stamped record.
+func (v *Vehicle) SendNext(i int) (trace.Record, error) {
+	if !v.cfg.Loop && i >= len(v.cfg.Records) {
+		return trace.Record{}, ErrNoRecords
+	}
+	rec := v.cfg.Records[i%len(v.cfg.Records)]
+	rec.Car = v.cfg.ID
+	rec.TimestampMs = v.cfg.Now().UnixMilli()
+	payload, err := core.EncodeRecord(rec)
+	if err != nil {
+		return trace.Record{}, fmt.Errorf("vehicle %d: encode: %w", v.cfg.ID, err)
+	}
+	if _, _, err := v.producer.Send([]byte(fmt.Sprintf("car-%d", v.cfg.ID)), payload); err != nil {
+		return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
+	}
+	v.sent.Add(1)
+	v.bandwidth.Add(len(payload), v.cfg.Now())
+	return rec, nil
+}
+
+// PollWarnings drains pending warnings addressed to this vehicle,
+// recording end-to-end latency for each. It returns the warnings received
+// this round.
+func (v *Vehicle) PollWarnings() ([]core.Warning, error) {
+	msgs, err := v.consumer.Poll(64)
+	var out []core.Warning
+	now := v.cfg.Now()
+	for _, m := range msgs {
+		w, derr := core.DecodeWarning(m.Value)
+		if derr != nil {
+			continue
+		}
+		if w.Car != v.cfg.ID {
+			continue // broadcast topic: other vehicles' warnings
+		}
+		v.received.Add(1)
+		total := now.UnixMilli() - w.SourceTsMs
+		if total < 0 {
+			total = 0
+		}
+		detect := w.DetectedTsMs - w.SourceTsMs
+		if detect < 0 {
+			detect = 0
+		}
+		v.latencies.Record(metrics.LatencyBreakdown{
+			Queue:         time.Duration(detect) * time.Millisecond,
+			Dissemination: time.Duration(total-detect) * time.Millisecond,
+		})
+		out = append(out, w)
+	}
+	return out, err
+}
+
+// Run replays records at SendInterval and polls warnings at PollInterval
+// until the context ends or (when not looping) the records run out.
+func (v *Vehicle) Run(ctx context.Context) error {
+	send := time.NewTicker(v.cfg.SendInterval)
+	defer send.Stop()
+	poll := time.NewTicker(v.cfg.PollInterval)
+	defer poll.Stop()
+
+	i := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-send.C:
+			if _, err := v.SendNext(i); err != nil {
+				if errors.Is(err, ErrNoRecords) {
+					return nil
+				}
+				return err
+			}
+			i++
+		case <-poll.C:
+			_, _ = v.PollWarnings() // per-poll errors are transient
+		}
+	}
+}
+
+// Sent returns the number of records published.
+func (v *Vehicle) Sent() int64 { return v.sent.Load() }
+
+// Received returns the number of warnings addressed to this vehicle.
+func (v *Vehicle) Received() int64 { return v.received.Load() }
+
+// Latencies reports the recorded warning latency breakdowns.
+func (v *Vehicle) Latencies() metrics.LatencyReport { return v.latencies.Report() }
+
+// BandwidthBitsPerSec returns the vehicle's average uplink rate.
+func (v *Vehicle) BandwidthBitsPerSec() float64 { return v.bandwidth.RateBitsPerSec() }
+
+// Fleet runs a set of vehicles together.
+type Fleet struct {
+	vehicles []*Vehicle
+}
+
+// NewFleet builds n vehicles replaying slices of records round-robin.
+// clientFor returns the broker client for vehicle i (vehicles may attach
+// to different RSUs).
+func NewFleet(n int, records []trace.Record, clientFor func(i int) stream.Client, opts Config) (*Fleet, error) {
+	if n <= 0 {
+		return nil, errors.New("vehicle: fleet size must be positive")
+	}
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	f := &Fleet{vehicles: make([]*Vehicle, 0, n)}
+	for i := 0; i < n; i++ {
+		// Deal records round-robin so vehicles replay distinct slices.
+		var slice []trace.Record
+		for j := i; j < len(records); j += n {
+			slice = append(slice, records[j])
+		}
+		if len(slice) == 0 {
+			slice = records
+		}
+		cfg := opts
+		cfg.ID = trace.CarID(i + 1)
+		cfg.Client = clientFor(i)
+		cfg.Records = slice
+		v, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet vehicle %d: %w", i, err)
+		}
+		f.vehicles = append(f.vehicles, v)
+	}
+	return f, nil
+}
+
+// Run drives every vehicle concurrently until the context ends.
+func (f *Fleet) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(f.vehicles))
+	for i, v := range f.vehicles {
+		wg.Add(1)
+		go func(i int, v *Vehicle) {
+			defer wg.Done()
+			if err := v.Run(ctx); err != nil && !errors.Is(err, context.Canceled) &&
+				!errors.Is(err, context.DeadlineExceeded) {
+				errs[i] = err
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Vehicles returns the fleet members.
+func (f *Fleet) Vehicles() []*Vehicle { return f.vehicles }
+
+// TotalSent sums records published across the fleet.
+func (f *Fleet) TotalSent() int64 {
+	var total int64
+	for _, v := range f.vehicles {
+		total += v.Sent()
+	}
+	return total
+}
+
+// TotalReceived sums warnings received across the fleet.
+func (f *Fleet) TotalReceived() int64 {
+	var total int64
+	for _, v := range f.vehicles {
+		total += v.Received()
+	}
+	return total
+}

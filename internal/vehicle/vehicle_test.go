@@ -1,0 +1,198 @@
+package vehicle
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cad3/internal/core"
+	"cad3/internal/geo"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+func testBrokerClient(t *testing.T) (*stream.Broker, stream.Client) {
+	t.Helper()
+	b := stream.NewBroker(stream.BrokerConfig{})
+	for _, topic := range []string{stream.TopicInData, stream.TopicOutData} {
+		if err := b.CreateTopic(topic, stream.DefaultPartitions); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b, stream.NewInProcClient(b)
+}
+
+func testRecords(n int) []trace.Record {
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = trace.Record{
+			Car: 1, Road: 7, RoadType: geo.MotorwayLink, Speed: 30 + float64(i),
+			Accel: 0.5, Hour: 9, Day: 4, RoadMeanSpeed: 35,
+		}
+	}
+	return out
+}
+
+func TestVehicleSendNext(t *testing.T) {
+	_, client := testBrokerClient(t)
+	v, err := New(Config{ID: 9, Client: client, Records: testRecords(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := v.SendNext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Car != 9 {
+		t.Errorf("sent record carries car %d, want 9", rec.Car)
+	}
+	if rec.TimestampMs == 0 {
+		t.Error("timestamp not stamped")
+	}
+	if v.Sent() != 1 {
+		t.Errorf("Sent = %d", v.Sent())
+	}
+
+	// Replay end without looping.
+	if _, err := v.SendNext(3); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v, want ErrNoRecords", err)
+	}
+	// With looping, index wraps.
+	v2, _ := New(Config{ID: 9, Client: client, Records: testRecords(3), Loop: true})
+	if _, err := v2.SendNext(7); err != nil {
+		t.Errorf("looped send: %v", err)
+	}
+
+	// The record landed in IN-DATA.
+	c, _ := stream.NewConsumer(client, stream.TopicInData, 0)
+	msgs, _ := c.Poll(16)
+	if len(msgs) != 2 {
+		t.Errorf("IN-DATA has %d messages, want 2", len(msgs))
+	}
+}
+
+func TestVehiclePollWarnings(t *testing.T) {
+	_, client := testBrokerClient(t)
+	v, err := New(Config{ID: 5, Client: client, Records: testRecords(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Now().UnixMilli()
+	mine := core.Warning{Car: 5, Road: 7, SourceTsMs: now - 40, DetectedTsMs: now - 15}
+	other := core.Warning{Car: 6, Road: 7, SourceTsMs: now - 40, DetectedTsMs: now - 15}
+	for _, w := range []core.Warning{mine, other} {
+		payload, err := core.EncodeWarning(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := client.Produce(stream.TopicOutData, stream.AutoPartition, nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A malformed warning must be skipped silently.
+	_, _, _ = client.Produce(stream.TopicOutData, stream.AutoPartition, nil, []byte("junk"))
+
+	got, err := v.PollWarnings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Car != 5 {
+		t.Fatalf("warnings = %+v, want only car 5's", got)
+	}
+	if v.Received() != 1 {
+		t.Errorf("Received = %d", v.Received())
+	}
+	rep := v.Latencies()
+	if rep.Total.Count != 1 {
+		t.Fatalf("latency count = %d", rep.Total.Count)
+	}
+	if rep.Total.Mean < 30*time.Millisecond || rep.Total.Mean > 200*time.Millisecond {
+		t.Errorf("latency mean = %v, want ~40ms", rep.Total.Mean)
+	}
+}
+
+func TestVehicleRunEndsWhenRecordsExhausted(t *testing.T) {
+	_, client := testBrokerClient(t)
+	v, err := New(Config{
+		ID: 2, Client: client, Records: testRecords(3),
+		SendInterval: time.Millisecond, PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := v.Run(ctx); err != nil {
+		t.Fatalf("Run = %v, want clean end", err)
+	}
+	if v.Sent() != 3 {
+		t.Errorf("Sent = %d, want 3", v.Sent())
+	}
+	if v.BandwidthBitsPerSec() <= 0 {
+		t.Error("bandwidth should be measured")
+	}
+}
+
+func TestVehicleValidation(t *testing.T) {
+	_, client := testBrokerClient(t)
+	if _, err := New(Config{Client: client}); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v, want ErrNoRecords", err)
+	}
+	if _, err := New(Config{Records: testRecords(1)}); err == nil {
+		t.Error("want error for nil client")
+	}
+}
+
+func TestFleetDistributesRecords(t *testing.T) {
+	_, client := testBrokerClient(t)
+	records := testRecords(10)
+	f, err := NewFleet(4, records, func(int) stream.Client { return client }, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Vehicles()) != 4 {
+		t.Fatalf("fleet size = %d", len(f.Vehicles()))
+	}
+	// Vehicle IDs are 1..n and each replays a distinct slice.
+	var total int
+	for i, v := range f.Vehicles() {
+		if v.cfg.ID != trace.CarID(i+1) {
+			t.Errorf("vehicle %d has ID %d", i, v.cfg.ID)
+		}
+		total += len(v.cfg.Records)
+	}
+	if total != 10 {
+		t.Errorf("fleet covers %d records, want 10", total)
+	}
+
+	if _, err := NewFleet(0, records, func(int) stream.Client { return client }, Config{}); err == nil {
+		t.Error("want error for empty fleet")
+	}
+	if _, err := NewFleet(2, nil, func(int) stream.Client { return client }, Config{}); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("err = %v, want ErrNoRecords", err)
+	}
+}
+
+func TestFleetRun(t *testing.T) {
+	_, client := testBrokerClient(t)
+	f, err := NewFleet(3, testRecords(9), func(int) stream.Client { return client }, Config{
+		SendInterval: time.Millisecond,
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := f.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalSent() != 9 {
+		t.Errorf("TotalSent = %d, want 9", f.TotalSent())
+	}
+	if f.TotalReceived() != 0 {
+		t.Errorf("TotalReceived = %d with no RSU running", f.TotalReceived())
+	}
+}
