@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt cover experiments clean
+.PHONY: all build test test-short bench race vet fmt cover experiments profile clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ test-short:
 
 bench:
 	$(GO) test -run XXX -bench=. -benchmem ./...
+
+race:
+	$(GO) test -race ./...
+
+# CPU/heap profiles of the telemetry fast path (wire codec + detection).
+# Inspect with: go tool pprof cpu.prof
+profile:
+	$(GO) test -run XXX -bench 'BenchmarkDetectHotPath|BenchmarkWireCodec' -benchmem \
+		-cpuprofile cpu.prof -memprofile mem.prof ./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -32,4 +41,4 @@ experiments:
 	$(GO) run ./cmd/cad3-bench
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt cpu.prof mem.prof core.test

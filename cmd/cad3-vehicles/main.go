@@ -34,6 +34,7 @@ func run() error {
 	n := flag.Int("n", 32, "number of vehicles")
 	duration := flag.Duration("duration", 10*time.Second, "run duration")
 	seed := flag.Int64("seed", 1, "record pool seed")
+	jsonWire := flag.Bool("json", false, "publish telemetry as JSON instead of the binary codec (debug/interop)")
 	flag.Parse()
 
 	pool, _, err := experiments.BuildLatencyInputs(*seed)
@@ -57,7 +58,7 @@ func run() error {
 		clients = append(clients, c)
 	}
 
-	fleet, err := vehicle.NewFleet(*n, pool, func(i int) stream.Client { return clients[i] }, vehicle.Config{Loop: true})
+	fleet, err := vehicle.NewFleet(*n, pool, func(i int) stream.Client { return clients[i] }, vehicle.Config{Loop: true, JSONWire: *jsonWire})
 	if err != nil {
 		return err
 	}

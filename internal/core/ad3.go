@@ -45,9 +45,10 @@ func (a *AD3) Train(records []trace.Record, labeler *Labeler) error {
 }
 
 // Detect implements Detector. The prior summary is ignored (standalone
-// model).
+// model). The whole path is allocation-free: FeatureVec stays on the
+// stack and the Naive Bayes constants are precomputed at Fit time.
 func (a *AD3) Detect(rec trace.Record, _ *PredictionSummary) (Detection, error) {
-	p, err := a.nb.PredictProba(Features(rec))
+	p, err := a.nb.PredictProba3(FeatureVec(rec))
 	if err != nil {
 		if err == mlkit.ErrNotTrained {
 			return Detection{}, ErrNotTrained
@@ -65,7 +66,7 @@ func (a *AD3) Detect(rec trace.Record, _ *PredictionSummary) (Detection, error) 
 // PredictProba exposes the NB probability, used by CAD3 training and the
 // summary builder.
 func (a *AD3) PredictProba(rec trace.Record) (float64, error) {
-	p, err := a.nb.PredictProba(Features(rec))
+	p, err := a.nb.PredictProba3(FeatureVec(rec))
 	if err != nil {
 		if err == mlkit.ErrNotTrained {
 			return 0, ErrNotTrained
@@ -122,7 +123,7 @@ func (c *Centralized) Train(records []trace.Record, _ *Labeler) error {
 
 // Detect implements Detector.
 func (c *Centralized) Detect(rec trace.Record, _ *PredictionSummary) (Detection, error) {
-	p, err := c.nb.PredictProba(Features(rec))
+	p, err := c.nb.PredictProba3(FeatureVec(rec))
 	if err != nil {
 		if err == mlkit.ErrNotTrained {
 			return Detection{}, ErrNotTrained

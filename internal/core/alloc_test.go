@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDetectHotPathZeroAllocs enforces the allocation-free contract on the
+// per-record detection path: AD3, CAD3 (with and without a forwarded
+// summary) and the centralized baseline must not touch the heap per
+// Detect call.
+func TestDetectHotPathZeroAllocs(t *testing.T) {
+	fx := corridorFixture(t)
+	central, ad3, cad3, summaries := trainAll(t, fx)
+
+	var rec = fx.test[0]
+	for _, r := range fx.test {
+		if _, ok := summaries[r.Car]; ok {
+			rec = r
+			break
+		}
+	}
+	prior, hasPrior := summaries[rec.Car]
+	if !hasPrior {
+		t.Fatal("fixture has no test record with a forwarded summary")
+	}
+
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"AD3", func() error { _, err := ad3.Detect(rec, nil); return err }},
+		{"Centralized", func() error { _, err := central.Detect(rec, nil); return err }},
+		{"CAD3-no-prior", func() error { _, err := cad3.Detect(rec, nil); return err }},
+		{"CAD3-with-prior", func() error { _, err := cad3.Detect(rec, &prior); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.fn(); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if err := tc.fn(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s Detect: %v allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

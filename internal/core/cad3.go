@@ -144,14 +144,22 @@ func (c *CAD3) Train(records []trace.Record, labeler *Labeler, upstream *AD3) er
 	return nil
 }
 
-// fusedFeatures builds [Hour, P_X, Class_NB].
-func (c *CAD3) fusedFeatures(r trace.Record, pNB float64, prior *PredictionSummary) []float64 {
+// fusedVec builds [Hour, P_X, Class_NB] as a stack-resident array — the
+// detect path's feature construction allocates nothing.
+func (c *CAD3) fusedVec(r trace.Record, pNB float64, prior *PredictionSummary) [3]float64 {
 	pPrev := pNB // no summary -> collapse to the standalone probability
 	if prior != nil {
 		pPrev = c.summaryMean(prior)
 	}
 	pX := c.weight*pPrev + (1-c.weight)*pNB
-	return []float64{float64(r.Hour), pX, float64(mlkit.PredictLabel(pNB))}
+	return [3]float64{float64(r.Hour), pX, float64(mlkit.PredictLabel(pNB))}
+}
+
+// fusedFeatures is the slice form of fusedVec, for training-sample
+// construction (mlkit.Sample carries a slice).
+func (c *CAD3) fusedFeatures(r trace.Record, pNB float64, prior *PredictionSummary) []float64 {
+	v := c.fusedVec(r, pNB, prior)
+	return v[:]
 }
 
 func (c *CAD3) summaryMean(s *PredictionSummary) float64 {
@@ -180,7 +188,7 @@ func (c *CAD3) Detect(rec trace.Record, prior *PredictionSummary) (Detection, er
 	if err != nil {
 		return Detection{}, err
 	}
-	pTree, err := c.tree.PredictProba(c.fusedFeatures(rec, pNB, prior))
+	pTree, err := c.tree.PredictProba3(c.fusedVec(rec, pNB, prior))
 	if err != nil {
 		return Detection{}, fmt.Errorf("CAD3 tree: %w", err)
 	}

@@ -7,9 +7,7 @@
 package core
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
 
 	"cad3/internal/mlkit"
 	"cad3/internal/trace"
@@ -63,36 +61,24 @@ type Warning struct {
 	DetectedTsMs int64 `json:"detTsMs"`
 }
 
-// EncodeWarning serializes a warning for the wire.
-func EncodeWarning(w Warning) ([]byte, error) { return json.Marshal(w) }
+// FeatureWidth is the width of the instantaneous feature vector.
+const FeatureWidth = 3
 
-// DecodeWarning parses a wire warning.
-func DecodeWarning(b []byte) (Warning, error) {
-	var w Warning
-	if err := json.Unmarshal(b, &w); err != nil {
-		return Warning{}, fmt.Errorf("decode warning: %w", err)
-	}
-	return w, nil
+// FeatureVec returns the instantaneous feature vector the detectors
+// consume as a fixed-width array: [InstSpeed, accel, Hour] (the paper's
+// Table II features; road type is implicit in which RSU's model runs).
+// Being an array it lives on the caller's stack — the per-record detect
+// path allocates nothing.
+func FeatureVec(r trace.Record) [FeatureWidth]float64 {
+	return [FeatureWidth]float64{r.Speed, r.Accel, float64(r.Hour)}
 }
 
-// EncodeRecord serializes a vehicle status record for IN-DATA (~200 B,
-// the paper's packet size).
-func EncodeRecord(r trace.Record) ([]byte, error) { return json.Marshal(r) }
-
-// DecodeRecord parses an IN-DATA payload.
-func DecodeRecord(b []byte) (trace.Record, error) {
-	var r trace.Record
-	if err := json.Unmarshal(b, &r); err != nil {
-		return trace.Record{}, fmt.Errorf("decode record: %w", err)
-	}
-	return r, nil
-}
-
-// Features returns the instantaneous feature vector the detectors consume:
-// [InstSpeed, accel, Hour] (the paper's Table II features; road type is
-// implicit in which RSU's model runs).
+// Features returns the feature vector as a slice, for width-generic
+// consumers (training-sample construction, kNN/logistic baselines). The
+// hot detect path uses FeatureVec instead.
 func Features(r trace.Record) []float64 {
-	return []float64{r.Speed, r.Accel, float64(r.Hour)}
+	v := FeatureVec(r)
+	return v[:]
 }
 
 // FeatureNames matches Features, for explainability dumps.

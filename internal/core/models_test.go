@@ -27,7 +27,7 @@ var (
 
 // corridorFixture builds the dataset once per test binary (it is reused by
 // many tests).
-func corridorFixture(t *testing.T) fixture {
+func corridorFixture(t testing.TB) fixture {
 	t.Helper()
 	fixtureOnce.Do(func() { fixtureVal, fixtureErr = buildCorridorDataset(600, 123) })
 	if fixtureErr != nil {
@@ -153,7 +153,7 @@ func buildCorridorDataset(cars int, seed int64) (fixture, error) {
 // trainAll trains the three models on the fixture, returning them plus the
 // evaluation summaries for the test cars (built by replaying the upstream
 // motorway model, as the online CO-DATA stream would).
-func trainAll(t *testing.T, fx fixture) (*Centralized, *AD3, *CAD3, map[trace.CarID]PredictionSummary) {
+func trainAll(t testing.TB, fx fixture) (*Centralized, *AD3, *CAD3, map[trace.CarID]PredictionSummary) {
 	t.Helper()
 	central := NewCentralized()
 	if err := central.Train(fx.train, fx.labeler); err != nil {

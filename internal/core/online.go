@@ -80,7 +80,8 @@ func (o *OnlineAD3) Observe(rec trace.Record) error {
 		return nil
 	}
 	label := o.sigmaLabel(rec)
-	if err := o.nb.Observe(Features(rec), label); err != nil {
+	v := FeatureVec(rec)
+	if err := o.nb.Observe(v[:], label); err != nil {
 		return fmt.Errorf("online AD3 observe: %w", err)
 	}
 	return nil
@@ -118,7 +119,8 @@ func (o *OnlineAD3) Detect(rec trace.Record, _ *PredictionSummary) (Detection, e
 		}
 		return det, nil
 	}
-	p, err := o.nb.PredictProba(Features(rec))
+	v := FeatureVec(rec)
+	p, err := o.nb.PredictProba(v[:])
 	if err != nil {
 		return Detection{}, fmt.Errorf("online AD3 detect: %w", err)
 	}
@@ -138,7 +140,8 @@ func (o *OnlineAD3) PredictProba(rec trace.Record) (float64, error) {
 		}
 		return 0, nil
 	}
-	return o.nb.PredictProba(Features(rec))
+	v := FeatureVec(rec)
+	return o.nb.PredictProba(v[:])
 }
 
 // LogisticAD3 is AD3 with logistic regression in place of Naive Bayes —
@@ -175,7 +178,8 @@ func (l *LogisticAD3) Train(records []trace.Record, labeler *Labeler) error {
 
 // Detect implements Detector.
 func (l *LogisticAD3) Detect(rec trace.Record, _ *PredictionSummary) (Detection, error) {
-	p, err := l.lr.PredictProba(Features(rec))
+	v := FeatureVec(rec)
+	p, err := l.lr.PredictProba(v[:])
 	if err != nil {
 		if err == mlkit.ErrNotTrained {
 			return Detection{}, ErrNotTrained
@@ -192,5 +196,6 @@ func (l *LogisticAD3) Detect(rec trace.Record, _ *PredictionSummary) (Detection,
 
 // PredictProba exposes the model probability for summary building.
 func (l *LogisticAD3) PredictProba(rec trace.Record) (float64, error) {
-	return l.lr.PredictProba(Features(rec))
+	v := FeatureVec(rec)
+	return l.lr.PredictProba(v[:])
 }

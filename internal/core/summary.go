@@ -1,8 +1,6 @@
 package core
 
 import (
-	"encoding/json"
-	"fmt"
 	"sync"
 	"time"
 
@@ -27,18 +25,6 @@ type PredictionSummary struct {
 	FromRoad int64 `json:"fromRd"`
 	// UpdatedMs is the summary's production time (Unix ms).
 	UpdatedMs int64 `json:"updatedMs"`
-}
-
-// EncodeSummary serializes a summary for CO-DATA.
-func EncodeSummary(s PredictionSummary) ([]byte, error) { return json.Marshal(s) }
-
-// DecodeSummary parses a CO-DATA payload.
-func DecodeSummary(b []byte) (PredictionSummary, error) {
-	var s PredictionSummary
-	if err := json.Unmarshal(b, &s); err != nil {
-		return PredictionSummary{}, fmt.Errorf("decode summary: %w", err)
-	}
-	return s, nil
 }
 
 // maxLastK bounds the retained per-vehicle prediction tail.

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"cad3/internal/geo"
+	"cad3/internal/trace"
+)
+
+// Binary wire codec for the three CAD3 payloads (IN-DATA records, OUT-DATA
+// warnings, CO-DATA summaries). Every binary payload starts with a single
+// header byte carrying the format version in the high nibble and the
+// payload type in the low nibble; the body is a fixed little-endian layout
+// (summaries append a short variable tail). JSON remains a first-class
+// fallback: encoders can be asked for it (EncodeRecordJSON and friends,
+// used by the CLI/debug tools), and every decoder sniffs the header byte —
+// anything that is not a recognised version-1 binary header is handed to
+// the JSON decoder, so mixed fleets and recorded JSON traffic keep
+// working.
+//
+// See DESIGN.md §"Wire formats" for the byte-level layout and the
+// buffer-ownership rules around the stream package's payload pool.
+
+// Wire format constants.
+const (
+	// WireVersion is the current binary format version (header high
+	// nibble). Decoders fall back to JSON for any other version.
+	WireVersion = 1
+
+	wireTypeRecord  = 0x1
+	wireTypeWarning = 0x2
+	wireTypeSummary = 0x3
+
+	hdrRecord  = WireVersion<<4 | wireTypeRecord  // 0x11
+	hdrWarning = WireVersion<<4 | wireTypeWarning // 0x12
+	hdrSummary = WireVersion<<4 | wireTypeSummary // 0x13
+)
+
+// RecordWireSize is the on-wire size of a binary-encoded record. The
+// fixed fields need recordBodySize bytes; the frame is zero-padded up to
+// the paper's 200 B status-packet size so the MAC-emulation, bandwidth
+// and Figure 6 results keep the paper's packet-size assumption while the
+// codec sheds the JSON marshalling cost.
+const (
+	recordBodySize = 76
+	RecordWireSize = 200
+)
+
+// warningWireSize is the fixed size of a binary warning.
+const warningWireSize = 41
+
+// summaryFixedSize is the fixed prefix of a binary summary: header,
+// car, mean, count, from-road, updated-ms and the tail length byte.
+const summaryFixedSize = 38
+
+// maxSummaryTail bounds the LastPNormal tail a binary summary can carry
+// (one length byte). Longer tails fall back to JSON encoding.
+const maxSummaryTail = 255
+
+// AppendRecord appends the binary encoding of r to dst and returns the
+// extended slice. The result is exactly RecordWireSize bytes longer than
+// dst. Like the JSON form, the generator-ground-truth Anomalous flag is
+// not carried on the wire.
+func AppendRecord(dst []byte, r trace.Record) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, RecordWireSize)...)
+	b := dst[off:]
+	b[0] = hdrRecord
+	le.PutUint64(b[1:], uint64(r.Car))
+	le.PutUint64(b[9:], uint64(r.Road))
+	le.PutUint64(b[17:], math.Float64bits(r.Accel))
+	le.PutUint64(b[25:], math.Float64bits(r.Speed))
+	le.PutUint64(b[33:], math.Float64bits(r.Lat))
+	le.PutUint64(b[41:], math.Float64bits(r.Lon))
+	le.PutUint64(b[49:], math.Float64bits(r.Heading))
+	b[57] = byte(r.Hour)
+	b[58] = byte(r.Day)
+	b[59] = byte(r.RoadType)
+	le.PutUint64(b[60:], math.Float64bits(r.RoadMeanSpeed))
+	le.PutUint64(b[68:], uint64(r.TimestampMs))
+	return dst
+}
+
+// AppendWarning appends the binary encoding of w to dst.
+func AppendWarning(dst []byte, w Warning) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, warningWireSize)...)
+	b := dst[off:]
+	b[0] = hdrWarning
+	le.PutUint64(b[1:], uint64(w.Car))
+	le.PutUint64(b[9:], uint64(w.Road))
+	le.PutUint64(b[17:], math.Float64bits(w.PNormal))
+	le.PutUint64(b[25:], uint64(w.SourceTsMs))
+	le.PutUint64(b[33:], uint64(w.DetectedTsMs))
+	return dst
+}
+
+// AppendSummary appends the binary encoding of s to dst. Summaries whose
+// LastPNormal tail exceeds maxSummaryTail entries (or whose Count does
+// not fit an unsigned 32-bit integer) are encoded as JSON instead — the
+// decoder's fallback keeps the pair interoperable.
+func AppendSummary(dst []byte, s PredictionSummary) ([]byte, error) {
+	if len(s.LastPNormal) > maxSummaryTail || s.Count < 0 || int64(s.Count) > math.MaxUint32 {
+		j, err := json.Marshal(s)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, j...), nil
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, summaryFixedSize+8*len(s.LastPNormal))...)
+	b := dst[off:]
+	b[0] = hdrSummary
+	le.PutUint64(b[1:], uint64(s.Car))
+	le.PutUint64(b[9:], math.Float64bits(s.MeanPNormal))
+	le.PutUint32(b[17:], uint32(s.Count))
+	le.PutUint64(b[21:], uint64(s.FromRoad))
+	le.PutUint64(b[29:], uint64(s.UpdatedMs))
+	b[37] = byte(len(s.LastPNormal))
+	for i, p := range s.LastPNormal {
+		le.PutUint64(b[summaryFixedSize+8*i:], math.Float64bits(p))
+	}
+	return dst, nil
+}
+
+var le = binary.LittleEndian
+
+// isBinary reports whether b starts with the given version-1 binary
+// header. Anything else — JSON (which starts with '{' or whitespace),
+// an unknown future version, garbage — is routed to the JSON fallback.
+func isBinary(b []byte, hdr byte) bool {
+	return len(b) > 0 && b[0] == hdr
+}
+
+// EncodeRecord serializes a vehicle status record for IN-DATA using the
+// binary codec (RecordWireSize bytes — the paper's 200 B packet).
+func EncodeRecord(r trace.Record) ([]byte, error) {
+	return AppendRecord(make([]byte, 0, RecordWireSize), r), nil
+}
+
+// EncodeRecordJSON serializes a record as legacy JSON, for debug tools
+// and mixed-version interop (decoders accept both).
+func EncodeRecordJSON(r trace.Record) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeRecord parses an IN-DATA payload, binary or JSON.
+func DecodeRecord(b []byte) (trace.Record, error) {
+	if !isBinary(b, hdrRecord) {
+		var r trace.Record
+		if err := json.Unmarshal(b, &r); err != nil {
+			return trace.Record{}, fmt.Errorf("decode record: %w", err)
+		}
+		return r, nil
+	}
+	if len(b) < recordBodySize {
+		return trace.Record{}, fmt.Errorf("decode record: truncated binary payload (%d bytes)", len(b))
+	}
+	return trace.Record{
+		Car:           trace.CarID(le.Uint64(b[1:])),
+		Road:          geo.SegmentID(le.Uint64(b[9:])),
+		Accel:         math.Float64frombits(le.Uint64(b[17:])),
+		Speed:         math.Float64frombits(le.Uint64(b[25:])),
+		Lat:           math.Float64frombits(le.Uint64(b[33:])),
+		Lon:           math.Float64frombits(le.Uint64(b[41:])),
+		Heading:       math.Float64frombits(le.Uint64(b[49:])),
+		Hour:          int(b[57]),
+		Day:           int(b[58]),
+		RoadType:      geo.RoadType(b[59]),
+		RoadMeanSpeed: math.Float64frombits(le.Uint64(b[60:])),
+		TimestampMs:   int64(le.Uint64(b[68:])),
+	}, nil
+}
+
+// EncodeWarning serializes a warning for OUT-DATA using the binary codec.
+func EncodeWarning(w Warning) ([]byte, error) {
+	return AppendWarning(make([]byte, 0, warningWireSize), w), nil
+}
+
+// EncodeWarningJSON serializes a warning as legacy JSON.
+func EncodeWarningJSON(w Warning) ([]byte, error) { return json.Marshal(w) }
+
+// DecodeWarning parses an OUT-DATA payload, binary or JSON.
+func DecodeWarning(b []byte) (Warning, error) {
+	if !isBinary(b, hdrWarning) {
+		var w Warning
+		if err := json.Unmarshal(b, &w); err != nil {
+			return Warning{}, fmt.Errorf("decode warning: %w", err)
+		}
+		return w, nil
+	}
+	if len(b) < warningWireSize {
+		return Warning{}, fmt.Errorf("decode warning: truncated binary payload (%d bytes)", len(b))
+	}
+	return Warning{
+		Car:          trace.CarID(le.Uint64(b[1:])),
+		Road:         int64(le.Uint64(b[9:])),
+		PNormal:      math.Float64frombits(le.Uint64(b[17:])),
+		SourceTsMs:   int64(le.Uint64(b[25:])),
+		DetectedTsMs: int64(le.Uint64(b[33:])),
+	}, nil
+}
+
+// EncodeSummary serializes a summary for CO-DATA using the binary codec
+// (JSON for oversized tails; see AppendSummary).
+func EncodeSummary(s PredictionSummary) ([]byte, error) {
+	return AppendSummary(make([]byte, 0, summaryFixedSize+8*len(s.LastPNormal)), s)
+}
+
+// EncodeSummaryJSON serializes a summary as legacy JSON.
+func EncodeSummaryJSON(s PredictionSummary) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSummary parses a CO-DATA payload, binary or JSON.
+func DecodeSummary(b []byte) (PredictionSummary, error) {
+	if !isBinary(b, hdrSummary) {
+		var s PredictionSummary
+		if err := json.Unmarshal(b, &s); err != nil {
+			return PredictionSummary{}, fmt.Errorf("decode summary: %w", err)
+		}
+		return s, nil
+	}
+	if len(b) < summaryFixedSize {
+		return PredictionSummary{}, fmt.Errorf("decode summary: truncated binary payload (%d bytes)", len(b))
+	}
+	n := int(b[37])
+	if len(b) < summaryFixedSize+8*n {
+		return PredictionSummary{}, fmt.Errorf("decode summary: tail needs %d bytes, have %d", summaryFixedSize+8*n, len(b))
+	}
+	s := PredictionSummary{
+		Car:         trace.CarID(le.Uint64(b[1:])),
+		MeanPNormal: math.Float64frombits(le.Uint64(b[9:])),
+		Count:       int(le.Uint32(b[17:])),
+		FromRoad:    int64(le.Uint64(b[21:])),
+		UpdatedMs:   int64(le.Uint64(b[29:])),
+	}
+	if n > 0 {
+		s.LastPNormal = make([]float64, n)
+		for i := range s.LastPNormal {
+			s.LastPNormal[i] = math.Float64frombits(le.Uint64(b[summaryFixedSize+8*i:]))
+		}
+	}
+	return s, nil
+}

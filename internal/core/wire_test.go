@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"cad3/internal/geo"
+	"cad3/internal/trace"
+)
+
+func wireTestRecord() trace.Record {
+	return trace.Record{
+		Car: 426, Road: 9001, Accel: -2.75, Speed: 37.5,
+		Lat: 22.5431, Lon: 114.0579, Heading: 182.4,
+		Hour: 9, Day: 4, RoadType: geo.MotorwayLink,
+		RoadMeanSpeed: 35.2, TimestampMs: 1467621000123,
+	}
+}
+
+func TestRecordBinaryRoundTrip(t *testing.T) {
+	rec := wireTestRecord()
+	payload, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != RecordWireSize {
+		t.Fatalf("binary record is %d bytes, want %d (the paper's packet size)", len(payload), RecordWireSize)
+	}
+	got, err := DecodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestRecordBinaryDropsAnomalousLikeJSON(t *testing.T) {
+	rec := wireTestRecord()
+	rec.Anomalous = true
+	payload, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Anomalous {
+		t.Error("Anomalous is generator ground truth and must not cross the wire")
+	}
+	rec.Anomalous = false
+	if got != rec {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, rec)
+	}
+}
+
+func TestRecordJSONFallback(t *testing.T) {
+	rec := wireTestRecord()
+	payload, err := EncodeRecordJSON(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(payload)
+	if err != nil {
+		t.Fatalf("JSON fallback decode: %v", err)
+	}
+	if got != rec {
+		t.Fatalf("JSON fallback mismatch: got %+v want %+v", got, rec)
+	}
+}
+
+func TestWarningBinaryRoundTripAndFallback(t *testing.T) {
+	w := Warning{Car: 7, Road: -42, PNormal: 0.125, SourceTsMs: 1467621000123, DetectedTsMs: 1467621000170}
+	payload, err := EncodeWarning(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWarning(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, w)
+	}
+	j, err := EncodeWarningJSON(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeWarning(j)
+	if err != nil {
+		t.Fatalf("JSON fallback decode: %v", err)
+	}
+	if got != w {
+		t.Fatalf("JSON fallback mismatch: got %+v want %+v", got, w)
+	}
+}
+
+func TestSummaryBinaryRoundTripAndFallback(t *testing.T) {
+	cases := []PredictionSummary{
+		{Car: 3, MeanPNormal: 0.875, Count: 12, FromRoad: 9001, UpdatedMs: 99},
+		{Car: 3, MeanPNormal: 0.875, Count: 12, FromRoad: 9001, UpdatedMs: 99,
+			LastPNormal: []float64{0.9, 0.8, 0.7}},
+	}
+	for _, s := range cases {
+		payload, err := EncodeSummary(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSummary(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+		}
+		j, err := EncodeSummaryJSON(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = DecodeSummary(j)
+		if err != nil {
+			t.Fatalf("JSON fallback decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("JSON fallback mismatch: got %+v want %+v", got, s)
+		}
+	}
+}
+
+func TestSummaryOversizedTailFallsBackToJSON(t *testing.T) {
+	s := PredictionSummary{Car: 5, Count: 400, FromRoad: 1}
+	for i := 0; i < maxSummaryTail+10; i++ {
+		s.LastPNormal = append(s.LastPNormal, float64(i)/1000)
+	}
+	payload, err := EncodeSummary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(payload) {
+		t.Fatal("oversized-tail summary should encode as JSON")
+	}
+	got, err := DecodeSummary(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("oversized-tail round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsTruncatedBinary(t *testing.T) {
+	rec, _ := EncodeRecord(wireTestRecord())
+	if _, err := DecodeRecord(rec[:recordBodySize-1]); err == nil {
+		t.Error("truncated binary record should not decode")
+	}
+	w, _ := EncodeWarning(Warning{Car: 1})
+	if _, err := DecodeWarning(w[:warningWireSize-1]); err == nil {
+		t.Error("truncated binary warning should not decode")
+	}
+	s, _ := EncodeSummary(PredictionSummary{Car: 1, LastPNormal: []float64{0.5}})
+	if _, err := DecodeSummary(s[:len(s)-1]); err == nil {
+		t.Error("truncated binary summary tail should not decode")
+	}
+	if _, err := DecodeSummary(s[:summaryFixedSize-1]); err == nil {
+		t.Error("truncated binary summary prefix should not decode")
+	}
+}
+
+func TestDecodeUnknownVersionFallsBack(t *testing.T) {
+	// A version-2 header is not JSON either, so decode must fail cleanly
+	// (fall back to the JSON path and surface its error), never panic.
+	payload := []byte{WireVersion + 1<<4 | wireTypeRecord, 0xde, 0xad}
+	payload[0] = (WireVersion+1)<<4 | wireTypeRecord
+	if _, err := DecodeRecord(payload); err == nil {
+		t.Error("unknown-version payload should not decode as a record")
+	}
+	// Cross-type headers must not be accepted either.
+	rec, _ := EncodeRecord(wireTestRecord())
+	if _, err := DecodeWarning(rec); err == nil {
+		t.Error("a binary record must not decode as a warning")
+	}
+}

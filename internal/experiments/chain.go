@@ -237,11 +237,10 @@ func RunChainMobility(sc *Scenario, cfg ChainConfig) (*ChainResult, error) {
 				Speed: c.speed, Accel: (c.speed - prev) / dt.Seconds(),
 				Lat: st.Position.Lat, Lon: st.Position.Lon, Hour: 12, Day: 4,
 			}
-			payload, err := core.EncodeRecord(rec)
+			payload := core.AppendRecord(stream.GetPayload(), rec)
+			_, _, err = producers[st.Segment].Send(nil, payload)
+			stream.PutPayload(payload)
 			if err != nil {
-				return nil, err
-			}
-			if _, _, err := producers[st.Segment].Send(nil, payload); err != nil {
 				return nil, err
 			}
 			if st.Segment == lastSeg {
@@ -262,6 +261,7 @@ func RunChainMobility(sc *Scenario, cfg ChainConfig) (*ChainResult, error) {
 			}
 			lastHopWarn[w.Car]++
 		}
+		stream.RecycleMessages(msgs)
 		if active == 0 {
 			res.Steps = step + 1
 			break

@@ -97,7 +97,8 @@ type knnDetector struct {
 func (d *knnDetector) Name() string { return "kNN" }
 
 func (d *knnDetector) Detect(rec trace.Record, _ *core.PredictionSummary) (core.Detection, error) {
-	p, err := d.knn.PredictProba(core.Features(rec))
+	v := core.FeatureVec(rec)
+	p, err := d.knn.PredictProba(v[:])
 	if err != nil {
 		return core.Detection{}, err
 	}
@@ -116,7 +117,8 @@ type treeDetector struct {
 func (d *treeDetector) Name() string { return "DecisionTree" }
 
 func (d *treeDetector) Detect(rec trace.Record, _ *core.PredictionSummary) (core.Detection, error) {
-	p, err := d.tree.PredictProba(core.Features(rec))
+	v := core.FeatureVec(rec)
+	p, err := d.tree.PredictProba(v[:])
 	if err != nil {
 		return core.Detection{}, err
 	}

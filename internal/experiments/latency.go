@@ -200,18 +200,21 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 			idx++
 			rec.Car = trace.CarID(v)
 			rec.TimestampMs = now.UnixMilli()
-			payload, err := core.EncodeRecord(rec)
-			if err == nil {
-				sent := now
-				if delivered, terr := medium.Transmit(class, len(payload), now); terr == nil {
-					k := key{car: rec.Car, ts: rec.TimestampMs}
-					sim.At(delivered, func() {
-						if _, _, perr := broker.Produce(stream.TopicInData, stream.AutoPartition, nil, payload); perr == nil {
-							arrivals[k] = sim.Now()
-							_ = sent
-						}
-					})
-				}
+			// Pooled encode: the closure owns the buffer until the MAC
+			// delivery event fires and the broker clones it.
+			payload := core.AppendRecord(stream.GetPayload(), rec)
+			sent := now
+			if delivered, terr := medium.Transmit(class, len(payload), now); terr == nil {
+				k := key{car: rec.Car, ts: rec.TimestampMs}
+				sim.At(delivered, func() {
+					if _, _, perr := broker.Produce(stream.TopicInData, stream.AutoPartition, nil, payload); perr == nil {
+						arrivals[k] = sim.Now()
+						_ = sent
+					}
+					stream.PutPayload(payload)
+				})
+			} else {
+				stream.PutPayload(payload)
 			}
 			sim.After(cfg.SendInterval, tick)
 		}
@@ -220,12 +223,14 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 
 	// RSU micro-batch loop.
 	var batch func()
+	var inMsgs []stream.Message
 	batch = func() {
 		now := sim.Now()
 		if now.After(end) {
 			return
 		}
-		msgs, _ := inConsumer.Poll(1 << 16)
+		inMsgs, _ = inConsumer.PollInto(inMsgs[:0], 1<<16)
+		msgs := inMsgs
 		if len(msgs) > 0 {
 			records += int64(len(msgs))
 			cost := cfg.Proc.Cost(len(msgs))
@@ -258,14 +263,13 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 					SourceTsMs:   rec.TimestampMs,
 					DetectedTsMs: done.UnixMilli(),
 				}
-				payload, werr := core.EncodeWarning(w)
-				if werr != nil {
-					continue
-				}
+				payload := core.AppendWarning(stream.GetPayload(), w)
 				sim.At(done, func() {
 					_, _, _ = outProducer.Send(nil, payload)
+					stream.PutPayload(payload)
 				})
 			}
+			stream.RecycleMessages(msgs)
 		}
 		sim.After(cfg.BatchInterval, batch)
 	}
@@ -280,12 +284,14 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 		return nil, err
 	}
 	var poll func()
+	var outMsgs []stream.Message
 	poll = func() {
 		now := sim.Now()
 		if now.After(end.Add(200 * time.Millisecond)) { // drain tail
 			return
 		}
-		msgs, _ := outConsumer.Poll(1 << 14)
+		outMsgs, _ = outConsumer.PollInto(outMsgs[:0], 1<<14)
+		msgs := outMsgs
 		for _, m := range msgs {
 			w, derr := core.DecodeWarning(m.Value)
 			if derr != nil {
@@ -302,6 +308,7 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 			recorder.Record(lb)
 			warnings++
 		}
+		stream.RecycleMessages(msgs)
 		sim.After(cfg.PollInterval, poll)
 	}
 	sim.After(cfg.PollInterval, poll)

@@ -120,10 +120,6 @@ func RunLossImpact(cfg LossConfig) ([]LossBand, error) {
 			rec := cfg.Records[idx%len(cfg.Records)]
 			idx++
 			rec.Car = trace.CarID(v + 1)
-			payload, err := core.EncodeRecord(rec)
-			if err != nil {
-				return nil, err
-			}
 			b := bandOf(dist[v])
 			b.Sent++
 			det, derr := cfg.Detector.Detect(rec, nil)
@@ -131,7 +127,7 @@ func RunLossImpact(cfg LossConfig) ([]LossBand, error) {
 			if abnormal {
 				b.AbnormalSent++
 			}
-			_, okDelivered, terr := medium.TransmitFrom(fmt.Sprintf("v%d", v), len(payload), now, dist[v])
+			_, okDelivered, terr := medium.TransmitFrom(fmt.Sprintf("v%d", v), core.RecordWireSize, now, dist[v])
 			if terr != nil {
 				return nil, terr
 			}

@@ -185,11 +185,10 @@ func RunMobileHandover(sc *Scenario, cfg MobilityConfig) (*MobilityResult, error
 				Hour:     12,
 				Day:      4,
 			}
-			payload, err := core.EncodeRecord(rec)
+			payload := core.AppendRecord(stream.GetPayload(), rec)
+			_, _, err = producers[st.Segment].Send(nil, payload)
+			stream.PutPayload(payload)
 			if err != nil {
-				return nil, err
-			}
-			if _, _, err := producers[st.Segment].Send(nil, payload); err != nil {
 				return nil, err
 			}
 			res.Records++
@@ -211,6 +210,7 @@ func RunMobileHandover(sc *Scenario, cfg MobilityConfig) (*MobilityResult, error
 				res.Warnings++
 				warnCount[w.Car]++
 			}
+			stream.RecycleMessages(msgs)
 		}
 		if active == 0 {
 			res.Steps = step + 1

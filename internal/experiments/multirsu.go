@@ -179,12 +179,14 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 				idx++
 				rec.Car = car
 				rec.TimestampMs = now.UnixMilli()
-				if payload, err := core.EncodeRecord(rec); err == nil {
-					if delivered, terr := st.medium.Transmit(class, len(payload), now); terr == nil {
-						sim.At(delivered, func() {
-							_, _, _ = st.broker.Produce(stream.TopicInData, stream.AutoPartition, nil, payload)
-						})
-					}
+				payload := core.AppendRecord(stream.GetPayload(), rec)
+				if delivered, terr := st.medium.Transmit(class, len(payload), now); terr == nil {
+					sim.At(delivered, func() {
+						_, _, _ = st.broker.Produce(stream.TopicInData, stream.AutoPartition, nil, payload)
+						stream.PutPayload(payload)
+					})
+				} else {
+					stream.PutPayload(payload)
 				}
 				sim.After(100*time.Millisecond, tick)
 			}
@@ -193,12 +195,14 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 
 		// Micro-batch loop.
 		var batch func()
+		var inMsgs []stream.Message
 		batch = func() {
 			now := sim.Now()
 			if now.After(end) {
 				return
 			}
-			msgs, _ := st.in.Poll(1 << 16)
+			inMsgs, _ = st.in.PollInto(inMsgs[:0], 1<<16)
+			msgs := inMsgs
 			if len(msgs) > 0 {
 				cost := cfg.Proc.Cost(len(msgs))
 				done := now.Add(cost)
@@ -215,12 +219,13 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 						Car: rec.Car, Road: int64(rec.Road), PNormal: det.PNormal,
 						SourceTsMs: rec.TimestampMs, DetectedTsMs: done.UnixMilli(),
 					}
-					payload, werr := core.EncodeWarning(w)
-					if werr != nil {
-						continue
-					}
-					sim.At(done, func() { _, _, _ = st.out.Send(nil, payload) })
+					payload := core.AppendWarning(stream.GetPayload(), w)
+					sim.At(done, func() {
+						_, _, _ = st.out.Send(nil, payload)
+						stream.PutPayload(payload)
+					})
 				}
+				stream.RecycleMessages(msgs)
 			}
 			sim.After(50*time.Millisecond, batch)
 		}
@@ -228,12 +233,14 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 
 		// Dissemination poll loop (10 ms).
 		var poll func()
+		var outMsgs []stream.Message
 		poll = func() {
 			now := sim.Now()
 			if now.After(end.Add(200 * time.Millisecond)) {
 				return
 			}
-			msgs, _ := st.outCons.Poll(1 << 14)
+			outMsgs, _ = st.outCons.PollInto(outMsgs[:0], 1<<14)
+			msgs := outMsgs
 			for _, m := range msgs {
 				w, derr := core.DecodeWarning(m.Value)
 				if derr != nil {
@@ -245,6 +252,7 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 				})
 				st.warnings++
 			}
+			stream.RecycleMessages(msgs)
 			sim.After(10*time.Millisecond, poll)
 		}
 		sim.After(10*time.Millisecond+time.Duration(rng.Int63n(int64(10*time.Millisecond))), poll)
@@ -282,6 +290,7 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 					if _, _, err := link.broker.Produce(stream.TopicCoData, stream.AutoPartition, nil, payload); err == nil {
 						link.coBytes += int64(len(payload))
 					}
+					stream.PutPayload(payload)
 				})
 			}
 			sim.After(cfg.SummaryInterval, forward)

@@ -37,14 +37,27 @@ type Poller interface {
 	Poll(max int) ([]stream.Message, error)
 }
 
+// intoPoller is the allocation-light drain path (satisfied by
+// *stream.Consumer): the engine reuses one message slice across batches
+// instead of letting Poll allocate a fresh one each window.
+type intoPoller interface {
+	PollInto(dst []stream.Message, max int) ([]stream.Message, error)
+}
+
 // Config configures an Engine.
 type Config[T any] struct {
-	// Source supplies messages. Required.
+	// Source supplies messages. Required. Sources that also implement
+	// PollInto (like *stream.Consumer) are drained through a reused
+	// buffer and their message payloads are recycled after decoding.
 	Source Poller
-	// Decode converts a raw message into the item type. Required.
+	// Decode converts a raw message into the item type. Required. The
+	// decoded item must not retain the message's Key/Value bytes — they
+	// are recycled into the payload pool once the batch is decoded.
 	Decode func(stream.Message) (T, error)
 	// Process handles one worker's share of a batch. Required. It is
-	// called concurrently from up to Workers goroutines.
+	// called concurrently from up to Workers goroutines. The items slice
+	// is only valid for the duration of the call (the engine reuses its
+	// batch buffer).
 	Process func(items []T) error
 	// Interval is the batch window. Values <= 0 select DefaultInterval.
 	Interval time.Duration
@@ -91,6 +104,12 @@ type Engine[T any] struct {
 
 	mu    sync.Mutex
 	stats EngineStats
+
+	// Per-batch scratch buffers, reused across Step calls (stepMu keeps
+	// concurrent Step calls from sharing them).
+	stepMu sync.Mutex
+	msgBuf []stream.Message
+	items  []T
 }
 
 // NewEngine validates the config and builds an engine.
@@ -123,13 +142,24 @@ func NewEngine[T any](cfg Config[T]) (*Engine[T], error) {
 // worker pool, and returns the batch stats. A batch with zero records
 // still counts as a (trivial) batch.
 func (e *Engine[T]) Step() (BatchStats, error) {
-	msgs, pollErr := e.cfg.Source.Poll(e.cfg.MaxBatch)
+	e.stepMu.Lock()
+	defer e.stepMu.Unlock()
+
+	var msgs []stream.Message
+	var pollErr error
+	recycler, pooled := e.cfg.Source.(intoPoller)
+	if pooled {
+		msgs, pollErr = recycler.PollInto(e.msgBuf[:0], e.cfg.MaxBatch)
+		e.msgBuf = msgs
+	} else {
+		msgs, pollErr = e.cfg.Source.Poll(e.cfg.MaxBatch)
+	}
 	if pollErr != nil {
 		e.observeErr(fmt.Errorf("microbatch poll: %w", pollErr))
 	}
 
 	var bs BatchStats
-	items := make([]T, 0, len(msgs))
+	items := e.items[:0]
 	for _, m := range msgs {
 		item, err := e.cfg.Decode(m)
 		if err != nil {
@@ -138,6 +168,12 @@ func (e *Engine[T]) Step() (BatchStats, error) {
 			continue
 		}
 		items = append(items, item)
+	}
+	e.items = items
+	if pooled {
+		// Everything the batch needs now lives in items (Decode copies);
+		// hand the payload buffers back to the pool.
+		stream.RecycleMessages(msgs)
 	}
 	bs.Records = len(items)
 

@@ -1,0 +1,160 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func fitTestNB(t testing.TB, rng *rand.Rand) *GaussianNB {
+	t.Helper()
+	var samples []Sample
+	for i := 0; i < 500; i++ {
+		samples = append(samples, Sample{
+			Features: []float64{30 + rng.NormFloat64()*5, rng.NormFloat64(), float64(8 + rng.Intn(12))},
+			Label:    ClassNormal,
+		})
+	}
+	for i := 0; i < 200; i++ {
+		samples = append(samples, Sample{
+			Features: []float64{60 + rng.NormFloat64()*8, rng.NormFloat64() * 3, float64(8 + rng.Intn(12))},
+			Label:    ClassAbnormal,
+		})
+	}
+	nb := NewGaussianNB()
+	if err := nb.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	return nb
+}
+
+// referenceProba recomputes P(normal) with the pre-optimisation formula
+// (math.Log and the division evaluated per call) from the fitted
+// parameters — the regression oracle for the precomputed-constant path.
+func referenceProba(nb *GaussianNB, features []float64) float64 {
+	var logLik [2]float64
+	for c := 0; c < 2; c++ {
+		ll := nb.prior[c]
+		for f, x := range features {
+			d := x - nb.mean[c][f]
+			v := nb.vari[c][f]
+			ll += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+		}
+		logLik[c] = ll
+	}
+	diff := logLik[ClassAbnormal] - logLik[ClassNormal]
+	if math.IsNaN(diff) {
+		diff = nb.prior[ClassAbnormal] - nb.prior[ClassNormal]
+	}
+	return 1 / (1 + math.Exp(diff))
+}
+
+// TestGaussianNBPrecomputedMatchesReference asserts the Fit-time constant
+// precomputation leaves the predicted probabilities identical (to within
+// one part in 1e12 — the reciprocal-multiply vs divide reassociation) and
+// the predicted labels exactly identical to the original per-call-Log
+// implementation.
+func TestGaussianNBPrecomputedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nb := fitTestNB(t, rng)
+	for i := 0; i < 5000; i++ {
+		x := []float64{rng.Float64() * 120, rng.NormFloat64() * 4, float64(rng.Intn(24))}
+		want := referenceProba(nb, x)
+		got, err := nb.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(got - want); diff > 1e-12 {
+			t.Fatalf("x=%v: precomputed %v vs reference %v (diff %g)", x, got, want, diff)
+		}
+		if PredictLabel(got) != PredictLabel(want) {
+			t.Fatalf("x=%v: label flipped: precomputed %v vs reference %v", x, got, want)
+		}
+	}
+}
+
+// TestPredictProba3BitIdentical asserts the fixed-width array fast paths
+// return bit-identical probabilities to the slice paths.
+func TestPredictProba3BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nb := fitTestNB(t, rng)
+	for i := 0; i < 5000; i++ {
+		v := [3]float64{rng.Float64() * 120, rng.NormFloat64() * 4, float64(rng.Intn(24))}
+		slice, err := nb.PredictProba(v[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := nb.PredictProba3(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slice != arr {
+			t.Fatalf("v=%v: slice path %v != array path %v", v, slice, arr)
+		}
+	}
+}
+
+func TestTreePredictProba3BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var samples []Sample
+	for i := 0; i < 600; i++ {
+		label := ClassNormal
+		if rng.Float64() < 0.3 {
+			label = ClassAbnormal
+		}
+		samples = append(samples, Sample{
+			Features: []float64{float64(rng.Intn(24)), rng.Float64(), float64(rng.Intn(2))},
+			Label:    label,
+		})
+	}
+	tree := NewDecisionTree(TreeConfig{MaxDepth: 4})
+	if err := tree.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		v := [3]float64{float64(rng.Intn(24)), rng.Float64(), float64(rng.Intn(2))}
+		slice, err := tree.PredictProba(v[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := tree.PredictProba3(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slice != arr {
+			t.Fatalf("v=%v: slice path %v != array path %v", v, slice, arr)
+		}
+	}
+}
+
+func TestFastPathErrors(t *testing.T) {
+	nb := NewGaussianNB()
+	if _, err := nb.PredictProba3([3]float64{}); err != ErrNotTrained {
+		t.Errorf("untrained NB: got %v, want ErrNotTrained", err)
+	}
+	tree := NewDecisionTree(TreeConfig{})
+	if _, err := tree.PredictProba3([3]float64{}); err != ErrNotTrained {
+		t.Errorf("untrained tree: got %v, want ErrNotTrained", err)
+	}
+	// Width-2 models must reject the width-3 entry point.
+	var samples []Sample
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		label := i % 2
+		samples = append(samples, Sample{Features: []float64{rng.Float64(), rng.Float64()}, Label: label})
+	}
+	nb2 := NewGaussianNB()
+	if err := nb2.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb2.PredictProba3([3]float64{}); err != ErrFeatureWidth {
+		t.Errorf("width-2 NB: got %v, want ErrFeatureWidth", err)
+	}
+	tree2 := NewDecisionTree(TreeConfig{MinSamplesLeaf: 1})
+	if err := tree2.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree2.PredictProba3([3]float64{}); err != ErrFeatureWidth {
+		t.Errorf("width-2 tree: got %v, want ErrFeatureWidth", err)
+	}
+}

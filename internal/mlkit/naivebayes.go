@@ -16,6 +16,11 @@ type GaussianNB struct {
 	// mean[c][f] and vari[c][f] are the per-class Gaussian parameters.
 	mean [2][]float64
 	vari [2][]float64
+	// logNorm[c][f] = -0.5·ln(2π·vari[c][f]) and inv2v[c][f] =
+	// 1/(2·vari[c][f]) are precomputed at Fit time so the per-record
+	// predict path does no math.Log and no division.
+	logNorm [2][]float64
+	inv2v   [2][]float64
 }
 
 var _ Classifier = (*GaussianNB)(nil)
@@ -77,8 +82,23 @@ func (nb *GaussianNB) Fit(samples []Sample) error {
 			nb.vari[c][f] += eps
 		}
 	}
+	nb.finalize()
 	nb.trained = true
 	return nil
+}
+
+// finalize derives the per-class Gaussian log-likelihood constants from
+// the fitted variances. Fit and model deserialization both call it.
+func (nb *GaussianNB) finalize() {
+	for c := 0; c < 2; c++ {
+		nb.logNorm[c] = make([]float64, nb.width)
+		nb.inv2v[c] = make([]float64, nb.width)
+		for f := 0; f < nb.width; f++ {
+			v := nb.vari[c][f]
+			nb.logNorm[c][f] = -0.5 * math.Log(2*math.Pi*v)
+			nb.inv2v[c][f] = 1 / (2 * v)
+		}
+	}
 }
 
 // PredictProba returns P(normal | features).
@@ -92,21 +112,49 @@ func (nb *GaussianNB) PredictProba(features []float64) (float64, error) {
 	var logLik [2]float64
 	for c := 0; c < 2; c++ {
 		ll := nb.prior[c]
+		mean, logNorm, inv2v := nb.mean[c], nb.logNorm[c], nb.inv2v[c]
 		for f, x := range features {
-			d := x - nb.mean[c][f]
-			v := nb.vari[c][f]
-			ll += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+			d := x - mean[f]
+			ll += logNorm[f] - d*d*inv2v[f]
 		}
 		logLik[c] = ll
 	}
-	// Normalise in log space: P(normal) = 1 / (1 + exp(ll0 - ll1)).
+	return nb.normalize(logLik), nil
+}
+
+// PredictProba3 is the allocation-free fast path for the paper's
+// three-feature vector: identical arithmetic to PredictProba, fixed-width
+// array input so the caller's vector stays on its stack.
+func (nb *GaussianNB) PredictProba3(features [3]float64) (float64, error) {
+	if !nb.trained {
+		return 0, ErrNotTrained
+	}
+	if nb.width != 3 {
+		return 0, ErrFeatureWidth
+	}
+	var logLik [2]float64
+	for c := 0; c < 2; c++ {
+		ll := nb.prior[c]
+		mean, logNorm, inv2v := nb.mean[c], nb.logNorm[c], nb.inv2v[c]
+		for f := 0; f < 3; f++ {
+			d := features[f] - mean[f]
+			ll += logNorm[f] - d*d*inv2v[f]
+		}
+		logLik[c] = ll
+	}
+	return nb.normalize(logLik), nil
+}
+
+// normalize converts per-class log-likelihoods to P(normal) in log space:
+// P(normal) = 1 / (1 + exp(ll0 - ll1)).
+func (nb *GaussianNB) normalize(logLik [2]float64) float64 {
 	diff := logLik[ClassAbnormal] - logLik[ClassNormal]
 	if math.IsNaN(diff) {
 		// Both likelihoods underflowed to -Inf (inputs astronomically far
 		// from both classes): fall back to the class priors.
 		diff = nb.prior[ClassAbnormal] - nb.prior[ClassNormal]
 	}
-	return 1 / (1 + math.Exp(diff)), nil
+	return 1 / (1 + math.Exp(diff))
 }
 
 // Predict returns the most likely class label.

@@ -60,6 +60,7 @@ func (nb *GaussianNB) UnmarshalJSON(data []byte) error {
 	nb.prior = st.Prior
 	nb.mean = st.Mean
 	nb.vari = st.Vari
+	nb.finalize()
 	nb.trained = true
 	return nil
 }

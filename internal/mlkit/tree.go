@@ -215,6 +215,27 @@ func (t *DecisionTree) PredictProba(features []float64) (float64, error) {
 	return node.pNormal, nil
 }
 
+// PredictProba3 is the allocation-free fast path for CAD3's fixed
+// three-feature fusion vector [Hour, P_X, Class_NB]: the same traversal
+// as PredictProba over an array the caller keeps on its stack.
+func (t *DecisionTree) PredictProba3(features [3]float64) (float64, error) {
+	if !t.trained {
+		return 0, ErrNotTrained
+	}
+	if t.width != 3 {
+		return 0, ErrFeatureWidth
+	}
+	node := t.root
+	for !node.leaf {
+		if features[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.pNormal, nil
+}
+
 // Predict returns the most likely class label.
 func (t *DecisionTree) Predict(features []float64) (int, error) {
 	p, err := t.PredictProba(features)

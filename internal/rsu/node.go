@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -247,14 +248,14 @@ func (n *Node) processRecords(records []trace.Record) error {
 				SourceTsMs:   rec.TimestampMs,
 				DetectedTsMs: n.cfg.Now().UnixMilli(),
 			}
-			payload, err := core.EncodeWarning(w)
+			// Key and payload both ride pooled buffers: the broker copies
+			// them during Send, so they recycle immediately after.
+			key := appendCarKey(stream.GetPayload(), rec.Car)
+			_, _, err = n.outProducer.SendPooled(key, func(dst []byte) []byte {
+				return core.AppendWarning(dst, w)
+			})
+			stream.PutPayload(key)
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			if _, _, err := n.outProducer.Send(carKey(rec.Car), payload); err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("warn car %d: %w", rec.Car, err)
 				}
@@ -287,7 +288,14 @@ func (n *Node) suppressWarning(car trace.CarID) bool {
 }
 
 func carKey(car trace.CarID) []byte {
-	return []byte(fmt.Sprintf("car-%d", car))
+	return appendCarKey(make([]byte, 0, 24), car)
+}
+
+// appendCarKey appends the partitioning key for a car ("car-<id>") without
+// the fmt machinery.
+func appendCarKey(dst []byte, car trace.CarID) []byte {
+	dst = append(dst, "car-"...)
+	return strconv.AppendInt(dst, int64(car), 10)
 }
 
 // Step runs one pipeline round synchronously: drain received CO-DATA
@@ -302,8 +310,10 @@ func (n *Node) Step() (microbatch.BatchStats, error) {
 
 // drainSummaries ingests pending CO-DATA messages into the summary store.
 func (n *Node) drainSummaries() error {
+	var msgs []stream.Message
 	for {
-		msgs, err := n.coConsumer.Poll(256)
+		var err error
+		msgs, err = n.coConsumer.PollInto(msgs[:0], 256)
 		if len(msgs) == 0 {
 			return err
 		}
@@ -315,6 +325,9 @@ func (n *Node) drainSummaries() error {
 			n.summaries.Put(s)
 			n.recvSumm.Add(1)
 		}
+		// DecodeSummary copies everything it keeps, so the payload
+		// buffers go straight back to the pool.
+		stream.RecycleMessages(msgs)
 		if err != nil {
 			return err
 		}
@@ -340,7 +353,11 @@ func (n *Node) Handover(car trace.CarID, neighbor string) error {
 	if err != nil {
 		return fmt.Errorf("rsu %s: encode summary: %w", n.cfg.Name, err)
 	}
-	if _, _, err := p.Send(carKey(car), payload); err != nil {
+	key := appendCarKey(stream.GetPayload(), car)
+	_, _, err = p.Send(key, payload)
+	stream.PutPayload(key)
+	stream.PutPayload(payload)
+	if err != nil {
 		return fmt.Errorf("rsu %s: handover car %d to %s: %w", n.cfg.Name, car, neighbor, err)
 	}
 	n.builder.Forget(car)

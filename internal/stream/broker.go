@@ -146,7 +146,10 @@ func (b *Broker) Produce(topicName string, partition int32, key, value []byte) (
 		return 0, 0, fmt.Errorf("%w: %q/%d", ErrPartitionDown, topicName, partition)
 	}
 
-	msg := Message{Topic: topicName, Partition: partition, Key: key, Value: value}.Clone()
+	// The broker owns its copy of the payload (pooled — recycled when
+	// retention evicts it), so the producer may recycle its buffer as
+	// soon as Produce returns.
+	msg := pooledCloneMessage(Message{Topic: topicName, Partition: partition, Key: key, Value: value})
 	offset := t.partitions[partition].append(msg)
 	b.bytesIn.Add(int64(msg.WireSize()))
 	return partition, offset, nil

@@ -40,19 +40,32 @@ func NewConsumer(client Client, topicName string, startOffset int64) (*Consumer,
 // Poll fetches up to max messages, cycling through partitions round-robin
 // and advancing offsets past what it returns. An empty result means no new
 // messages were available.
+//
+// The caller owns the returned messages' Key/Value buffers; once they are
+// fully decoded it may hand them back with RecycleMessages (optional — not
+// doing so just leaves them to the GC).
 func (c *Consumer) Poll(max int) ([]Message, error) {
+	return c.PollInto(nil, max)
+}
+
+// PollInto is Poll appending into a caller-supplied slice, so a steady
+// drain loop can reuse one backing array: msgs = msgs[:0] each round, then
+// msgs, err = c.PollInto(msgs, max). Ownership of the messages' payload
+// buffers is the same as Poll's.
+func (c *Consumer) PollInto(dst []Message, max int) ([]Message, error) {
 	if max <= 0 {
-		return nil, nil
+		return dst, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	var out []Message
+	out := dst
+	base := len(dst)
 	var firstErr error
 	n := len(c.offsets)
-	for tried := 0; tried < n && len(out) < max; tried++ {
+	for tried := 0; tried < n && len(out)-base < max; tried++ {
 		part := int32((c.next + tried) % n)
-		msgs, err := c.client.Fetch(c.topic, part, c.offsets[part], max-len(out))
+		msgs, err := c.client.Fetch(c.topic, part, c.offsets[part], max-(len(out)-base))
 		if err != nil {
 			// Keep draining the healthy partitions; report the first
 			// failure so callers can degrade gracefully.

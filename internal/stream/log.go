@@ -65,6 +65,11 @@ func (l *partitionLog) dropLocked(n int) {
 	if n > len(l.msgs) {
 		n = len(l.msgs)
 	}
+	// The log owns its message buffers (readers get clones), so evicted
+	// entries hand their payloads back to the pool.
+	for i := 0; i < n; i++ {
+		recyclePayloads(&l.msgs[i])
+	}
 	remaining := len(l.msgs) - n
 	fresh := make([]Message, remaining)
 	copy(fresh, l.msgs[n:])
@@ -92,7 +97,9 @@ func (l *partitionLog) read(offset int64, max int) []Message {
 	}
 	out := make([]Message, end-start)
 	for i := range out {
-		out[i] = l.msgs[start+i].Clone()
+		// Pooled clones: the reader owns them and may return them via
+		// RecycleMessages once decoded.
+		out[i] = pooledCloneMessage(l.msgs[start+i])
 	}
 	return out
 }

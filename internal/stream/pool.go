@@ -1,0 +1,116 @@
+package stream
+
+import "sync"
+
+// Payload buffer pooling. The telemetry fast path produces and consumes
+// hundreds of small (~200 B) messages per simulated second; recycling
+// their backing buffers through a sync.Pool keeps the broker's per-message
+// copies and the consumers' clones off the allocator.
+//
+// Ownership contract:
+//
+//   - The broker owns the copies it makes on Produce. They are recycled
+//     automatically when retention evicts them.
+//   - Messages returned by Fetch/Poll/PollInto own their Key and Value
+//     buffers. A consumer that has finished with them MAY hand them back
+//     with RecycleMessages; one that retains them (or does nothing) simply
+//     leaves them to the garbage collector. Never recycle a message whose
+//     Key/Value still alias live data.
+//   - Buffers obtained from GetPayload are returned with PutPayload once
+//     the payload has been handed to Send/Produce (the broker and the TCP
+//     client both copy before returning).
+
+const (
+	// pooledBufCap is the capacity of freshly minted pooled payload
+	// buffers — sized for the codec's fixed 200 B telemetry packet with
+	// headroom for warning/summary payloads and keys.
+	pooledBufCap = 256
+	// maxPooledBufCap bounds what PutPayload retains, so one oversized
+	// payload does not pin a large buffer in the pool forever.
+	maxPooledBufCap = 4096
+	// maxPooledFrameCap bounds pooled wire-frame bodies (a fetch response
+	// carries many messages per frame).
+	maxPooledFrameCap = 1 << 16
+)
+
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, pooledBufCap)
+		return &b
+	},
+}
+
+// GetPayload returns an empty length-zero buffer from the pool, ready for
+// append-style encoding (e.g. core.AppendRecord).
+func GetPayload() []byte {
+	return (*payloadPool.Get().(*[]byte))[:0]
+}
+
+// PutPayload returns a buffer to the pool. Nil and oversized buffers are
+// dropped. The caller must not touch the buffer afterwards.
+func PutPayload(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBufCap {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
+
+// RecycleMessages returns the Key/Value buffers of polled messages to the
+// pool and nils them out. Call it only when the messages' payloads have
+// been fully decoded (copied into structs) and nothing aliases them.
+func RecycleMessages(msgs []Message) {
+	for i := range msgs {
+		PutPayload(msgs[i].Key)
+		PutPayload(msgs[i].Value)
+		msgs[i].Key, msgs[i].Value = nil, nil
+	}
+}
+
+// pooledClone deep-copies b into a pooled buffer (nil stays nil).
+func pooledClone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append(GetPayload(), b...)
+}
+
+// pooledCloneMessage deep-copies a message using pooled buffers.
+func pooledCloneMessage(m Message) Message {
+	m.Key = pooledClone(m.Key)
+	m.Value = pooledClone(m.Value)
+	return m
+}
+
+// recyclePayloads returns a message's buffers to the pool (used by the
+// broker when retention evicts log entries it owns).
+func recyclePayloads(m *Message) {
+	PutPayload(m.Key)
+	PutPayload(m.Value)
+	m.Key, m.Value = nil, nil
+}
+
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getFrame returns an n-byte buffer for a wire frame body.
+func getFrame(n int) []byte {
+	b := *framePool.Get().(*[]byte)
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// putFrame returns a frame body to the pool.
+func putFrame(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledFrameCap {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}

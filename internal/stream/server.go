@@ -102,6 +102,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			enc.str(err.Error())
 			resp = enc.frame()
 		}
+		putFrame(payload) // handle copied what it keeps; resp is enc's buffer
 		if _, err := conn.Write(resp); err != nil {
 			return
 		}
@@ -126,8 +127,10 @@ func (s *Server) handle(enc *wireEncoder, msgType byte, payload []byte) ([]byte,
 	case reqProduce:
 		topicName := dec.str()
 		partition := int32(dec.u32())
-		key := dec.bytes()
-		value := dec.bytes()
+		// Zero-copy views into the request frame: the broker clones on
+		// Produce, and the frame outlives this call.
+		key := dec.raw()
+		value := dec.raw()
 		if dec.err != nil {
 			return nil, dec.err
 		}
@@ -157,6 +160,7 @@ func (s *Server) handle(enc *wireEncoder, msgType byte, payload []byte) ([]byte,
 		}
 		enc.reset(respFetch)
 		enc.messages(msgs)
+		RecycleMessages(msgs) // encoded into the response frame; copies done
 		return enc.frame(), nil
 
 	case reqPartitionCount:
@@ -228,6 +232,7 @@ func (c *TCPClient) roundTrip() (byte, wireDecoder, error) {
 	dec := wireDecoder{buf: payload}
 	if msgType == respError {
 		msg := dec.str()
+		dec.release()
 		return 0, wireDecoder{}, remoteError(msg)
 	}
 	return msgType, dec, nil
@@ -253,7 +258,8 @@ func (c *TCPClient) CreateTopic(name string, partitions int) error {
 	c.enc.reset(reqCreateTopic)
 	c.enc.str(name)
 	c.enc.u32(uint32(partitions))
-	_, _, err := c.roundTrip()
+	_, dec, err := c.roundTrip()
+	dec.release()
 	return err
 }
 
@@ -272,7 +278,9 @@ func (c *TCPClient) Produce(topicName string, partition int32, key, value []byte
 	}
 	part := int32(dec.u32())
 	off := int64(dec.u64())
-	return part, off, dec.err
+	err = dec.err
+	dec.release()
+	return part, off, err
 }
 
 // Fetch implements Client.
@@ -289,7 +297,9 @@ func (c *TCPClient) Fetch(topicName string, partition int32, offset int64, max i
 		return nil, err
 	}
 	msgs := dec.messages()
-	return msgs, dec.err
+	err = dec.err
+	dec.release()
+	return msgs, err
 }
 
 // ListTopics implements Client.
@@ -303,13 +313,16 @@ func (c *TCPClient) ListTopics() ([]string, error) {
 	}
 	n := int(dec.u32())
 	if dec.err != nil || n < 0 || n > 1<<20 {
+		dec.release()
 		return nil, fmt.Errorf("stream: implausible topic count %d", n)
 	}
 	out := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, dec.str())
 	}
-	return out, dec.err
+	err = dec.err
+	dec.release()
+	return out, err
 }
 
 // PartitionCount implements Client.
@@ -323,5 +336,7 @@ func (c *TCPClient) PartitionCount(topicName string) (int, error) {
 		return 0, err
 	}
 	n := int(dec.u32())
-	return n, dec.err
+	err = dec.err
+	dec.release()
+	return n, err
 }

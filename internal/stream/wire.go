@@ -96,7 +96,10 @@ func (d *wireDecoder) u64() uint64 {
 	return v
 }
 
-func (d *wireDecoder) bytes() []byte {
+// raw returns a zero-copy view of a length-prefixed byte field, valid only
+// while the frame buffer is (i.e. before putFrame). Callers that retain
+// the data must copy it.
+func (d *wireDecoder) raw() []byte {
 	n := int(d.u32())
 	if d.err != nil {
 		return nil
@@ -105,15 +108,34 @@ func (d *wireDecoder) bytes() []byte {
 		d.err = io.ErrUnexpectedEOF
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.buf[d.pos:d.pos+n])
+	out := d.buf[d.pos : d.pos+n : d.pos+n]
 	d.pos += n
 	return out
 }
 
-func (d *wireDecoder) str() string { return string(d.bytes()) }
+// bytes returns an owned (pooled) copy of a length-prefixed byte field.
+// Zero-length fields decode as nil.
+func (d *wireDecoder) bytes() []byte {
+	v := d.raw()
+	if d.err != nil || len(v) == 0 {
+		return nil
+	}
+	return append(GetPayload(), v...)
+}
 
-// readFrame reads one frame (type byte + payload) from r.
+func (d *wireDecoder) str() string { return string(d.raw()) }
+
+// release returns the decoder's frame buffer to the pool. Only valid on
+// decoders whose buf came from readFrame, after every field (including
+// raw views) has been consumed or copied.
+func (d *wireDecoder) release() {
+	putFrame(d.buf)
+	d.buf = nil
+	d.pos = 0
+}
+
+// readFrame reads one frame (type byte + payload) from r into a pooled
+// buffer. The payload is valid until the caller hands it to putFrame.
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -126,8 +148,9 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if n > maxFrameSize {
 		return 0, nil, errFrameTooLarge
 	}
-	body := make([]byte, n)
+	body := getFrame(int(n))
 	if _, err := io.ReadFull(r, body); err != nil {
+		putFrame(body)
 		return 0, nil, err
 	}
 	return body[0], body[1:], nil

@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,9 @@ type Config struct {
 	PollInterval time.Duration
 	// Loop restarts the replay when the records run out.
 	Loop bool
+	// JSONWire publishes telemetry as JSON instead of the compact binary
+	// codec — the debugging/interop fallback (RSUs decode both).
+	JSONWire bool
 	// Now injects the clock. Nil selects time.Now.
 	Now func() time.Time
 }
@@ -53,12 +57,18 @@ type Vehicle struct {
 	cfg      Config
 	producer *stream.Producer
 	consumer *stream.Consumer
+	// key is the precomputed partitioning key ("car-<id>").
+	key []byte
 
 	sent     atomic.Int64
 	received atomic.Int64
 	// latencies holds end-to-end warning latencies (send -> receipt).
 	latencies *metrics.LatencyRecorder
 	bandwidth *metrics.BandwidthMeter
+
+	// pollMu guards the reused warning-poll scratch buffer.
+	pollMu  sync.Mutex
+	pollBuf []stream.Message
 }
 
 // New validates the config and prepares a vehicle.
@@ -90,6 +100,7 @@ func New(cfg Config) (*Vehicle, error) {
 		cfg:       cfg,
 		producer:  p,
 		consumer:  c,
+		key:       []byte("car-" + strconv.FormatInt(int64(cfg.ID), 10)),
 		latencies: metrics.NewLatencyRecorder(),
 		bandwidth: metrics.NewBandwidthMeter(),
 	}, nil
@@ -105,15 +116,28 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 	rec := v.cfg.Records[i%len(v.cfg.Records)]
 	rec.Car = v.cfg.ID
 	rec.TimestampMs = v.cfg.Now().UnixMilli()
-	payload, err := core.EncodeRecord(rec)
-	if err != nil {
-		return trace.Record{}, fmt.Errorf("vehicle %d: encode: %w", v.cfg.ID, err)
-	}
-	if _, _, err := v.producer.Send([]byte(fmt.Sprintf("car-%d", v.cfg.ID)), payload); err != nil {
-		return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
+	var payloadLen int
+	if v.cfg.JSONWire {
+		payload, err := core.EncodeRecordJSON(rec)
+		if err != nil {
+			return trace.Record{}, fmt.Errorf("vehicle %d: encode: %w", v.cfg.ID, err)
+		}
+		if _, _, err := v.producer.Send(v.key, payload); err != nil {
+			return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
+		}
+		payloadLen = len(payload)
+	} else {
+		// Binary fast path: encode into a pooled buffer that recycles
+		// right after the broker's copy.
+		if _, _, err := v.producer.SendPooled(v.key, func(dst []byte) []byte {
+			return core.AppendRecord(dst, rec)
+		}); err != nil {
+			return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
+		}
+		payloadLen = core.RecordWireSize
 	}
 	v.sent.Add(1)
-	v.bandwidth.Add(len(payload), v.cfg.Now())
+	v.bandwidth.Add(payloadLen, v.cfg.Now())
 	return rec, nil
 }
 
@@ -121,7 +145,10 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 // recording end-to-end latency for each. It returns the warnings received
 // this round.
 func (v *Vehicle) PollWarnings() ([]core.Warning, error) {
-	msgs, err := v.consumer.Poll(64)
+	v.pollMu.Lock()
+	defer v.pollMu.Unlock()
+	msgs, err := v.consumer.PollInto(v.pollBuf[:0], 64)
+	v.pollBuf = msgs
 	var out []core.Warning
 	now := v.cfg.Now()
 	for _, m := range msgs {
@@ -147,6 +174,8 @@ func (v *Vehicle) PollWarnings() ([]core.Warning, error) {
 		})
 		out = append(out, w)
 	}
+	// DecodeWarning copies into the struct; recycle the payload buffers.
+	stream.RecycleMessages(msgs)
 	return out, err
 }
 
