@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench race vet fmt cover experiments profile clean
+.PHONY: all build test test-short bench race vet fmt cover experiments chaos profile clean
 
 all: build vet test
 
@@ -39,6 +39,10 @@ cover:
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/cad3-bench
+
+# Crash-safety study: partition + crash + recovery continuity table.
+chaos:
+	$(GO) run ./cmd/cad3-chaos
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt cpu.prof mem.prof core.test

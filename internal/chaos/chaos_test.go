@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"cad3/internal/stream"
+)
+
+func newBrokerClient(t *testing.T) *stream.InProcClient {
+	t.Helper()
+	b := stream.NewBroker(stream.BrokerConfig{})
+	if err := b.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	return stream.NewInProcClient(b)
+}
+
+// drive runs a fixed operation sequence through a chaos client and
+// returns the observed fault fingerprint.
+func drive(t *testing.T, seed int64, ops int) (Stats, []int64) {
+	t.Helper()
+	inj := NewInjector(Config{Seed: seed, DropProb: 0.2, DupProb: 0.1, KillProb: 0.1, DelayProb: 0.3})
+	c := NewClient(inj, "a", "b", newBrokerClient(t))
+	c.Sleep = func(time.Duration) {} // virtual: no wall-clock waits
+	offsets := make([]int64, 0, ops)
+	for i := 0; i < ops; i++ {
+		_, off, err := c.Produce("t", 0, nil, []byte("payload"))
+		if err != nil {
+			off = -2 // fingerprint kills distinctly from drops (-1)
+		}
+		offsets = append(offsets, off)
+	}
+	return inj.Stats(), offsets
+}
+
+func TestInjectorDeterministicUnderSeed(t *testing.T) {
+	s1, o1 := drive(t, 42, 200)
+	s2, o2 := drive(t, 42, 200)
+	if s1 != s2 {
+		t.Errorf("same seed produced different stats: %+v vs %+v", s1, s2)
+	}
+	if !reflect.DeepEqual(o1, o2) {
+		t.Error("same seed produced different offset sequences")
+	}
+	s3, o3 := drive(t, 7, 200)
+	if s1 == s3 && reflect.DeepEqual(o1, o3) {
+		t.Error("different seeds produced identical runs")
+	}
+	if s1.Drops == 0 || s1.Kills == 0 || s1.Dups == 0 || s1.Delays == 0 {
+		t.Errorf("expected every fault kind at these probabilities: %+v", s1)
+	}
+}
+
+func TestPartitionIsAsymmetric(t *testing.T) {
+	inj := NewInjector(Config{Seed: 1})
+	inner := newBrokerClient(t)
+	ab := NewClient(inj, "a", "b", inner)
+	ba := NewClient(inj, "b", "a", inner)
+
+	inj.Partition("a", "b")
+	if _, _, err := ab.Produce("t", 0, nil, []byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("a->b err = %v, want ErrLinkDown", err)
+	}
+	if _, _, err := ba.Produce("t", 0, nil, []byte("x")); err != nil {
+		t.Errorf("b->a should be unaffected, got %v", err)
+	}
+	if !inj.Partitioned("a", "b") || inj.Partitioned("b", "a") {
+		t.Error("partition matrix wrong")
+	}
+
+	inj.Heal("a", "b")
+	if _, _, err := ab.Produce("t", 0, nil, []byte("x")); err != nil {
+		t.Errorf("healed link still failing: %v", err)
+	}
+	if got := inj.Stats().Blocked; got != 1 {
+		t.Errorf("Blocked = %d, want 1", got)
+	}
+}
+
+func TestDropIsInvisibleToSender(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, DropProb: 1})
+	inner := newBrokerClient(t)
+	c := NewClient(inj, "a", "b", inner)
+	part, off, err := c.Produce("t", stream.AutoPartition, nil, []byte("lost"))
+	if err != nil {
+		t.Fatalf("drop must look like success, got %v", err)
+	}
+	if off != -1 || part != 0 {
+		t.Errorf("dropped produce = (%d, %d), want (0, -1)", part, off)
+	}
+	msgs, err := inner.Fetch("t", 0, 0, 10)
+	if err != nil || len(msgs) != 0 {
+		t.Errorf("broker saw %d messages, want 0 (err %v)", len(msgs), err)
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, DupProb: 1})
+	inner := newBrokerClient(t)
+	c := NewClient(inj, "a", "b", inner)
+	if _, _, err := c.Produce("t", 0, nil, []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := inner.Fetch("t", 0, 0, 10)
+	if err != nil || len(msgs) != 2 {
+		t.Errorf("broker saw %d messages, want 2 (err %v)", len(msgs), err)
+	}
+}
+
+func TestKillSurfacesAsTransportError(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, KillProb: 1})
+	c := NewClient(inj, "a", "b", newBrokerClient(t))
+	if _, err := c.Fetch("t", 0, 0, 1); !errors.Is(err, ErrConnKilled) {
+		t.Errorf("err = %v, want ErrConnKilled", err)
+	}
+	if _, err := c.PartitionCount("t"); !errors.Is(err, ErrConnKilled) {
+		t.Errorf("err = %v, want ErrConnKilled", err)
+	}
+	if _, err := c.ListTopics(); !errors.Is(err, ErrConnKilled) {
+		t.Errorf("err = %v, want ErrConnKilled", err)
+	}
+	if err := c.CreateTopic("u", 1); !errors.Is(err, ErrConnKilled) {
+		t.Errorf("err = %v, want ErrConnKilled", err)
+	}
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	s := NewSchedule()
+	base := time.Date(2016, 7, 4, 8, 0, 0, 0, time.UTC)
+	var got []string
+	add := func(d time.Duration, name string) {
+		s.At(base.Add(d), name, func() { got = append(got, name) })
+	}
+	add(30*time.Second, "restart")
+	add(10*time.Second, "partition")
+	add(10*time.Second, "kill") // same instant: insertion order
+	if n := s.Advance(base.Add(5 * time.Second)); n != 0 {
+		t.Errorf("fired %d events early", n)
+	}
+	if n := s.Advance(base.Add(20 * time.Second)); n != 2 {
+		t.Errorf("fired %d events, want 2", n)
+	}
+	// A fired event may schedule a follow-up.
+	s.At(base.Add(40*time.Second), "heal", func() { got = append(got, "heal") })
+	if n := s.Advance(base.Add(time.Hour)); n != 2 {
+		t.Errorf("fired %d events, want 2", n)
+	}
+	want := []string{"partition", "kill", "restart", "heal"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("firing order = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(s.Fired(), want) {
+		t.Errorf("Fired() = %v, want %v", s.Fired(), want)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cad3/internal/stream"
+)
+
+// Errors the chaos client injects. Both are transport-class errors:
+// stream.RetryClient treats them as retryable, exactly like a real dead
+// connection.
+var (
+	// ErrConnKilled is returned when the injector kills the operation's
+	// connection mid-request.
+	ErrConnKilled = errors.New("chaos: connection killed")
+	// ErrLinkDown is returned while the directed link is partitioned.
+	ErrLinkDown = errors.New("chaos: link partitioned")
+)
+
+// Client decorates a stream.Client as one named directed link
+// (From -> To) subject to an Injector's faults:
+//
+//   - partition: every operation fails with ErrLinkDown;
+//   - kill: the operation fails with ErrConnKilled;
+//   - drop (Produce only): the message is lost in transit but the caller
+//     observes success — the broker never sees it;
+//   - dup (Produce only): the message is delivered twice;
+//   - delay: the operation is held for the drawn duration via Sleep.
+//
+// Read operations (Fetch, PartitionCount, ListTopics) are subject to
+// partition, kill, and delay; drops and dups only make sense for writes.
+type Client struct {
+	// From and To name the link's endpoints (e.g. RSU names). The
+	// injector's partition matrix is keyed by these names.
+	From, To string
+
+	inner stream.Client
+	inj   *Injector
+
+	// Sleep implements injected delays. Nil selects time.Sleep; the
+	// discrete-event harnesses inject a virtual-clock advance instead.
+	Sleep func(time.Duration)
+}
+
+var _ stream.Client = (*Client)(nil)
+
+// NewClient wraps inner as the directed link from -> to under inj.
+func NewClient(inj *Injector, from, to string, inner stream.Client) *Client {
+	if inj == nil {
+		inj = NewInjector(Config{})
+	}
+	return &Client{From: from, To: to, inner: inner, inj: inj}
+}
+
+// Injector returns the client's injector.
+func (c *Client) Injector() *Injector { return c.inj }
+
+// apply draws the operation's verdict and handles partition/kill/delay.
+// It reports (drop, dup, err).
+func (c *Client) apply() (bool, bool, error) {
+	d := c.inj.decide(c.From, c.To)
+	if d.blocked {
+		return false, false, fmt.Errorf("%w: %s -> %s", ErrLinkDown, c.From, c.To)
+	}
+	if d.kill {
+		return false, false, fmt.Errorf("%w: %s -> %s", ErrConnKilled, c.From, c.To)
+	}
+	if d.delay > 0 {
+		if c.Sleep != nil {
+			c.Sleep(d.delay)
+		} else {
+			time.Sleep(d.delay)
+		}
+	}
+	return d.drop, d.dup, nil
+}
+
+// CreateTopic implements stream.Client.
+func (c *Client) CreateTopic(name string, partitions int) error {
+	if _, _, err := c.apply(); err != nil {
+		return err
+	}
+	return c.inner.CreateTopic(name, partitions)
+}
+
+// Produce implements stream.Client. A dropped message reports success
+// without reaching the broker (offset -1); a duplicated one is appended
+// twice and reports the first append's coordinates.
+func (c *Client) Produce(topicName string, partition int32, key, value []byte) (int32, int64, error) {
+	drop, dup, err := c.apply()
+	if err != nil {
+		return 0, 0, err
+	}
+	if drop {
+		// Lost in transit after the sender's ack timeout would have
+		// fired: the caller cannot distinguish this from success.
+		if partition == stream.AutoPartition {
+			partition = 0
+		}
+		return partition, -1, nil
+	}
+	part, off, err := c.inner.Produce(topicName, partition, key, value)
+	if err != nil {
+		return part, off, err
+	}
+	if dup {
+		_, _, _ = c.inner.Produce(topicName, partition, key, value)
+	}
+	return part, off, nil
+}
+
+// Fetch implements stream.Client.
+func (c *Client) Fetch(topicName string, partition int32, offset int64, max int) ([]stream.Message, error) {
+	if _, _, err := c.apply(); err != nil {
+		return nil, err
+	}
+	return c.inner.Fetch(topicName, partition, offset, max)
+}
+
+// PartitionCount implements stream.Client.
+func (c *Client) PartitionCount(topicName string) (int, error) {
+	if _, _, err := c.apply(); err != nil {
+		return 0, err
+	}
+	return c.inner.PartitionCount(topicName)
+}
+
+// ListTopics implements stream.Client.
+func (c *Client) ListTopics() ([]string, error) {
+	if _, _, err := c.apply(); err != nil {
+		return nil, err
+	}
+	return c.inner.ListTopics()
+}
+
+// Close implements stream.Client. Closing is never fault-injected.
+func (c *Client) Close() error { return c.inner.Close() }

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+)
+
+// Listener wraps a net.Listener so the broker server accepting on it can
+// be fault-injected without being torn down:
+//
+//   - KillConnections closes every live accepted connection (clients see
+//     a dead TCP session and must redial — the reconnect-storm case
+//     RetryClient's jittered backoff exists for);
+//   - SetDown(true) additionally closes new connections immediately
+//     after accept, so redial attempts fail until SetDown(false).
+//
+// The broker's in-memory log is untouched; pair with a Broker snapshot
+// to model a full crash.
+type Listener struct {
+	inner net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	down  bool
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// WrapListener decorates ln.
+func WrapListener(ln net.Listener) *Listener {
+	return &Listener{inner: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if l.down {
+			l.mu.Unlock()
+			_ = conn.Close()
+			continue // refuse while down; keep accepting so Close unblocks
+		}
+		tc := &trackedConn{Conn: conn, l: l}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		return tc, nil
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.KillConnections()
+	return l.inner.Close()
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// KillConnections closes every live accepted connection.
+func (l *Listener) KillConnections() {
+	l.mu.Lock()
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = make(map[net.Conn]struct{})
+	l.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// SetDown makes the listener refuse (true) or accept (false) new
+// connections. Taking it down also kills the live ones.
+func (l *Listener) SetDown(down bool) {
+	l.mu.Lock()
+	l.down = down
+	l.mu.Unlock()
+	if down {
+		l.KillConnections()
+	}
+}
+
+// Live returns the number of live accepted connections.
+func (l *Listener) Live() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+// trackedConn removes itself from the listener's live set on close.
+type trackedConn struct {
+	net.Conn
+	l    *Listener
+	once sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() {
+		c.l.mu.Lock()
+		delete(c.l.conns, c.Conn)
+		c.l.mu.Unlock()
+	})
+	return c.Conn.Close()
+}

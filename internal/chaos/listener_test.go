@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"cad3/internal/stream"
+)
+
+// serveWrapped starts a broker server on a chaos-wrapped listener.
+func serveWrapped(t *testing.T) (*stream.Broker, *Listener, *stream.Server) {
+	t.Helper()
+	b := stream.NewBroker(stream.BrokerConfig{})
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := WrapListener(ln)
+	srv := stream.NewServerOn(b, wl)
+	t.Cleanup(func() { _ = srv.Close() })
+	return b, wl, srv
+}
+
+func TestListenerKillConnections(t *testing.T) {
+	_, wl, srv := serveWrapped(t)
+	c, err := stream.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Produce("t", 0, nil, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+
+	wl.KillConnections()
+	if _, _, err := c.Produce("t", 0, nil, []byte("after kill")); err == nil {
+		t.Error("want transport error after connection kill")
+	}
+
+	// A plain client must redial; the broker itself never went away.
+	c2, err := stream.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	msgs, err := c2.Fetch("t", 0, 0, 10)
+	if err != nil || len(msgs) != 1 {
+		t.Errorf("post-kill fetch = %d msgs, %v; want the pre-kill message", len(msgs), err)
+	}
+}
+
+func TestListenerDownRefusesNewConnections(t *testing.T) {
+	_, wl, srv := serveWrapped(t)
+	wl.SetDown(true)
+
+	// New connections are accepted then immediately closed: the first
+	// request fails.
+	if c, err := stream.Dial(srv.Addr()); err == nil {
+		_, _, perr := c.Produce("t", 0, nil, []byte("x"))
+		_ = c.Close()
+		if perr == nil {
+			t.Error("want error while listener is down")
+		}
+	}
+
+	wl.SetDown(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := stream.Dial(srv.Addr())
+		if err == nil {
+			_, _, err = c.Produce("t", 0, nil, []byte("back"))
+			_ = c.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not come back: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRetryClientHealsThroughChaosListener is the reconnect-storm case:
+// a retry client rides over killed connections transparently.
+func TestRetryClientHealsThroughChaosListener(t *testing.T) {
+	_, wl, srv := serveWrapped(t)
+	rc, err := stream.DialRetry(srv.Addr(), 5, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	for i := 0; i < 5; i++ {
+		if _, _, err := rc.Produce("t", 0, nil, []byte("m")); err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+		wl.KillConnections()
+	}
+	msgs, err := rc.Fetch("t", 0, 0, 100)
+	if err != nil || len(msgs) != 5 {
+		t.Errorf("fetch = %d msgs, %v; want 5", len(msgs), err)
+	}
+}

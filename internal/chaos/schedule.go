@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one scheduled fault action.
+type Event struct {
+	At   time.Time
+	Name string
+	fn   func()
+}
+
+// Schedule fires named fault actions (crash, restart, partition, heal)
+// at fixed virtual times. The driving loop calls Advance with its
+// current clock; due events fire in (time, insertion) order, so a chaos
+// run's fault sequence is deterministic regardless of how coarsely the
+// clock advances.
+type Schedule struct {
+	mu     sync.Mutex
+	events []Event
+	fired  []string
+}
+
+// NewSchedule creates an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// At registers fn to fire once the clock reaches t.
+func (s *Schedule) At(t time.Time, name string, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, Event{At: t, Name: name, fn: fn})
+	// Stable sort keeps insertion order among same-instant events.
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At.Before(s.events[j].At) })
+}
+
+// Advance fires every event with At <= now and returns how many fired.
+// Events fire outside the schedule lock, so they may register follow-up
+// events (a crash scheduling its own restart).
+func (s *Schedule) Advance(now time.Time) int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if len(s.events) == 0 || s.events[0].At.After(now) {
+			s.mu.Unlock()
+			return fired
+		}
+		ev := s.events[0]
+		s.events = s.events[1:]
+		s.fired = append(s.fired, ev.Name)
+		s.mu.Unlock()
+		ev.fn()
+		fired++
+	}
+}
+
+// Pending returns the number of unfired events.
+func (s *Schedule) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Fired returns the names of fired events, in firing order.
+func (s *Schedule) Fired() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.fired))
+	copy(out, s.fired)
+	return out
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cad3/internal/trace"
@@ -107,14 +109,83 @@ func (b *SummaryBuilder) Cars() int {
 	return len(b.cars)
 }
 
+// CarHistory is one vehicle's accumulated prediction state, exported for
+// checkpointing.
+type CarHistory struct {
+	Car   trace.CarID `json:"carId"`
+	Sum   float64     `json:"sum"`
+	Count int         `json:"count"`
+	Last  []float64   `json:"last,omitempty"`
+}
+
+// BuilderSnapshot is a SummaryBuilder checkpoint: the road it serves and
+// every tracked vehicle's history. A restarted RSU restores it so
+// handovers after recovery still carry the pre-crash prediction history.
+type BuilderSnapshot struct {
+	Road int64        `json:"road"`
+	Cars []CarHistory `json:"cars"`
+}
+
+// Snapshot exports the builder's state (deep copy, sorted by car for
+// deterministic serialization).
+func (b *SummaryBuilder) Snapshot() BuilderSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	snap := BuilderSnapshot{Road: b.road, Cars: make([]CarHistory, 0, len(b.cars))}
+	for car, a := range b.cars {
+		h := CarHistory{Car: car, Sum: a.sum, Count: a.count}
+		if len(a.last) > 0 {
+			h.Last = append([]float64(nil), a.last...)
+		}
+		snap.Cars = append(snap.Cars, h)
+	}
+	sort.Slice(snap.Cars, func(i, j int) bool { return snap.Cars[i].Car < snap.Cars[j].Car })
+	return snap
+}
+
+// Restore replaces the builder's state with a snapshot's.
+func (b *SummaryBuilder) Restore(snap BuilderSnapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.road = snap.Road
+	b.cars = make(map[trace.CarID]*carAgg, len(snap.Cars))
+	for _, h := range snap.Cars {
+		a := &carAgg{sum: h.Sum, count: h.Count}
+		if len(h.Last) > 0 {
+			a.last = append([]float64(nil), h.Last...)
+		}
+		b.cars[h.Car] = a
+	}
+}
+
 // SummaryStore holds the summaries an RSU has received over CO-DATA,
 // keyed by car, with staleness-based expiry. Safe for concurrent use.
+//
+// The store counts its lookups: a miss or an expiry on the detection
+// path is exactly a CAD3 -> AD3 degradation (the fusion falls back to
+// the standalone probability), so these counters are what makes the
+// paper's silent fallback observable and assertable.
 type SummaryStore struct {
 	ttl time.Duration
 	now func() time.Time
 
 	mu   sync.Mutex
 	byID map[trace.CarID]PredictionSummary
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	expired atomic.Int64
+}
+
+// SummaryStoreStats counts store lookups.
+type SummaryStoreStats struct {
+	// Hits are Get calls answered with a fresh summary.
+	Hits int64
+	// Misses are Get calls for cars with no stored summary.
+	Misses int64
+	// Expired are Get calls that found a summary but evicted it as
+	// stale — the silent CAD3 -> AD3 fallback case.
+	Expired int64
 }
 
 // DefaultSummaryTTL expires summaries that are too old to describe the
@@ -146,12 +217,15 @@ func (s *SummaryStore) Get(car trace.CarID) (PredictionSummary, bool) {
 	defer s.mu.Unlock()
 	sum, ok := s.byID[car]
 	if !ok {
+		s.misses.Add(1)
 		return PredictionSummary{}, false
 	}
 	if s.now().UnixMilli()-sum.UpdatedMs > s.ttl.Milliseconds() {
 		delete(s.byID, car)
+		s.expired.Add(1)
 		return PredictionSummary{}, false
 	}
+	s.hits.Add(1)
 	return sum, true
 }
 
@@ -161,4 +235,40 @@ func (s *SummaryStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.byID)
+}
+
+// Stats returns the lookup counters.
+func (s *SummaryStore) Stats() SummaryStoreStats {
+	return SummaryStoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Expired: s.expired.Load(),
+	}
+}
+
+// Snapshot exports every stored summary (fresh or not — the restore-side
+// Get re-applies TTL), sorted by car for deterministic serialization.
+func (s *SummaryStore) Snapshot() []PredictionSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PredictionSummary, 0, len(s.byID))
+	for _, sum := range s.byID {
+		if len(sum.LastPNormal) > 0 {
+			sum.LastPNormal = append([]float64(nil), sum.LastPNormal...)
+		}
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Car < out[j].Car })
+	return out
+}
+
+// Restore replaces the store's contents with a snapshot's. Counters are
+// not restored: they describe the live process, not the data.
+func (s *SummaryStore) Restore(sums []PredictionSummary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID = make(map[trace.CarID]PredictionSummary, len(sums))
+	for _, sum := range sums {
+		s.byID[sum.Car] = sum
+	}
 }

@@ -97,6 +97,89 @@ func TestSummaryStoreTTL(t *testing.T) {
 	}
 }
 
+// TestSummaryStoreTTLBoundary pins the freshness predicate at the exact
+// TTL edge: age == TTL is still fresh (expiry is strict >), age == TTL+1ms
+// expires — and every lookup lands in exactly one counter.
+func TestSummaryStoreTTLBoundary(t *testing.T) {
+	base := time.Date(2016, 7, 1, 8, 0, 0, 0, time.UTC)
+	now := base
+	st := NewSummaryStore(time.Minute, func() time.Time { return now })
+	st.Put(PredictionSummary{Car: 1, MeanPNormal: 0.5, UpdatedMs: base.UnixMilli()})
+
+	// Exactly at the TTL the summary is still usable.
+	now = base.Add(time.Minute)
+	if _, ok := st.Get(1); !ok {
+		t.Error("summary exactly at TTL should still be fresh")
+	}
+	// One millisecond past it the summary expires and is evicted.
+	now = base.Add(time.Minute + time.Millisecond)
+	if _, ok := st.Get(1); ok {
+		t.Error("summary 1ms past TTL should expire")
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len after expiry = %d, want 0 (evicted)", st.Len())
+	}
+	// Once evicted, the same car is a plain miss, not a second expiry.
+	if _, ok := st.Get(1); ok {
+		t.Error("evicted car should miss")
+	}
+	if _, ok := st.Get(99); ok {
+		t.Error("unknown car should miss")
+	}
+
+	want := SummaryStoreStats{Hits: 1, Misses: 2, Expired: 1}
+	if got := st.Stats(); got != want {
+		t.Errorf("Stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestSummaryStoreZeroTTLDefaults ensures ttl <= 0 selects the default
+// rather than expiring everything instantly.
+func TestSummaryStoreZeroTTLDefaults(t *testing.T) {
+	base := time.Date(2016, 7, 1, 8, 0, 0, 0, time.UTC)
+	now := base
+	st := NewSummaryStore(0, func() time.Time { return now })
+	st.Put(PredictionSummary{Car: 3, MeanPNormal: 0.7, UpdatedMs: base.UnixMilli()})
+	now = base.Add(DefaultSummaryTTL)
+	if _, ok := st.Get(3); !ok {
+		t.Error("summary at the default TTL should still be fresh")
+	}
+	now = base.Add(DefaultSummaryTTL + time.Millisecond)
+	if _, ok := st.Get(3); ok {
+		t.Error("summary past the default TTL should expire")
+	}
+}
+
+// TestSummaryStoreSnapshotRestore round-trips the store contents and
+// checks that restored entries keep their original freshness clock.
+func TestSummaryStoreSnapshotRestore(t *testing.T) {
+	base := time.Date(2016, 7, 1, 8, 0, 0, 0, time.UTC)
+	now := base
+	st := NewSummaryStore(time.Minute, func() time.Time { return now })
+	st.Put(PredictionSummary{Car: 1, MeanPNormal: 0.4, UpdatedMs: base.UnixMilli()})
+	st.Put(PredictionSummary{Car: 2, MeanPNormal: 0.9, UpdatedMs: base.Add(30 * time.Second).UnixMilli()})
+
+	snap := st.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %d entries, want 2", len(snap))
+	}
+
+	st2 := NewSummaryStore(time.Minute, func() time.Time { return now })
+	st2.Restore(snap)
+	if st2.Len() != 2 {
+		t.Fatalf("restored Len = %d, want 2", st2.Len())
+	}
+	// Freshness is judged against UpdatedMs, not restore time: advancing
+	// past car 1's TTL (but not car 2's) expires only car 1.
+	now = base.Add(time.Minute + time.Millisecond)
+	if _, ok := st2.Get(1); ok {
+		t.Error("restored car 1 should expire on its original clock")
+	}
+	if _, ok := st2.Get(2); !ok {
+		t.Error("restored car 2 should still be fresh")
+	}
+}
+
 func TestWarningRoundTrip(t *testing.T) {
 	in := Warning{Car: 3, Road: 7, PNormal: 0.12, SourceTsMs: 111, DetectedTsMs: 222}
 	b, err := EncodeWarning(in)

@@ -1,0 +1,424 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cad3/internal/chaos"
+	"cad3/internal/core"
+	"cad3/internal/mlkit"
+	"cad3/internal/rsu"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+// The chaos study replays the headline corridor scenario through two live
+// RSU nodes — the upstream motorway AD3 and the link CAD3 — while killing
+// the CO-DATA neighbor mid-run and partitioning the inter-RSU link, then
+// recovering both (broker log restore + node checkpoint recovery). It
+// answers the robustness question the accuracy experiments assume away:
+// what happens to detection quality while the collaboration substrate is
+// failing, and does it come back afterward?
+//
+// The invariant asserted: during the fault window live CAD3 degrades to
+// AD3-level false-negative rate — never worse, because a CAD3 without a
+// prior IS the standalone model — and after recovery it climbs back
+// toward the fault-free baseline.
+
+// ChaosConfig configures the study.
+type ChaosConfig struct {
+	// Scenario supplies records, trained models and fault-free priors.
+	// Required.
+	Scenario *Scenario
+	// Seed drives the fault injector.
+	Seed int64
+	// Faults adds message-level chaos on the inter-RSU link for the whole
+	// run (drops, dups, delays) on top of the scheduled partition/crash.
+	// Zero means only the scheduled faults fire.
+	Faults chaos.Config
+	// PartitionFrac is the point of the merged timeline where the
+	// inter-RSU link partitions (both directions). Values <= 0 select
+	// 0.35.
+	PartitionFrac float64
+	// CrashFrac is where the upstream RSU process dies (its broker goes
+	// down with it). Values <= 0 select 0.45. The node is checkpointed at
+	// PartitionFrac — the last healthy supervision cycle before trouble.
+	CrashFrac float64
+	// HealFrac is where the upstream broker is restored from its log
+	// snapshot, the node recovered from its checkpoint, and the partition
+	// healed. Values <= 0 select 0.70.
+	HealFrac float64
+	// SummaryTTL for the link node's store. Values <= 0 select 30 min
+	// (trips are minutes long; the default 10 min would add unrelated
+	// expiries at phase edges).
+	SummaryTTL time.Duration
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.PartitionFrac <= 0 {
+		c.PartitionFrac = 0.35
+	}
+	if c.CrashFrac <= 0 {
+		c.CrashFrac = 0.45
+	}
+	if c.HealFrac <= 0 {
+		c.HealFrac = 0.70
+	}
+	if c.SummaryTTL <= 0 {
+		c.SummaryTTL = 30 * time.Minute
+	}
+	return c
+}
+
+// ChaosPhase scores one phase of the run (pre-fault, fault, recovered).
+type ChaosPhase struct {
+	Name string
+	// Live is the link node's actual output, matched record-by-record
+	// against ground truth via OUT-DATA warnings.
+	Live mlkit.ConfusionMatrix
+	// ExpectedSeverity is E(Lambda) over the live false negatives
+	// (Equation 3).
+	ExpectedSeverity float64
+	// RefAD3 runs the standalone link model offline on the same records:
+	// the degradation floor.
+	RefAD3 mlkit.ConfusionMatrix
+	// RefCAD3 runs CAD3 offline with every fault-free prior available:
+	// the no-fault ceiling.
+	RefCAD3 mlkit.ConfusionMatrix
+}
+
+// ChaosResult is the study outcome.
+type ChaosResult struct {
+	Phases []ChaosPhase // pre, fault, recovered
+
+	// UpstreamStats are the recovered upstream node's counters (they
+	// start fresh at recovery, like any restarted process);
+	// UpstreamPreCrash preserves the dead node's final counters — the
+	// dropped handovers during the partition live there. The link node's
+	// Degraded() block accounts the CAD3->AD3 fallbacks.
+	UpstreamStats    rsu.Stats
+	UpstreamPreCrash rsu.Stats
+	LinkStats        rsu.Stats
+	// ChaosStats counts what the injector did on the inter-RSU link.
+	ChaosStats chaos.Stats
+	// RecoveredTrackedCars is how many vehicles' prediction histories the
+	// upstream node still held right after checkpoint recovery — crash
+	// survival made visible.
+	RecoveredTrackedCars int
+	// LinkRecords is the number of evaluated corridor link records.
+	LinkRecords int
+}
+
+// RunChaosStudy executes the study. Deterministic for a fixed scenario
+// and seed: the virtual clock is driven by record timestamps and the
+// injector by the seed.
+func RunChaosStudy(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	sc := cfg.Scenario
+	if sc == nil {
+		return nil, fmt.Errorf("experiments: chaos study needs a scenario")
+	}
+	if !(cfg.PartitionFrac < cfg.CrashFrac && cfg.CrashFrac < cfg.HealFrac && cfg.HealFrac < 1) {
+		return nil, fmt.Errorf("experiments: chaos fractions must satisfy partition < crash < heal < 1")
+	}
+
+	// The live pipeline replays the corridor only: cars that drive the
+	// instrumented motorway -> link handover.
+	type event struct {
+		rec  trace.Record
+		link bool
+	}
+	var events []event
+	for _, r := range sc.Test {
+		switch r.Road {
+		case CorridorMotorwayID:
+			events = append(events, event{rec: r})
+		case CorridorLinkID:
+			events = append(events, event{rec: r, link: true})
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("experiments: scenario has no corridor test records")
+	}
+	// Time order; motorway before link at equal stamps (the car is
+	// upstream before it hands over).
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].rec.TimestampMs != events[j].rec.TimestampMs {
+			return events[i].rec.TimestampMs < events[j].rec.TimestampMs
+		}
+		return !events[i].link && events[j].link
+	})
+	partitionAt := events[int(cfg.PartitionFrac*float64(len(events)))].rec.TimestampMs
+	crashAt := events[int(cfg.CrashFrac*float64(len(events)))].rec.TimestampMs
+	healAt := events[int(cfg.HealFrac*float64(len(events)))].rec.TimestampMs
+
+	// Virtual clock driven by the replay.
+	vnowMs := events[0].rec.TimestampMs
+	now := func() time.Time { return time.UnixMilli(vnowMs) }
+
+	const (
+		upstreamName = "Mw"
+		linkName     = "Link"
+	)
+	inj := chaos.NewInjector(chaos.Config{
+		Seed:      cfg.Seed,
+		DropProb:  cfg.Faults.DropProb,
+		DupProb:   cfg.Faults.DupProb,
+		DelayProb: cfg.Faults.DelayProb,
+		MinDelay:  cfg.Faults.MinDelay,
+		MaxDelay:  cfg.Faults.MaxDelay,
+		KillProb:  cfg.Faults.KillProb,
+	})
+
+	mwBroker := stream.NewBroker(stream.BrokerConfig{Now: now})
+	linkBroker := stream.NewBroker(stream.BrokerConfig{Now: now})
+	mwClient := stream.NewInProcClient(mwBroker)
+	linkClient := stream.NewInProcClient(linkBroker)
+
+	mwNode, err := rsu.New(rsu.Config{
+		Name: upstreamName, Road: CorridorMotorwayID,
+		Detector: sc.Upstream, Client: mwClient, Now: now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	linkNode, err := rsu.New(rsu.Config{
+		Name: linkName, Road: CorridorLinkID,
+		Detector: sc.CAD3, Client: linkClient, Now: now,
+		SummaryTTL: cfg.SummaryTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The inter-RSU CO-DATA path goes through the injector; injected
+	// delays advance nothing (the replay clock is the records').
+	coLink := chaos.NewClient(inj, upstreamName, linkName, linkClient)
+	coLink.Sleep = func(time.Duration) {}
+	if err := mwNode.AddNeighbor(linkName, coLink); err != nil {
+		return nil, err
+	}
+
+	var (
+		checkpoint  *rsu.Checkpoint
+		brokerSnap  *stream.BrokerSnapshot
+		preCrash    rsu.Stats
+		partitioned bool
+		crashed     bool
+		healed      bool
+		mwDown      bool
+		recoveredN  int
+		handedOver  = make(map[trace.CarID]bool)
+		// pending tracks cars whose handover the partition blocked; the
+		// heal step flushes them (their history survived in the builder
+		// and therefore in the checkpoint).
+		pending = make(map[trace.CarID]bool)
+	)
+
+	for _, e := range events {
+		vnowMs = e.rec.TimestampMs
+
+		if !partitioned && vnowMs >= partitionAt {
+			inj.PartitionBoth(upstreamName, linkName)
+			partitioned = true
+		}
+		if !crashed && vnowMs >= crashAt {
+			// The supervisor heartbeats the node's own broker, which the
+			// inter-RSU partition does not touch, so checkpoints keep
+			// landing until the process dies — model the last one.
+			cp, cerr := mwNode.Checkpoint()
+			if cerr != nil {
+				return nil, fmt.Errorf("chaos: pre-crash checkpoint: %w", cerr)
+			}
+			checkpoint = cp
+			preCrash = mwNode.Stats()
+			// The broker's log is durable; the process is not.
+			brokerSnap = mwBroker.Snapshot()
+			_ = mwBroker.Close()
+			mwDown = true
+			crashed = true
+		}
+		if !healed && vnowMs >= healAt {
+			restored, rerr := stream.RestoreBroker(stream.BrokerConfig{Now: now}, brokerSnap)
+			if rerr != nil {
+				return nil, fmt.Errorf("chaos: restore broker: %w", rerr)
+			}
+			mwBroker = restored
+			mwNode, rerr = rsu.Recover(rsu.Config{
+				Client: stream.NewInProcClient(restored), Now: now,
+			}, checkpoint)
+			if rerr != nil {
+				return nil, fmt.Errorf("chaos: recover node: %w", rerr)
+			}
+			recoveredN = mwNode.TrackedCars()
+			inj.HealAll() // heal before rewiring: the producer handshake rides the link
+			if nerr := mwNode.AddNeighbor(linkName, coLink); nerr != nil {
+				return nil, fmt.Errorf("chaos: rewire neighbor: %w", nerr)
+			}
+			mwDown = false
+			healed = true
+			// Flush the handovers the partition blocked, in car order for
+			// determinism. Late summaries are still correct: the store
+			// keys by car and the link node may yet see the car again.
+			cars := make([]trace.CarID, 0, len(pending))
+			for car := range pending {
+				cars = append(cars, car)
+			}
+			sort.Slice(cars, func(i, j int) bool { return cars[i] < cars[j] })
+			for _, car := range cars {
+				if herr := mwNode.Handover(car, linkName); herr == nil {
+					handedOver[car] = true
+					delete(pending, car)
+				}
+			}
+		}
+
+		if e.link {
+			// First link record = the handover moment. A handover blocked
+			// by the partition (or a dead upstream) is retried on the
+			// car's next record — a healed link can still deliver it.
+			if !handedOver[e.rec.Car] && !mwDown {
+				if herr := mwNode.Handover(e.rec.Car, linkName); herr == nil {
+					handedOver[e.rec.Car] = true
+					delete(pending, e.rec.Car)
+				} else {
+					pending[e.rec.Car] = true
+				}
+			}
+			payload, perr := core.EncodeRecord(e.rec)
+			if perr != nil {
+				return nil, perr
+			}
+			_, _, _ = linkClient.Produce(stream.TopicInData, stream.AutoPartition, nil, payload)
+			if _, serr := linkNode.Step(); serr != nil {
+				return nil, fmt.Errorf("chaos: link step: %w", serr)
+			}
+		} else {
+			payload, perr := core.EncodeRecord(e.rec)
+			if perr != nil {
+				return nil, perr
+			}
+			// Telemetry sent at a dead broker is lost, like frames at a
+			// dead antenna.
+			_, _, _ = mwClient.Produce(stream.TopicInData, stream.AutoPartition, nil, payload)
+			if !mwDown {
+				if _, serr := mwNode.Step(); serr != nil {
+					return nil, fmt.Errorf("chaos: upstream step: %w", serr)
+				}
+			}
+		}
+	}
+	if _, err := linkNode.Step(); err != nil { // flush the tail
+		return nil, err
+	}
+
+	// Collect the link node's warnings and match them back to records by
+	// (car, source timestamp) — WarnCooldown is zero, so every abnormal
+	// verdict produced exactly one warning.
+	warned := make(map[trace.CarID]map[int64]bool)
+	outCons, err := stream.NewConsumer(linkClient, stream.TopicOutData, 0)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		msgs, perr := outCons.Poll(4096)
+		if len(msgs) == 0 {
+			if perr != nil {
+				return nil, perr
+			}
+			break
+		}
+		for _, m := range msgs {
+			w, derr := core.DecodeWarning(m.Value)
+			if derr != nil {
+				continue
+			}
+			byTs := warned[w.Car]
+			if byTs == nil {
+				byTs = make(map[int64]bool)
+				warned[w.Car] = byTs
+			}
+			byTs[w.SourceTsMs] = true
+		}
+		stream.RecycleMessages(msgs)
+	}
+
+	// Score every corridor link record into its phase.
+	phases := []ChaosPhase{{Name: "pre-fault"}, {Name: "fault"}, {Name: "recovered"}}
+	phaseOf := func(ts int64) *ChaosPhase {
+		switch {
+		case ts < partitionAt:
+			return &phases[0]
+		case ts < healAt:
+			return &phases[1]
+		default:
+			return &phases[2]
+		}
+	}
+	linkRecords := 0
+	for _, e := range events {
+		if !e.link {
+			continue
+		}
+		r := e.rec
+		truth, lerr := sc.Labeler.Label(r)
+		if lerr != nil {
+			continue
+		}
+		linkRecords++
+		ph := phaseOf(r.TimestampMs)
+
+		liveClass := core.ClassNormal
+		if warned[r.Car][r.TimestampMs] {
+			liveClass = core.ClassAbnormal
+		}
+		ph.Live.Observe(truth, liveClass)
+		if truth == core.ClassAbnormal && liveClass == core.ClassNormal {
+			ph.ExpectedSeverity += core.Delta(r.Speed, r.RoadMeanSpeed)
+		}
+
+		if d, derr := sc.AD3.Detect(r, nil); derr == nil {
+			ph.RefAD3.Observe(truth, d.Class)
+		}
+		var prior *core.PredictionSummary
+		if s, ok := sc.Summaries[r.Car]; ok {
+			prior = &s
+		}
+		if d, derr := sc.CAD3.Detect(r, prior); derr == nil {
+			ph.RefCAD3.Observe(truth, d.Class)
+		}
+	}
+
+	return &ChaosResult{
+		Phases:               phases,
+		UpstreamStats:        mwNode.Stats(),
+		UpstreamPreCrash:     preCrash,
+		LinkStats:            linkNode.Stats(),
+		ChaosStats:           inj.Stats(),
+		RecoveredTrackedCars: recoveredN,
+		LinkRecords:          linkRecords,
+	}, nil
+}
+
+// FormatChaosResult renders the per-phase continuity table.
+func FormatChaosResult(res *ChaosResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %8s %10s %10s %12s %12s %12s\n",
+		"phase", "records", "live-F1", "live-FN", "E(Lambda)", "AD3-FN", "CAD3-FN")
+	for _, ph := range res.Phases {
+		fmt.Fprintf(&sb, "%-10s %8d %10.4f %9.1f%% %12.3f %11.1f%% %11.1f%%\n",
+			ph.Name, ph.Live.Total(), ph.Live.F1(), ph.Live.FNRate()*100,
+			ph.ExpectedSeverity, ph.RefAD3.FNRate()*100, ph.RefCAD3.FNRate()*100)
+	}
+	deg := res.LinkStats.Degraded()
+	fmt.Fprintf(&sb, "link degraded: fallbacks=%d staleSummaries=%d droppedHandovers=%d\n",
+		deg.Fallbacks, deg.StaleSummaries, deg.DroppedHandovers)
+	fmt.Fprintf(&sb, "chaos link: blocked=%d drops=%d dups=%d kills=%d delays=%d ops=%d\n",
+		res.ChaosStats.Blocked, res.ChaosStats.Drops, res.ChaosStats.Dups,
+		res.ChaosStats.Kills, res.ChaosStats.Delays, res.ChaosStats.Operations)
+	fmt.Fprintf(&sb, "upstream: %d handovers dropped pre-crash; recovered with %d tracked cars; %d sent after recovery\n",
+		res.UpstreamPreCrash.DroppedHandovers, res.RecoveredTrackedCars,
+		res.UpstreamStats.SummariesSent)
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"testing"
+
+	"cad3/internal/chaos"
+)
+
+// TestChaosStudyContinuity is the acceptance drill for the crash-safe
+// substrate: partition the inter-RSU link, kill and recover the CO-DATA
+// neighbor mid-scenario, and require (a) live CAD3 never does worse than
+// the standalone AD3 floor during the fault, (b) detection quality comes
+// back after recovery, (c) the upstream node actually resumed from its
+// checkpoint.
+func TestChaosStudyContinuity(t *testing.T) {
+	sc := testScenario(t)
+	res, err := RunChaosStudy(ChaosConfig{Scenario: sc, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatChaosResult(res))
+
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	pre, fault, rec := res.Phases[0], res.Phases[1], res.Phases[2]
+	for _, ph := range res.Phases {
+		if ph.Live.Total() == 0 {
+			t.Fatalf("phase %q scored no records", ph.Name)
+		}
+	}
+
+	// (a) Degradation floor: during the fault the live pipeline is CAD3
+	// without priors, which IS the standalone model — its FN rate must
+	// not exceed the offline AD3 reference on the same records (tiny
+	// tolerance for cars handed over before the partition).
+	if fault.Live.FNRate() > fault.RefAD3.FNRate()+1e-9 {
+		t.Errorf("fault-phase live FN %.4f worse than AD3 floor %.4f",
+			fault.Live.FNRate(), fault.RefAD3.FNRate())
+	}
+
+	// (b) Recovery: the recovered phase must beat the fault phase's
+	// severity-weighted miss rate per record, heading back toward the
+	// fault-free ceiling.
+	faultSev := fault.ExpectedSeverity / float64(fault.Live.Total())
+	recSev := rec.ExpectedSeverity / float64(rec.Live.Total())
+	if recSev > faultSev {
+		t.Errorf("per-record E(Lambda) did not recover: fault %.5f -> recovered %.5f",
+			faultSev, recSev)
+	}
+	// Pre-fault, collaboration is live: FN rate must not exceed the AD3
+	// floor there either.
+	if pre.Live.FNRate() > pre.RefAD3.FNRate()+1e-9 {
+		t.Errorf("pre-fault live FN %.4f worse than AD3 floor %.4f",
+			pre.Live.FNRate(), pre.RefAD3.FNRate())
+	}
+
+	// (c) The crash actually happened and the node came back with state.
+	if res.ChaosStats.Blocked == 0 {
+		t.Error("partition never blocked a CO-DATA operation")
+	}
+	if res.RecoveredTrackedCars == 0 {
+		t.Error("upstream node recovered with no tracked cars — checkpoint not applied")
+	}
+	deg := res.LinkStats.Degraded()
+	if deg.Fallbacks == 0 {
+		t.Error("no CAD3->AD3 fallbacks accounted during the partition")
+	}
+	if res.UpstreamPreCrash.DroppedHandovers == 0 {
+		t.Error("no handovers dropped during the partition")
+	}
+	// Blocked handovers kept their history; after heal the recovered node
+	// delivers summaries built from pre-crash records — proof the
+	// checkpointed builder state survived the crash.
+	if res.UpstreamStats.SummariesSent == 0 {
+		t.Error("recovered node delivered no summaries after heal")
+	}
+}
+
+// TestChaosStudyDeterministic re-runs the study on the same seed and
+// requires identical phase confusions and injector stats.
+func TestChaosStudyDeterministic(t *testing.T) {
+	sc := testScenario(t)
+	cfg := ChaosConfig{
+		Scenario: sc, Seed: 7,
+		Faults: chaos.Config{DropProb: 0.05, DupProb: 0.05, KillProb: 0.05},
+	}
+	a, err := RunChaosStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ChaosStats != b.ChaosStats {
+		t.Errorf("injector stats diverged: %+v vs %+v", a.ChaosStats, b.ChaosStats)
+	}
+	for i := range a.Phases {
+		if a.Phases[i].Live != b.Phases[i].Live {
+			t.Errorf("phase %s live confusion diverged: %+v vs %+v",
+				a.Phases[i].Name, a.Phases[i].Live, b.Phases[i].Live)
+		}
+		if a.Phases[i].ExpectedSeverity != b.Phases[i].ExpectedSeverity {
+			t.Errorf("phase %s severity diverged", a.Phases[i].Name)
+		}
+	}
+	if a.RecoveredTrackedCars != b.RecoveredTrackedCars {
+		t.Errorf("recovered cars diverged: %d vs %d", a.RecoveredTrackedCars, b.RecoveredTrackedCars)
+	}
+}
+
+func TestChaosStudyValidation(t *testing.T) {
+	if _, err := RunChaosStudy(ChaosConfig{}); err == nil {
+		t.Error("want error without a scenario")
+	}
+	sc := testScenario(t)
+	if _, err := RunChaosStudy(ChaosConfig{
+		Scenario: sc, PartitionFrac: 0.8, CrashFrac: 0.5, HealFrac: 0.9,
+	}); err == nil {
+		t.Error("want error for unordered fault fractions")
+	}
+}

@@ -114,6 +114,53 @@ func TestClusterHandoverThroughTopology(t *testing.T) {
 	}
 }
 
+// TestClusterHandoverDeadNode drives the third handover error path: the
+// topology knows the neighbor but its broker is dead, so the send fails,
+// the drop is accounted, and the history survives for a later retry.
+func TestClusterHandoverDeadNode(t *testing.T) {
+	f := newSupervisedFixture(t)
+
+	for i := 0; i < 4; i++ {
+		sendRecord(t, f.mwClient, mkRec(9, geo.Motorway, 140, 14))
+	}
+	if _, err := f.cluster.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.lkBroker.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err := f.cluster.Handover(9, 1, 2)
+	if !errors.Is(err, stream.ErrBrokerClosed) {
+		t.Fatalf("handover to dead node: err = %v, want ErrBrokerClosed", err)
+	}
+	mw, _ := f.cluster.NodeByName("Mw")
+	if got := mw.Stats().DroppedHandovers; got != 1 {
+		t.Errorf("DroppedHandovers = %d, want 1", got)
+	}
+	// The history is kept, not consumed: the car is still tracked so a
+	// healed link can deliver the summary later.
+	if mw.TrackedCars() != 1 {
+		t.Errorf("TrackedCars after dropped handover = %d, want 1", mw.TrackedCars())
+	}
+
+	// A second attempt against the same dead broker accounts again...
+	if err := f.cluster.Handover(9, 1, 2); err == nil {
+		t.Fatal("second handover to dead node should fail")
+	}
+	if got := mw.Stats().DroppedHandovers; got != 2 {
+		t.Errorf("DroppedHandovers after retry = %d, want 2", got)
+	}
+	// ...and a handover with no accumulated history is a clean no-op even
+	// with the neighbor down (nothing to send, nothing to drop).
+	if err := f.cluster.Handover(555, 1, 2); err != nil {
+		t.Errorf("no-history handover = %v, want nil", err)
+	}
+	if got := mw.Stats().DroppedHandovers; got != 2 {
+		t.Errorf("DroppedHandovers after no-op = %d, want 2", got)
+	}
+}
+
 func TestClusterValidation(t *testing.T) {
 	_, link, mwDet, _ := trainedDetectors(t)
 	_ = link

@@ -79,7 +79,34 @@ type Stats struct {
 	PriorMisses        int64
 	DetectErrors       int64
 	WarningsSuppressed int64
-	Engine             microbatch.EngineStats
+	// Fallbacks counts detections a collaborative (CAD3) detector ran
+	// without a prior — the degraded AD3-equivalent path. Non-collaborative
+	// detectors never count.
+	Fallbacks int64
+	// DroppedHandovers counts summaries lost because the neighbor's
+	// CO-DATA produce failed (partition, dead broker).
+	DroppedHandovers int64
+	// SummaryStore exposes the store's hit/miss/expired lookups; Expired
+	// is the silent stale-summary degradation.
+	SummaryStore core.SummaryStoreStats
+	Engine       microbatch.EngineStats
+}
+
+// DegradedStats isolates the degraded-mode counters the supervisor
+// aggregates into internal/metrics.
+type DegradedStats struct {
+	Fallbacks        int64
+	StaleSummaries   int64
+	DroppedHandovers int64
+}
+
+// Degraded returns the node's degraded-mode counters.
+func (s Stats) Degraded() DegradedStats {
+	return DegradedStats{
+		Fallbacks:        s.Fallbacks,
+		StaleSummaries:   s.SummaryStore.Expired,
+		DroppedHandovers: s.DroppedHandovers,
+	}
 }
 
 // Node is one deployed RSU.
@@ -87,12 +114,16 @@ type Node struct {
 	cfg    Config
 	engine *microbatch.Engine[trace.Record]
 
+	inConsumer  *stream.Consumer
 	outProducer *stream.Producer
 	coConsumer  *stream.Consumer
 
 	summaries *core.SummaryStore
 	builder   *core.SummaryBuilder
 	profile   *RoadProfile
+	// collab marks detectors that fuse a forwarded prior (CAD3):
+	// detections without one are degraded-mode fallbacks.
+	collab bool
 
 	mu        sync.Mutex
 	neighbors map[string]*stream.Producer
@@ -106,6 +137,14 @@ type Node struct {
 	priorMisses  atomic.Int64
 	detectErrors atomic.Int64
 	suppressed   atomic.Int64
+	fallbacks    atomic.Int64
+	dropped      atomic.Int64
+}
+
+// collaborativeDetector marks detectors whose accuracy depends on the
+// forwarded prior (satisfied by *core.CAD3 via its fusion weight).
+type collaborativeDetector interface {
+	Weight() float64
 }
 
 // New creates the node, provisioning its three topics on the broker.
@@ -143,13 +182,16 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("rsu %s: out producer: %w", cfg.Name, err)
 	}
 
+	_, collab := cfg.Detector.(collaborativeDetector)
 	n := &Node{
 		cfg:         cfg,
+		inConsumer:  inConsumer,
 		outProducer: outProducer,
 		coConsumer:  coConsumer,
 		summaries:   core.NewSummaryStore(cfg.SummaryTTL, cfg.Now),
 		builder:     core.NewSummaryBuilder(int64(cfg.Road), cfg.Now),
 		profile:     NewRoadProfile(0, 0, cfg.Now),
+		collab:      collab,
 		neighbors:   make(map[string]*stream.Producer),
 		lastWarn:    make(map[trace.CarID]time.Time),
 	}
@@ -215,6 +257,11 @@ func (n *Node) processRecords(records []trace.Record) error {
 			n.priorHits.Add(1)
 		} else {
 			n.priorMisses.Add(1)
+			if n.collab {
+				// CAD3 without a prior collapses to AD3 — the degraded
+				// mode the supervisor accounts for.
+				n.fallbacks.Add(1)
+			}
 		}
 
 		det, err := n.cfg.Detector.Detect(rec, prior)
@@ -358,6 +405,11 @@ func (n *Node) Handover(car trace.CarID, neighbor string) error {
 	stream.PutPayload(key)
 	stream.PutPayload(payload)
 	if err != nil {
+		// The local history is kept: a later handover (or a healed link)
+		// can still deliver it.
+		n.dropped.Add(1)
+		n.cfg.Logger.Warn("handover dropped",
+			"rsu", n.cfg.Name, "car", int64(car), "neighbor", neighbor, "err", err)
 		return fmt.Errorf("rsu %s: handover car %d to %s: %w", n.cfg.Name, car, neighbor, err)
 	}
 	n.builder.Forget(car)
@@ -402,9 +454,26 @@ func (n *Node) Stats() Stats {
 		PriorMisses:        n.priorMisses.Load(),
 		DetectErrors:       n.detectErrors.Load(),
 		WarningsSuppressed: n.suppressed.Load(),
+		Fallbacks:          n.fallbacks.Load(),
+		DroppedHandovers:   n.dropped.Load(),
+		SummaryStore:       n.summaries.Stats(),
 		Engine:             n.engine.Stats(),
 	}
 }
+
+// Ping checks the node's broker liveness with the cheapest round trip
+// (the supervisor's heartbeat).
+func (n *Node) Ping() error {
+	_, err := n.cfg.Client.PartitionCount(stream.TopicInData)
+	return err
+}
+
+// Detector returns the node's detector (checkpointing persists it).
+func (n *Node) Detector() core.Detector { return n.cfg.Detector }
+
+// Client returns the node's broker client (the cluster rewires neighbor
+// producers with it after a restart).
+func (n *Node) Client() stream.Client { return n.cfg.Client }
 
 // TrackedCars returns the number of vehicles with local prediction
 // history.

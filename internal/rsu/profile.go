@@ -100,6 +100,52 @@ func (p *RoadProfile) MeanStd() (mean, std float64, ok bool) {
 	return mean, math.Sqrt(variance), true
 }
 
+// ProfileBucketState is one exported ring bucket (checkpointing).
+type ProfileBucketState struct {
+	Tick  int64   `json:"tick"`
+	N     int64   `json:"n"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sumSq"`
+}
+
+// ProfileSnapshot is a RoadProfile checkpoint: the window geometry plus
+// every bucket, so a restarted RSU resumes with its rolling speed
+// context instead of spending minutes re-warming it.
+type ProfileSnapshot struct {
+	BucketNanos int64                `json:"bucketNs"`
+	Buckets     []ProfileBucketState `json:"buckets"`
+}
+
+// Snapshot exports the profile's state.
+func (p *RoadProfile) Snapshot() ProfileSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := ProfileSnapshot{
+		BucketNanos: int64(p.bucketD),
+		Buckets:     make([]ProfileBucketState, len(p.buckets)),
+	}
+	for i, b := range p.buckets {
+		snap.Buckets[i] = ProfileBucketState{Tick: b.tick, N: b.n, Sum: b.sum, SumSq: b.sumSq}
+	}
+	return snap
+}
+
+// Restore replaces the profile's window with a snapshot's. Bucket ticks
+// carry their epoch, so stale buckets age out naturally after restore.
+func (p *RoadProfile) Restore(snap ProfileSnapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if snap.BucketNanos > 0 {
+		p.bucketD = time.Duration(snap.BucketNanos)
+	}
+	if len(snap.Buckets) > 0 {
+		p.buckets = make([]profileBucket, len(snap.Buckets))
+		for i, b := range snap.Buckets {
+			p.buckets[i] = profileBucket{tick: b.Tick, n: b.N, sum: b.Sum, sumSq: b.SumSq}
+		}
+	}
+}
+
 // Samples returns the number of samples currently inside the window.
 func (p *RoadProfile) Samples() int64 {
 	p.mu.Lock()

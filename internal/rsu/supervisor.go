@@ -1,0 +1,303 @@
+package rsu
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"cad3/internal/metrics"
+)
+
+// Supervisor keeps a cluster alive: it heartbeats every node, checkpoints
+// the healthy ones, and when a node stops answering it restarts it from
+// the last good checkpoint with jittered exponential backoff, swapping
+// the replacement into the cluster topology via ReplaceNode. While a node
+// is down — and after it recovers without its CO-DATA priors — the
+// supervisor accounts the degradation (CAD3→AD3 fallbacks, stale-summary
+// evictions, dropped handovers) into a metrics.CounterSet, making the
+// paper's silent failure modes measurable.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	nodes map[string]*supervised
+}
+
+// supervised is the per-node supervision state.
+type supervised struct {
+	health     NodeHealth
+	checkpoint *Checkpoint
+	backoff    time.Duration
+	nextTry    time.Time
+	degraded   DegradedStats // last observed values, for delta accounting
+}
+
+// NodeHealth is one node's supervision status.
+type NodeHealth struct {
+	Name string
+	// Healthy reports the last heartbeat's outcome.
+	Healthy bool
+	// ConsecutiveFails counts heartbeat failures since the last success.
+	ConsecutiveFails int
+	// Restarts counts recoveries performed for this node.
+	Restarts int
+	// LastError is the most recent heartbeat or restart error, "" when
+	// healthy.
+	LastError string
+	// Degraded holds the node's cumulative degraded-mode counters as of
+	// the last successful observation.
+	Degraded DegradedStats
+}
+
+// SupervisorConfig configures a Supervisor.
+type SupervisorConfig struct {
+	// Cluster is the supervised cluster. Required.
+	Cluster *Cluster
+	// Restart builds a replacement node from the last checkpoint (nil
+	// when none was taken yet). Nil disables restarts: the supervisor
+	// only observes and accounts.
+	Restart func(name string, cp *Checkpoint) (*Node, error)
+	// FailThreshold is the number of consecutive heartbeat failures
+	// before a restart is attempted. Values <= 0 select 2.
+	FailThreshold int
+	// MaxRestarts caps recoveries per node. Values <= 0 select 5.
+	MaxRestarts int
+	// CheckInterval paces Run's heartbeat loop. Values <= 0 select 1 s.
+	CheckInterval time.Duration
+	// BaseBackoff is the initial restart delay, doubling per failed
+	// recovery up to MaxBackoff. Values <= 0 select 100 ms / 5 s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter spreads restart delays by a uniform factor in [1-J, 1+J] so
+	// simultaneous failures do not restart in lockstep. Values outside
+	// (0, 1] select 0.2.
+	Jitter float64
+	// Seed drives the jitter PRNG (deterministic tests). Zero seeds from
+	// the wall clock.
+	Seed int64
+	// Counters receives supervision events and degraded-mode deltas,
+	// keyed "<node>.<event>". Nil discards them.
+	Counters *metrics.CounterSet
+	// Now injects the clock. Nil selects time.Now.
+	Now func() time.Time
+	// Logger receives supervision events. Nil discards them.
+	Logger *slog.Logger
+}
+
+func (cfg SupervisorConfig) withDefaults() SupervisorConfig {
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 5
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Jitter <= 0 || cfg.Jitter > 1 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(discardHandler{})
+	}
+	return cfg
+}
+
+// NewSupervisor creates a supervisor over the cluster.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("rsu: supervisor requires a cluster")
+	}
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[string]*supervised),
+	}
+	for _, n := range cfg.Cluster.Nodes() {
+		s.nodes[n.Name()] = &supervised{
+			health:  NodeHealth{Name: n.Name(), Healthy: true},
+			backoff: cfg.BaseBackoff,
+		}
+	}
+	return s, nil
+}
+
+// jittered scales d by a uniform factor in [1-j, 1+j]. Callers hold s.mu.
+func (s *Supervisor) jittered(d time.Duration) time.Duration {
+	f := 1 + s.cfg.Jitter*(2*s.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// count adds a delta to the named per-node counter.
+func (s *Supervisor) count(node, event string, delta int64) {
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.Add(node+"."+event, delta)
+	}
+}
+
+// CheckOnce heartbeats every node: healthy nodes are checkpointed and
+// their degraded-mode counter deltas published; nodes past the failure
+// threshold are restarted from their last checkpoint (subject to backoff
+// and the restart budget). Returns the number of unhealthy nodes.
+func (s *Supervisor) CheckOnce() int {
+	unhealthy := 0
+	for _, n := range s.cfg.Cluster.Nodes() {
+		if !s.checkNode(n) {
+			unhealthy++
+		}
+	}
+	return unhealthy
+}
+
+// checkNode heartbeats one node, reporting whether it is healthy.
+func (s *Supervisor) checkNode(n *Node) bool {
+	name := n.Name()
+	s.mu.Lock()
+	sv, ok := s.nodes[name]
+	if !ok {
+		sv = &supervised{
+			health:  NodeHealth{Name: name},
+			backoff: s.cfg.BaseBackoff,
+		}
+		s.nodes[name] = sv
+	}
+	s.mu.Unlock()
+
+	err := n.Ping()
+	now := s.cfg.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		sv.health.Healthy = true
+		sv.health.ConsecutiveFails = 0
+		sv.health.LastError = ""
+		sv.backoff = s.cfg.BaseBackoff
+		sv.nextTry = time.Time{}
+		s.count(name, "heartbeat.ok", 1)
+		s.publishDegraded(sv, n.Stats().Degraded())
+		if cp, cperr := n.Checkpoint(); cperr == nil {
+			sv.checkpoint = cp
+			s.count(name, "checkpoints", 1)
+		} else {
+			s.cfg.Logger.Warn("checkpoint failed", "rsu", name, "err", cperr)
+		}
+		return true
+	}
+
+	sv.health.Healthy = false
+	sv.health.ConsecutiveFails++
+	sv.health.LastError = err.Error()
+	s.count(name, "heartbeat.fail", 1)
+	s.cfg.Logger.Warn("heartbeat failed",
+		"rsu", name, "fails", sv.health.ConsecutiveFails, "err", err)
+
+	if s.cfg.Restart == nil ||
+		sv.health.ConsecutiveFails < s.cfg.FailThreshold ||
+		sv.health.Restarts >= s.cfg.MaxRestarts ||
+		(!sv.nextTry.IsZero() && now.Before(sv.nextTry)) {
+		return false
+	}
+
+	// Restart from the last good checkpoint, with backoff against the
+	// next attempt if this one fails too.
+	delay := s.jittered(sv.backoff)
+	sv.nextTry = now.Add(delay)
+	sv.backoff *= 2
+	if sv.backoff > s.cfg.MaxBackoff {
+		sv.backoff = s.cfg.MaxBackoff
+	}
+	cp := sv.checkpoint
+	s.mu.Unlock()
+	repl, rerr := s.cfg.Restart(name, cp)
+	if rerr == nil {
+		rerr = s.cfg.Cluster.ReplaceNode(name, repl)
+	}
+	s.mu.Lock()
+	if rerr != nil {
+		sv.health.LastError = rerr.Error()
+		s.count(name, "restart.fail", 1)
+		s.cfg.Logger.Error("restart failed", "rsu", name, "err", rerr)
+		return false
+	}
+	sv.health.Restarts++
+	sv.health.Healthy = true
+	sv.health.ConsecutiveFails = 0
+	sv.health.LastError = ""
+	sv.backoff = s.cfg.BaseBackoff
+	sv.nextTry = time.Time{}
+	s.count(name, "restarts", 1)
+	s.cfg.Logger.Info("node restarted",
+		"rsu", name, "restarts", sv.health.Restarts, "fromCheckpoint", cp != nil,
+		"backoffDelay", delay)
+	return true
+}
+
+// publishDegraded adds the node's degraded-counter deltas since the last
+// observation to the counter set. Callers hold s.mu.
+func (s *Supervisor) publishDegraded(sv *supervised, d DegradedStats) {
+	name := sv.health.Name
+	// A restarted node's counters reset to zero; clamp deltas at zero so
+	// the published counters stay monotonic.
+	s.count(name, "degraded.fallbacks", d.Fallbacks-sv.degraded.Fallbacks)
+	s.count(name, "degraded.stale_summaries", d.StaleSummaries-sv.degraded.StaleSummaries)
+	s.count(name, "degraded.dropped_handovers", d.DroppedHandovers-sv.degraded.DroppedHandovers)
+	sv.degraded = d
+	sv.health.Degraded = d
+}
+
+// Health returns every node's supervision status, sorted by name.
+func (s *Supervisor) Health() []NodeHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]NodeHealth, 0, len(s.nodes))
+	for _, sv := range s.nodes {
+		out = append(out, sv.health)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LastCheckpoint returns the most recent checkpoint taken for the named
+// node, or ok=false if none was taken yet.
+func (s *Supervisor) LastCheckpoint(name string) (*Checkpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.nodes[name]
+	if !ok || sv.checkpoint == nil {
+		return nil, false
+	}
+	return sv.checkpoint, true
+}
+
+// Run heartbeats the cluster every CheckInterval until the context ends.
+func (s *Supervisor) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			s.CheckOnce()
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package rsu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cad3/internal/geo"
+	"cad3/internal/metrics"
+	"cad3/internal/stream"
+)
+
+// supervisedFixture is a 2-node corridor whose brokers are reachable for
+// killing and snapshotting.
+type supervisedFixture struct {
+	cluster  *Cluster
+	mwBroker *stream.Broker
+	lkBroker *stream.Broker
+	mwClient stream.Client
+	lkClient stream.Client
+}
+
+func newSupervisedFixture(t *testing.T) *supervisedFixture {
+	t.Helper()
+	_, _, mw, cad := trainedDetectors(t)
+
+	net := geo.NewNetwork(0)
+	if err := net.AddSegment(lineSeg(t, 1, geo.Motorway)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddSegment(lineSeg(t, 2, geo.MotorwayLink)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &supervisedFixture{
+		mwBroker: stream.NewBroker(stream.BrokerConfig{}),
+		lkBroker: stream.NewBroker(stream.BrokerConfig{}),
+	}
+	f.mwClient = stream.NewInProcClient(f.mwBroker)
+	f.lkClient = stream.NewInProcClient(f.lkBroker)
+	cluster, err := NewCluster(net, []Config{
+		{Name: "Mw", Road: 1, Detector: mw, Client: f.mwClient},
+		{Name: "Link", Road: 2, Detector: cad, Client: f.lkClient},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.cluster = cluster
+	return f
+}
+
+func TestSupervisorRestartsDeadNodeFromCheckpoint(t *testing.T) {
+	f := newSupervisedFixture(t)
+	counters := metrics.NewCounterSet()
+
+	// The restart hook plays the operator: bring up a broker restored
+	// from the dead one's log and recover the node from its checkpoint.
+	var restoredBroker *stream.Broker
+	restart := func(name string, cp *Checkpoint) (*Node, error) {
+		if name != "Mw" {
+			return nil, fmt.Errorf("unexpected restart of %q", name)
+		}
+		if cp == nil {
+			return nil, errors.New("no checkpoint to recover from")
+		}
+		snap := f.mwBroker.Snapshot()
+		b, err := stream.RestoreBroker(stream.BrokerConfig{}, snap)
+		if err != nil {
+			return nil, err
+		}
+		restoredBroker = b
+		return Recover(Config{Client: stream.NewInProcClient(b)}, cp)
+	}
+	sup, err := NewSupervisor(SupervisorConfig{
+		Cluster:       f.cluster,
+		Restart:       restart,
+		FailThreshold: 2,
+		Seed:          7,
+		Counters:      counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The motorway node builds up state worth preserving.
+	for i := 0; i < 4; i++ {
+		sendRecord(t, f.mwClient, mkRec(9, geo.Motorway, 140, 14))
+	}
+	if _, err := f.cluster.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.CheckOnce(); got != 0 {
+		t.Fatalf("unhealthy = %d on a healthy cluster", got)
+	}
+	if _, ok := sup.LastCheckpoint("Mw"); !ok {
+		t.Fatal("healthy heartbeat should checkpoint the node")
+	}
+
+	// Kill the motorway broker. Below the threshold nothing restarts.
+	if err := f.mwBroker.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.CheckOnce(); got != 1 {
+		t.Fatalf("unhealthy = %d, want 1", got)
+	}
+	for _, h := range sup.Health() {
+		if h.Name == "Mw" && (h.Healthy || h.Restarts != 0) {
+			t.Fatalf("below threshold: %+v", h)
+		}
+	}
+
+	// The second consecutive failure crosses the threshold: restart.
+	if got := sup.CheckOnce(); got != 0 {
+		t.Fatalf("unhealthy after restart = %d, want 0", got)
+	}
+	var mwHealth NodeHealth
+	for _, h := range sup.Health() {
+		if h.Name == "Mw" {
+			mwHealth = h
+		}
+	}
+	if !mwHealth.Healthy || mwHealth.Restarts != 1 {
+		t.Fatalf("post-restart health = %+v", mwHealth)
+	}
+	if counters.Get("Mw.restarts") != 1 || counters.Get("Mw.heartbeat.fail") != 2 {
+		t.Errorf("counters = %s", counters)
+	}
+
+	// The replacement is live in the topology with its state restored...
+	repl, err := f.cluster.NodeByName("Mw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.TrackedCars() != 1 {
+		t.Errorf("recovered TrackedCars = %d, want 1 (car 9)", repl.TrackedCars())
+	}
+	if restoredBroker == nil {
+		t.Fatal("restart hook never ran")
+	}
+	// ...and both handover directions work across the rewired producers.
+	if err := f.cluster.Handover(9, 1, 2); err != nil {
+		t.Fatalf("handover through replacement: %v", err)
+	}
+	if _, err := f.cluster.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	link, _ := f.cluster.NodeByName("Link")
+	if link.StoredSummaries() != 1 {
+		t.Errorf("link stored %d summaries after rewire, want 1", link.StoredSummaries())
+	}
+}
+
+func TestSupervisorBackoffAndRestartBudget(t *testing.T) {
+	f := newSupervisedFixture(t)
+	now := time.Unix(1000, 0)
+	attempts := 0
+	sup, err := NewSupervisor(SupervisorConfig{
+		Cluster: f.cluster,
+		Restart: func(name string, cp *Checkpoint) (*Node, error) {
+			attempts++
+			return nil, errors.New("still down")
+		},
+		FailThreshold: 1,
+		MaxRestarts:   3,
+		BaseBackoff:   time.Second,
+		Seed:          11,
+		Now:           func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mwBroker.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First failure triggers an attempt; it fails and arms the backoff.
+	sup.CheckOnce()
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+	// Within the backoff window no new attempt is made.
+	sup.CheckOnce()
+	if attempts != 1 {
+		t.Fatalf("attempts = %d during backoff, want 1", attempts)
+	}
+	// Past the (jittered ≤ 1.2×) window the next attempt fires.
+	now = now.Add(1300 * time.Millisecond)
+	sup.CheckOnce()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d after backoff, want 2", attempts)
+	}
+	for _, h := range sup.Health() {
+		if h.Name == "Mw" && h.LastError == "" {
+			t.Error("failed restart should surface its error")
+		}
+	}
+}
+
+func TestSupervisorWithoutRestartHookOnlyObserves(t *testing.T) {
+	f := newSupervisedFixture(t)
+	counters := metrics.NewCounterSet()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Cluster: f.cluster, FailThreshold: 1, Counters: counters, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A CAD3 node detecting without priors degrades to AD3; the
+	// supervisor publishes the fallback deltas.
+	sendRecord(t, f.lkClient, mkRec(5, geo.MotorwayLink, 36, 14))
+	if _, err := f.cluster.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	sup.CheckOnce()
+	if got := counters.Get("Link.degraded.fallbacks"); got != 1 {
+		t.Errorf("Link.degraded.fallbacks = %d, want 1", got)
+	}
+
+	if err := f.mwBroker.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := sup.CheckOnce(); got != 1 {
+			t.Fatalf("unhealthy = %d, want 1 (no restart hook)", got)
+		}
+	}
+	for _, h := range sup.Health() {
+		if h.Name == "Mw" && (h.Restarts != 0 || h.ConsecutiveFails != 3) {
+			t.Errorf("observer-only health = %+v", h)
+		}
+	}
+}
+
+func TestSupervisorValidation(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorConfig{}); err == nil {
+		t.Error("want error for missing cluster")
+	}
+}
+
+func TestReplaceNodeValidation(t *testing.T) {
+	f := newSupervisedFixture(t)
+	if err := f.cluster.ReplaceNode("Mw", nil); err == nil {
+		t.Error("want error for nil replacement")
+	}
+	mw, _ := f.cluster.NodeByName("Mw")
+	if err := f.cluster.ReplaceNode("ghost", mw); !errors.Is(err, ErrNoRSU) {
+		t.Errorf("err = %v, want ErrNoRSU", err)
+	}
+	link, _ := f.cluster.NodeByName("Link")
+	if err := f.cluster.ReplaceNode("Mw", link); err == nil {
+		t.Error("want error for road mismatch")
+	}
+}

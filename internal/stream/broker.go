@@ -107,10 +107,14 @@ func (b *Broker) Topics() []string {
 	return out
 }
 
-// PartitionCount returns the number of partitions of a topic.
+// PartitionCount returns the number of partitions of a topic. A closed
+// broker refuses metadata requests too (heartbeats must see it as dead).
 func (b *Broker) PartitionCount(name string) (int, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	if b.closed {
+		return 0, ErrBrokerClosed
+	}
 	t, ok := b.topics[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownTopic, name)

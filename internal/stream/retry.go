@@ -1,28 +1,39 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"net"
 	"sync"
 	"time"
 )
 
 // RetryClient decorates a TCP client with automatic reconnection: when a
-// request fails with a transport error, it redials (with capped
-// exponential backoff) and retries. Broker-level errors (unknown topic,
-// bad partition, ...) are returned as-is — only the connection is
-// healed. Vehicles and inter-RSU links use it so a restarted RSU does not
-// strand its peers.
+// request fails with a transport error, it redials (with capped,
+// jittered exponential backoff) and retries. Broker-level errors
+// (unknown topic, bad partition, ...) are returned as-is — only the
+// connection is healed. Vehicles and inter-RSU links use it so a
+// restarted RSU does not strand its peers.
+//
+// Backoff is jittered because a broker restart disconnects every peer at
+// once: with pure doubling they would all redial in synchronized waves
+// (a reconnect storm), re-overloading the broker exactly when it is
+// weakest. Each sleep is scaled by a uniform factor in [1-j, 1+j].
 type RetryClient struct {
 	addr string
-	// MaxAttempts per operation. Values <= 0 select 3.
+	ctx  context.Context // bounds dialing and backoff sleeps
+	// maxAttempts per operation. Values <= 0 select 3.
 	maxAttempts int
 	// baseBackoff doubles per retry, capped at maxBackoff.
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
+	jitter      float64
 	sleep       func(time.Duration) // injectable for tests
 
 	mu     sync.Mutex
+	rng    *rand.Rand
 	client *TCPClient
 	closed bool
 }
@@ -32,28 +43,111 @@ var _ Client = (*RetryClient)(nil)
 // ErrClientClosed is returned after Close.
 var ErrClientClosed = errors.New("stream: retry client closed")
 
+// DefaultRetryJitter spreads reconnect attempts ±20% around the
+// exponential schedule.
+const DefaultRetryJitter = 0.2
+
+// RetryConfig tunes a RetryClient. The zero value selects 3 attempts,
+// 50 ms doubling to 1 s, and DefaultRetryJitter.
+type RetryConfig struct {
+	// MaxAttempts per operation. Values <= 0 select 3.
+	MaxAttempts int
+	// BaseBackoff doubles per retry. Values <= 0 select 50 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Values <= 0 select 1 s.
+	MaxBackoff time.Duration
+	// Jitter scales each sleep by a uniform factor in [1-J, 1+J].
+	// Values outside [0, 1] select DefaultRetryJitter; use a tiny
+	// positive value (e.g. 1e-9) for effectively-zero jitter.
+	Jitter float64
+	// Seed drives the jitter PRNG (deterministic tests). Zero seeds from
+	// the wall clock.
+	Seed int64
+}
+
+func (cfg RetryConfig) withDefaults() RetryConfig {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.Jitter <= 0 || cfg.Jitter > 1 {
+		cfg.Jitter = DefaultRetryJitter
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	return cfg
+}
+
 // DialRetry connects with reconnection support. maxAttempts <= 0 selects
-// 3; backoff <= 0 selects 50 ms doubling to 1 s.
+// 3; backoff <= 0 selects 50 ms doubling to 1 s (jittered).
 func DialRetry(addr string, maxAttempts int, backoff time.Duration) (*RetryClient, error) {
-	if maxAttempts <= 0 {
-		maxAttempts = 3
+	return DialRetryContext(context.Background(), addr, RetryConfig{
+		MaxAttempts: maxAttempts,
+		BaseBackoff: backoff,
+	})
+}
+
+// DialRetryContext connects with reconnection support under a context:
+// the context bounds the initial dial, every redial, and every backoff
+// sleep, so callers can cap the total time an operation may spend
+// retrying (e.g. a handover that must succeed within its deadline or be
+// counted as dropped).
+func DialRetryContext(ctx context.Context, addr string, cfg RetryConfig) (*RetryClient, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
+	cfg = cfg.withDefaults()
 	rc := &RetryClient{
 		addr:        addr,
-		maxAttempts: maxAttempts,
-		baseBackoff: backoff,
-		maxBackoff:  time.Second,
-		sleep:       time.Sleep,
+		ctx:         ctx,
+		maxAttempts: cfg.MaxAttempts,
+		baseBackoff: cfg.BaseBackoff,
+		maxBackoff:  cfg.MaxBackoff,
+		jitter:      cfg.Jitter,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
-	c, err := Dial(addr)
+	rc.sleep = rc.sleepCtx
+	c, err := dialContext(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	rc.client = c
 	return rc, nil
+}
+
+// dialContext dials a stream server under a context (plus the usual
+// connect timeout).
+func dialContext(ctx context.Context, addr string) (*TCPClient, error) {
+	d := net.Dialer{Timeout: DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn}, nil
+}
+
+// sleepCtx sleeps for d or until the client's context ends.
+func (rc *RetryClient) sleepCtx(d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-rc.ctx.Done():
+	}
+}
+
+// jittered scales d by a uniform factor in [1-j, 1+j].
+func (rc *RetryClient) jittered(d time.Duration) time.Duration {
+	rc.mu.Lock()
+	f := 1 + rc.jitter*(2*rc.rng.Float64()-1)
+	rc.mu.Unlock()
+	return time.Duration(float64(d) * f)
 }
 
 // brokerError reports whether the error is an application-level broker
@@ -75,6 +169,12 @@ func (rc *RetryClient) do(op func(c *TCPClient) error) error {
 	backoff := rc.baseBackoff
 	var lastErr error
 	for attempt := 0; attempt < rc.maxAttempts; attempt++ {
+		if err := rc.ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return fmt.Errorf("stream retry %s: %w", rc.addr, lastErr)
+		}
 		rc.mu.Lock()
 		if rc.closed {
 			rc.mu.Unlock()
@@ -94,13 +194,13 @@ func (rc *RetryClient) do(op func(c *TCPClient) error) error {
 
 		// Redial.
 		if attempt < rc.maxAttempts-1 {
-			rc.sleep(backoff)
+			rc.sleep(rc.jittered(backoff))
 			backoff *= 2
 			if backoff > rc.maxBackoff {
 				backoff = rc.maxBackoff
 			}
 		}
-		fresh, err := Dial(rc.addr)
+		fresh, err := dialContext(rc.ctx, rc.addr)
 		rc.mu.Lock()
 		if rc.closed {
 			rc.mu.Unlock()

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -133,6 +134,120 @@ func TestRetryClientClosed(t *testing.T) {
 	}
 	if err := rc.Close(); err != nil {
 		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRetryClientBackoffIsJittered(t *testing.T) {
+	rs := newRestartableServer(t)
+	rc, err := DialRetryContext(context.Background(), rs.addr, RetryConfig{
+		MaxAttempts: 6,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Jitter:      0.5,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	rc2, err := DialRetryContext(context.Background(), rs.addr, RetryConfig{
+		MaxAttempts: 6, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second,
+		Jitter: 0.5, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	var slept []time.Duration
+	rc.sleep = func(d time.Duration) { slept = append(slept, d) }
+	rs.stop()
+	_, _, _ = rc.Produce("t", 0, nil, []byte("x"))
+
+	if len(slept) != 5 {
+		t.Fatalf("slept %d times, want 5", len(slept))
+	}
+	// Every sleep must deviate from the pure-doubling schedule (seed 42
+	// never draws exactly 0.5) while staying within the +-50% band.
+	pure := 100 * time.Millisecond
+	for i, d := range slept {
+		lo := time.Duration(float64(pure) * 0.5)
+		hi := time.Duration(float64(pure) * 1.5)
+		if d < lo || d > hi {
+			t.Errorf("sleep %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		if d == pure {
+			t.Errorf("sleep %d = %v exactly on the synchronized schedule", i, d)
+		}
+		pure *= 2
+		if pure > time.Second {
+			pure = time.Second
+		}
+	}
+
+	// Same seed, same schedule: the jitter sequence is deterministic.
+	var slept2 []time.Duration
+	rc2.sleep = func(d time.Duration) { slept2 = append(slept2, d) }
+	_, _, _ = rc2.Produce("t", 0, nil, []byte("x"))
+	if len(slept2) != len(slept) {
+		t.Fatalf("second client slept %d times, want %d", len(slept2), len(slept))
+	}
+	for i := range slept2 {
+		if slept2[i] != slept[i] {
+			t.Errorf("seeded jitter not reproducible: %v vs %v", slept2[i], slept[i])
+		}
+	}
+}
+
+func TestRetryClientContextBoundsRetries(t *testing.T) {
+	rs := newRestartableServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	rc, err := DialRetryContext(ctx, rs.addr, RetryConfig{
+		MaxAttempts: 1000, // context, not the attempt budget, ends the loop
+		BaseBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	rs.stop()
+	cancel() // total retry time bounded by the caller
+
+	start := time.Now()
+	_, _, err = rc.Produce("t", 0, nil, []byte("x"))
+	if err == nil {
+		t.Fatal("want error with context cancelled and server down")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled retry loop ran %v — context not respected", elapsed)
+	}
+}
+
+func TestRetryClientContextCancelledSleepWakes(t *testing.T) {
+	rs := newRestartableServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rc, err := DialRetryContext(ctx, rs.addr, RetryConfig{
+		MaxAttempts: 50,
+		BaseBackoff: 10 * time.Second, // would sleep forever without ctx
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	rs.stop()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := rc.Produce("t", 0, nil, []byte("x"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("want error after context deadline")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop ignored the context deadline")
 	}
 }
 

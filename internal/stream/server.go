@@ -34,10 +34,17 @@ func NewServer(broker *Broker, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream server listen: %w", err)
 	}
+	return NewServerOn(broker, ln), nil
+}
+
+// NewServerOn serves the broker on an already-bound listener. The caller
+// may wrap the listener (e.g. with a fault injector) before handing it
+// over; Close closes it.
+func NewServerOn(broker *Broker, ln net.Listener) *Server {
 	s := &Server{broker: broker, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound listener address.

@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Broker crash recovery: a snapshot captures every topic's partition
+// logs (retained messages plus their base offsets) so a crashed broker
+// can be rebuilt without losing the offsets consumers hold — messages
+// produced after the snapshot are lost, exactly the at-most-once window
+// a periodic-checkpoint deployment accepts. Snapshots serialize to JSON
+// ([]byte fields ride base64), so they can live on disk across process
+// restarts.
+
+// SnapshotVersion guards the serialized layout.
+const SnapshotVersion = 1
+
+// MessageSnapshot is one retained message.
+type MessageSnapshot struct {
+	Key          []byte `json:"k,omitempty"`
+	Value        []byte `json:"v"`
+	AppendedAtNs int64  `json:"atNs"`
+}
+
+// PartitionSnapshot is one partition log: its base offset and retained
+// messages (offsets are implicit: Base+i).
+type PartitionSnapshot struct {
+	Base     int64             `json:"base"`
+	Messages []MessageSnapshot `json:"msgs"`
+}
+
+// TopicSnapshot is one topic's partitions.
+type TopicSnapshot struct {
+	Name       string              `json:"name"`
+	Partitions []PartitionSnapshot `json:"partitions"`
+}
+
+// BrokerSnapshot is a point-in-time copy of a broker's full state.
+type BrokerSnapshot struct {
+	Version   int             `json:"version"`
+	TakenAtMs int64           `json:"takenAtMs"`
+	Topics    []TopicSnapshot `json:"topics"`
+}
+
+// Snapshot captures the broker's topics and retained messages. The copy
+// is deep: the snapshot stays valid however long the broker keeps
+// running (or however quickly it crashes).
+func (b *Broker) Snapshot() *BrokerSnapshot {
+	b.mu.RLock()
+	names := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	topics := make([]*topic, len(names))
+	for i, name := range names {
+		topics[i] = b.topics[name]
+	}
+	now := b.cfg.Now
+	b.mu.RUnlock()
+	if now == nil {
+		now = time.Now
+	}
+
+	snap := &BrokerSnapshot{Version: SnapshotVersion, TakenAtMs: now().UnixMilli()}
+	for i, t := range topics {
+		ts := TopicSnapshot{Name: names[i], Partitions: make([]PartitionSnapshot, len(t.partitions))}
+		for p, pl := range t.partitions {
+			ts.Partitions[p] = pl.snapshot()
+		}
+		snap.Topics = append(snap.Topics, ts)
+	}
+	return snap
+}
+
+// snapshot deep-copies one partition log.
+func (l *partitionLog) snapshot() PartitionSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ps := PartitionSnapshot{Base: l.base, Messages: make([]MessageSnapshot, len(l.msgs))}
+	for i, m := range l.msgs {
+		ms := MessageSnapshot{AppendedAtNs: m.AppendedAt.UnixNano()}
+		if m.Key != nil {
+			ms.Key = append([]byte(nil), m.Key...)
+		}
+		if m.Value != nil {
+			ms.Value = append([]byte(nil), m.Value...)
+		}
+		ps.Messages[i] = ms
+	}
+	return ps
+}
+
+// RestoreBroker builds a fresh broker from a snapshot: same topics, same
+// partition counts, same retained messages at the same offsets, so
+// consumers resume from their committed offsets without rewinding past
+// the snapshot point.
+func RestoreBroker(cfg BrokerConfig, snap *BrokerSnapshot) (*Broker, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("stream: nil broker snapshot")
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("stream: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	b := NewBroker(cfg)
+	for _, ts := range snap.Topics {
+		if err := b.CreateTopic(ts.Name, len(ts.Partitions)); err != nil {
+			return nil, fmt.Errorf("restore topic %q: %w", ts.Name, err)
+		}
+		t := b.topics[ts.Name]
+		for p, ps := range ts.Partitions {
+			pl := t.partitions[p]
+			pl.mu.Lock()
+			pl.base = ps.Base
+			pl.msgs = make([]Message, len(ps.Messages))
+			for i, ms := range ps.Messages {
+				// The log owns pooled copies, matching what append
+				// creates — eviction recycles them safely.
+				pl.msgs[i] = Message{
+					Topic:      ts.Name,
+					Partition:  int32(p),
+					Offset:     ps.Base + int64(i),
+					Key:        pooledClone(ms.Key),
+					Value:      pooledClone(ms.Value),
+					AppendedAt: time.Unix(0, ms.AppendedAtNs),
+				}
+			}
+			pl.mu.Unlock()
+		}
+	}
+	return b, nil
+}
+
+// WriteSnapshot serializes a snapshot as JSON.
+func WriteSnapshot(w io.Writer, snap *BrokerSnapshot) error {
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("stream: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*BrokerSnapshot, error) {
+	var snap BrokerSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("stream: read snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// GroupSnapshot captures a consumer group's committed offsets and
+// membership, so a restarted node's group resumes exactly where the
+// crashed one left off (at-least-once: in-flight uncommitted messages
+// are re-read).
+type GroupSnapshot struct {
+	Topic      string   `json:"topic"`
+	Offsets    []int64  `json:"offsets"`
+	Members    []string `json:"members"`
+	Generation int64    `json:"generation"`
+}
+
+// Snapshot captures the group's committed state.
+func (g *Group) Snapshot() GroupSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	snap := GroupSnapshot{Topic: g.topic, Generation: g.generation}
+	snap.Offsets = append(snap.Offsets, g.offsets...)
+	snap.Members = append(snap.Members, g.members...)
+	return snap
+}
+
+// RestoreGroup rebuilds a group against a (possibly restarted) broker
+// from its snapshot. The topic must exist with at least the snapshotted
+// partition count.
+func RestoreGroup(client Client, snap GroupSnapshot) (*Group, error) {
+	g, err := NewGroup(client, snap.Topic, 0)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(snap.Offsets) != g.partitions {
+		return nil, fmt.Errorf("stream: group snapshot has %d offsets, topic %q has %d partitions",
+			len(snap.Offsets), snap.Topic, g.partitions)
+	}
+	copy(g.offsets, snap.Offsets)
+	g.members = append(g.members[:0], snap.Members...)
+	g.generation = snap.Generation
+	return g, nil
+}
+
+// Member returns the handle of an existing member (after RestoreGroup,
+// which re-seats the snapshotted membership without bumping the
+// generation). Unknown ids get ErrUnknownMember.
+func (g *Group) Member(id string) (*GroupMember, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m == id {
+			return &GroupMember{group: g, id: id}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownMember, id)
+}
+
+// SetOffsets positions a consumer's per-partition offsets (checkpoint
+// restore). The length must match the partition count.
+func (c *Consumer) SetOffsets(offsets []int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(offsets) != len(c.offsets) {
+		return fmt.Errorf("stream: %d offsets for %d partitions of %q",
+			len(offsets), len(c.offsets), c.topic)
+	}
+	copy(c.offsets, offsets)
+	return nil
+}
