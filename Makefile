@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench race vet fmt cover experiments chaos profile clean
+.PHONY: all build test test-short bench race vet fmt cover experiments chaos profile linkcheck docs clean
 
 all: build vet test
 
@@ -29,6 +29,14 @@ profile:
 
 vet:
 	$(GO) vet ./...
+
+# Hermetic markdown cross-reference check (the CI docs job).
+linkcheck:
+	$(GO) run ./internal/tools/linkcheck \
+		README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md ROADMAP.md CHANGES.md
+
+docs: vet linkcheck
+	test -z "$$(gofmt -l .)"
 
 fmt:
 	gofmt -w .

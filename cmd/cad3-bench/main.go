@@ -5,15 +5,22 @@
 // Usage:
 //
 //	cad3-bench [-cars 500] [-seed 99] [-duration 2s] [-quick]
+//	           [-debug-addr 127.0.0.1:6060]
+//
+// With -debug-addr set, /debug/pprof/ profiles the sweep while it runs
+// and /health reports which section is in progress — see OBSERVABILITY.md
+// and `make profile` for the CPU-profiling walkthrough.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"cad3/internal/experiments"
+	"cad3/internal/obsv"
 )
 
 func main() {
@@ -28,9 +35,25 @@ func run() error {
 	seed := flag.Int64("seed", 42, "random seed")
 	duration := flag.Duration("duration", 2*time.Second, "virtual duration of the network experiments")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	debugAddr := flag.String("debug-addr", "", "serve /health and pprof for the sweep on this address (empty: disabled)")
 	flag.Parse()
 
-	section := func(name string) { fmt.Printf("\n=== %s ===\n", name) }
+	var current atomic.Value
+	current.Store("startup")
+	section := func(name string) {
+		current.Store(name)
+		fmt.Printf("\n=== %s ===\n", name)
+	}
+	if *debugAddr != "" {
+		dbg, derr := obsv.ServeDebug(*debugAddr, obsv.DebugOptions{
+			Health: func() any { return map[string]any{"section": current.Load()} },
+		})
+		if derr != nil {
+			return derr
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint on http://%s (/health /debug/pprof/)\n", dbg.Addr())
+	}
 
 	// Model scenario (Figures 2, 7, 8; Tables III, IV; ablations).
 	sc, err := experiments.BuildScenario(experiments.ScenarioConfig{Cars: *cars, Seed: *seed})

@@ -9,6 +9,11 @@
 //
 //	cad3-chaos [-cars 500] [-seed 42] [-drop 0] [-dup 0] [-kill 0]
 //	           [-partition 0.35] [-crash 0.45] [-heal 0.70]
+//	           [-debug-addr 127.0.0.1:6060]
+//
+// With -debug-addr set, the link node's live registry is served on
+// /metrics (plus /debug/pprof/ for profiling the study) while the replay
+// runs — see OBSERVABILITY.md.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"cad3/internal/chaos"
 	"cad3/internal/experiments"
+	"cad3/internal/obsv"
 )
 
 func main() {
@@ -36,12 +42,23 @@ func run() error {
 	partition := flag.Float64("partition", 0.35, "timeline fraction where the inter-RSU link partitions")
 	crash := flag.Float64("crash", 0.45, "timeline fraction where the upstream RSU dies")
 	heal := flag.Float64("heal", 0.70, "timeline fraction where broker and node recover")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and pprof for the study on this address (empty: disabled)")
 	flag.Parse()
 
 	fmt.Printf("building scenario (cars=%d seed=%d)...\n", *cars, *seed)
 	sc, err := experiments.BuildScenario(experiments.ScenarioConfig{Cars: *cars, Seed: *seed})
 	if err != nil {
 		return fmt.Errorf("build scenario: %w", err)
+	}
+
+	reg := obsv.NewRegistry()
+	if *debugAddr != "" {
+		dbg, derr := obsv.ServeDebug(*debugAddr, obsv.DebugOptions{Registry: reg})
+		if derr != nil {
+			return derr
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint on http://%s (/metrics /debug/pprof/)\n", dbg.Addr())
 	}
 
 	res, err := experiments.RunChaosStudy(experiments.ChaosConfig{
@@ -51,6 +68,7 @@ func run() error {
 		PartitionFrac: *partition,
 		CrashFrac:     *crash,
 		HealFrac:      *heal,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err

@@ -5,6 +5,11 @@
 // Table II feature sample, and Table III statistics. With -out it writes
 // the filtered records as JSON lines.
 //
+// The -csv output feeds cad3-replay, which replays these records against
+// a live cad3-rsu with wire trace contexts attached, so the offline
+// dataset becomes live traffic with a measurable per-stage latency
+// breakdown (see OBSERVABILITY.md).
+//
 // Usage:
 //
 //	cad3-dataset [-cars 200] [-seed 1] [-scale 0.05] [-out records.jsonl]

@@ -1,7 +1,9 @@
 // Command cad3-replay streams a recorded dataset (the CSV written by
 // cad3-dataset -out, re-encoded to CSV via the trace package) at a running
 // cad3-rsu broker, reproducing real traffic against a live node and
-// reporting end-to-end warning latency.
+// reporting end-to-end warning latency. Records carry a wire trace
+// context, so when the serving RSU is trace-aware the replay also reports
+// the live per-stage breakdown (see OBSERVABILITY.md).
 //
 // Usage:
 //
@@ -16,6 +18,8 @@ import (
 	"time"
 
 	"cad3/internal/core"
+	"cad3/internal/metrics"
+	"cad3/internal/obsv"
 	"cad3/internal/stream"
 	"cad3/internal/trace"
 )
@@ -86,42 +90,11 @@ func run() error {
 
 	var sent, warnings int
 	var latencySum time.Duration
-	i := 0
-	for sent < len(records) {
-		select {
-		case <-ticker.C:
-			rec := records[i]
-			rec.Car = trace.CarID(i%*vehicles + 1)
-			rec.TimestampMs = time.Now().UnixMilli()
-			payload, err := core.EncodeRecord(rec)
-			if err != nil {
-				return err
-			}
-			if _, _, err := producer.Send(nil, payload); err != nil {
-				return fmt.Errorf("send record %d: %w", i, err)
-			}
-			i++
-			sent++
-		case <-poll.C:
-			msgs, _ := consumer.Poll(256)
-			now := time.Now().UnixMilli()
-			for _, m := range msgs {
-				w, derr := core.DecodeWarning(m.Value)
-				if derr != nil {
-					continue
-				}
-				warnings++
-				if d := now - w.SourceTsMs; d >= 0 {
-					latencySum += time.Duration(d) * time.Millisecond
-				}
-			}
-		}
-	}
-	// Drain the tail.
-	deadline := time.Now().Add(time.Second)
-	for time.Now().Before(deadline) {
+	live := metrics.NewBreakdownAccumulator()
+	drain := func() {
 		msgs, _ := consumer.Poll(256)
-		now := time.Now().UnixMilli()
+		nowT := time.Now()
+		now := nowT.UnixMilli()
 		for _, m := range msgs {
 			w, derr := core.DecodeWarning(m.Value)
 			if derr != nil {
@@ -131,7 +104,37 @@ func run() error {
 			if d := now - w.SourceTsMs; d >= 0 {
 				latencySum += time.Duration(d) * time.Millisecond
 			}
+			if tc, ok := core.WarningTrace(m.Value); ok {
+				tc.Stamp(obsv.StageDeliver, nowT)
+				if bd, complete := tc.Breakdown(); complete {
+					live.Observe(bd)
+				}
+			}
 		}
+	}
+	i := 0
+	for sent < len(records) {
+		select {
+		case <-ticker.C:
+			rec := records[i]
+			rec.Car = trace.CarID(i%*vehicles + 1)
+			rec.TimestampMs = time.Now().UnixMilli()
+			var tc obsv.TraceContext
+			tc.Stamp(obsv.StageSent, time.Now())
+			payload := core.AppendRecordTraced(nil, rec, tc)
+			if _, _, err := producer.Send(nil, payload); err != nil {
+				return fmt.Errorf("send record %d: %w", i, err)
+			}
+			i++
+			sent++
+		case <-poll.C:
+			drain()
+		}
+	}
+	// Drain the tail.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		drain()
 		time.Sleep(10 * time.Millisecond)
 	}
 
@@ -140,5 +143,15 @@ func run() error {
 		fmt.Printf(", mean end-to-end latency %v", (latencySum / time.Duration(warnings)).Round(time.Millisecond))
 	}
 	fmt.Println()
+	if live.Count() > 0 {
+		rep := live.Report()
+		fmt.Printf("live trace (%d warnings): tx=%s queue=%s proc=%s dissem=%s total=%s\n",
+			live.Count(),
+			rep.Tx.Mean.Round(10*time.Microsecond),
+			rep.Queue.Mean.Round(10*time.Microsecond),
+			rep.Processing.Mean.Round(10*time.Microsecond),
+			rep.Dissemination.Mean.Round(10*time.Microsecond),
+			rep.Total.Mean.Round(10*time.Microsecond))
+	}
 	return nil
 }

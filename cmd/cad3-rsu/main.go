@@ -6,7 +6,13 @@
 // Usage:
 //
 //	cad3-rsu -addr 127.0.0.1:9092 -road-type motorway_link \
-//	         [-neighbor 127.0.0.1:9093] [-collab] [-cars 300] [-seed 1]
+//	         [-neighbor 127.0.0.1:9093] [-collab] [-cars 300] [-seed 1] \
+//	         [-debug-addr 127.0.0.1:6060]
+//
+// With -debug-addr set, the observability endpoint serves /metrics (live
+// counter/gauge/histogram snapshot), /trace/recent (per-warning pipeline
+// traces), /health (node heartbeat + degraded-mode counters) and
+// /debug/pprof/ — see OBSERVABILITY.md.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"cad3/internal/core"
 	"cad3/internal/experiments"
 	"cad3/internal/geo"
+	"cad3/internal/obsv"
 	"cad3/internal/rsu"
 	"cad3/internal/stream"
 )
@@ -43,6 +50,7 @@ func run() error {
 	cars := flag.Int("cars", 300, "training scenario fleet size")
 	seed := flag.Int64("seed", 1, "training scenario seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace/recent, /health and pprof on this address (empty: disabled)")
 	verbose := flag.Bool("v", false, "log every warning produced (debug level)")
 	flag.Parse()
 
@@ -88,7 +96,10 @@ func run() error {
 		}
 	}
 
-	broker := stream.NewBroker(stream.BrokerConfig{})
+	// One registry spans the whole process — broker counters and the
+	// node's pipeline metrics land in the same /metrics document.
+	reg := obsv.NewRegistry()
+	broker := stream.NewBroker(stream.BrokerConfig{Metrics: reg})
 	server, err := stream.NewServer(broker, *addr)
 	if err != nil {
 		return err
@@ -106,6 +117,7 @@ func run() error {
 		Detector: detector,
 		Client:   stream.NewInProcClient(broker),
 		Logger:   logger,
+		Metrics:  reg,
 	})
 	if err != nil {
 		return err
@@ -120,6 +132,29 @@ func run() error {
 			return err
 		}
 		fmt.Printf("forwarding handover summaries to %s\n", *neighborAddr)
+	}
+
+	if *debugAddr != "" {
+		dbg, derr := obsv.ServeDebug(*debugAddr, obsv.DebugOptions{
+			Registry: node.Registry(),
+			Ring:     node.TraceRing(),
+			Health: func() any {
+				st := node.Stats()
+				healthy := node.Ping() == nil
+				return map[string]any{
+					"rsu":      *name,
+					"healthy":  healthy,
+					"records":  st.Records,
+					"warnings": st.Warnings,
+					"degraded": st.Degraded(),
+				}
+			},
+		})
+		if derr != nil {
+			return derr
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint on http://%s (/metrics /trace/recent /health /debug/pprof/)\n", dbg.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

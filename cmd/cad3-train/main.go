@@ -4,6 +4,10 @@
 // instead of retraining — the deployment split the paper's two-stage
 // framework implies.
 //
+// Training is offline and carries no wire traces; once the bundles are
+// served by cad3-rsu, the online pipeline's behaviour is observable via
+// the node's -debug-addr endpoints (see OBSERVABILITY.md).
+//
 // Usage:
 //
 //	cad3-train -out models/ [-cars 500] [-seed 42]

@@ -3,6 +3,12 @@
 // records at 10 Hz and polls for warnings every 10 ms, printing end-to-end
 // latency when done (the role of PC1 in the paper's testbed).
 //
+// On the binary wire format each record carries a trace context in its
+// frame padding; warnings coming back carry the full per-stage stamp set,
+// so the fleet also prints the live Tx/Queue/Processing/Dissemination
+// breakdown (Figure 6a) measured in flight — see OBSERVABILITY.md. JSON
+// mode (-json) carries no trace and reports only coarse end-to-end times.
+//
 // Usage:
 //
 //	cad3-vehicles -addr 127.0.0.1:9092 -n 32 -duration 10s [-seed 1]
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"cad3/internal/experiments"
+	"cad3/internal/metrics"
 	"cad3/internal/stream"
 	"cad3/internal/vehicle"
 )
@@ -74,7 +81,8 @@ func run() error {
 	}
 
 	fmt.Printf("sent %d records, received %d warnings\n", fleet.TotalSent(), fleet.TotalReceived())
-	var count int
+	var count, traced int
+	agg := metrics.NewBreakdownAccumulator()
 	for i, v := range fleet.Vehicles() {
 		rep := v.Latencies()
 		if rep.Total.Count == 0 {
@@ -84,7 +92,18 @@ func run() error {
 		if i < 5 {
 			fmt.Printf("vehicle %d: warnings=%d end-to-end %s\n", i+1, rep.Total.Count, rep.Total)
 		}
+		traced += v.TracedCount()
+		v.MergeTracedInto(agg)
 	}
-	fmt.Printf("total warnings with latency samples: %d\n", count)
+	fmt.Printf("total warnings with latency samples: %d (%d fully traced)\n", count, traced)
+	if traced > 0 {
+		rep := agg.Report()
+		fmt.Printf("live trace means: tx=%s queue=%s proc=%s dissem=%s total=%s\n",
+			rep.Tx.Mean.Round(10*time.Microsecond),
+			rep.Queue.Mean.Round(10*time.Microsecond),
+			rep.Processing.Mean.Round(10*time.Microsecond),
+			rep.Dissemination.Mean.Round(10*time.Microsecond),
+			rep.Total.Mean.Round(10*time.Microsecond))
+	}
 	return nil
 }

@@ -2,6 +2,9 @@ package core
 
 import (
 	"testing"
+	"time"
+
+	"cad3/internal/obsv"
 )
 
 // TestDetectHotPathZeroAllocs enforces the allocation-free contract on the
@@ -47,5 +50,33 @@ func TestDetectHotPathZeroAllocs(t *testing.T) {
 				t.Errorf("%s Detect: %v allocs/op, want 0", tc.name, allocs)
 			}
 		})
+	}
+}
+
+// TestTracedWireZeroAllocs extends the zero-alloc contract to the tracing
+// layer: encoding a traced record into a reused frame, stamping a stage in
+// place, reading the context back, and observing a registry histogram must
+// all stay off the heap — tracing cannot be allowed to undo the PR 1
+// fast-path guarantee.
+func TestTracedWireZeroAllocs(t *testing.T) {
+	rec := wireTestRecord()
+	tc := obsv.TraceContext{BatchID: 1, SentMicro: 1_000_000}
+	buf := make([]byte, 0, RecordWireSize)
+	hist := obsv.NewHistogram(nil)
+	at := time.UnixMicro(1_004_200)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendRecordTraced(buf[:0], rec, tc)
+		if !obsv.StampPayload(buf, obsv.StageArrive, at) {
+			t.Fatal("stamp refused")
+		}
+		got, ok := RecordTrace(buf)
+		if !ok {
+			t.Fatal("trace lost")
+		}
+		hist.Observe(got.ArriveMicro - got.SentMicro)
+	})
+	if allocs != 0 {
+		t.Errorf("traced encode+stamp+decode+observe: %v allocs/op, want 0", allocs)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"cad3/internal/geo"
+	"cad3/internal/obsv"
 	"cad3/internal/trace"
 )
 
@@ -43,7 +44,10 @@ const (
 // fixed fields need recordBodySize bytes; the frame is zero-padded up to
 // the paper's 200 B status-packet size so the MAC-emulation, bandwidth
 // and Figure 6 results keep the paper's packet-size assumption while the
-// codec sheds the JSON marshalling cost.
+// codec sheds the JSON marshalling cost. The padding doubles as the
+// carrier for the pipeline trace context (obsv.TraceContext): traced
+// frames place a 50-byte trace blob at offset recordBodySize, costing no
+// extra wire bytes. Untraced decoders ignore the padding either way.
 const (
 	recordBodySize = 76
 	RecordWireSize = 200
@@ -84,6 +88,28 @@ func AppendRecord(dst []byte, r trace.Record) []byte {
 	return dst
 }
 
+// AppendRecordTraced appends the binary encoding of r with the pipeline
+// trace context encoded into the frame's padding bytes. The frame is still
+// exactly RecordWireSize bytes — tracing is wire-size free — and the
+// encoding allocates nothing beyond the frame itself. DecodeRecord reads
+// traced and untraced frames identically; RecordTrace recovers tc.
+func AppendRecordTraced(dst []byte, r trace.Record, tc obsv.TraceContext) []byte {
+	off := len(dst)
+	dst = AppendRecord(dst, r)
+	obsv.PutTrace(dst[off+recordBodySize:], tc)
+	return dst
+}
+
+// RecordTrace extracts the trace context from a binary record payload.
+// ok=false for untraced frames and JSON payloads (the graceful-degradation
+// path: the pipeline runs untraced).
+func RecordTrace(b []byte) (obsv.TraceContext, bool) {
+	if !isBinary(b, hdrRecord) {
+		return obsv.TraceContext{}, false
+	}
+	return obsv.PayloadTrace(b)
+}
+
 // AppendWarning appends the binary encoding of w to dst.
 func AppendWarning(dst []byte, w Warning) []byte {
 	off := len(dst)
@@ -96,6 +122,27 @@ func AppendWarning(dst []byte, w Warning) []byte {
 	le.PutUint64(b[25:], uint64(w.SourceTsMs))
 	le.PutUint64(b[33:], uint64(w.DetectedTsMs))
 	return dst
+}
+
+// AppendWarningTraced appends the binary warning followed by a trace-blob
+// tail carrying tc — the warning-side trace transport (warnings have no
+// padding, so the context rides a fixed-size tail instead). DecodeWarning
+// ignores the tail; WarningTrace recovers it.
+func AppendWarningTraced(dst []byte, w Warning, tc obsv.TraceContext) []byte {
+	dst = AppendWarning(dst, w)
+	off := len(dst)
+	dst = append(dst, make([]byte, obsv.TraceBlobSize)...)
+	obsv.PutTrace(dst[off:], tc)
+	return dst
+}
+
+// WarningTrace extracts the trace context from a binary warning payload.
+// ok=false for untraced warnings and JSON payloads.
+func WarningTrace(b []byte) (obsv.TraceContext, bool) {
+	if !isBinary(b, hdrWarning) {
+		return obsv.TraceContext{}, false
+	}
+	return obsv.PayloadTrace(b)
 }
 
 // AppendSummary appends the binary encoding of s to dst. Summaries whose

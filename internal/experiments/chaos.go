@@ -9,6 +9,7 @@ import (
 	"cad3/internal/chaos"
 	"cad3/internal/core"
 	"cad3/internal/mlkit"
+	"cad3/internal/obsv"
 	"cad3/internal/rsu"
 	"cad3/internal/stream"
 	"cad3/internal/trace"
@@ -54,6 +55,11 @@ type ChaosConfig struct {
 	// (trips are minutes long; the default 10 min would add unrelated
 	// expiries at phase edges).
 	SummaryTTL time.Duration
+	// Metrics, when set, receives the link node's live observability
+	// registry (the CAD3 under test) — cad3-chaos serves it on its
+	// -debug-addr endpoint while the study runs. Nil gives the node a
+	// private registry.
+	Metrics *obsv.Registry
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -188,6 +194,7 @@ func RunChaosStudy(cfg ChaosConfig) (*ChaosResult, error) {
 		Name: linkName, Road: CorridorLinkID,
 		Detector: sc.CAD3, Client: linkClient, Now: now,
 		SummaryTTL: cfg.SummaryTTL,
+		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -139,6 +139,59 @@ func TestRunLatencyScalingFigure6a(t *testing.T) {
 	}
 }
 
+// TestLatencyLiveTraceMatchesOffline pins the wire-trace measurement path
+// against the offline reconstruction: every warning is measured twice —
+// once through the arrivals/pending bookkeeping maps, once through the
+// TraceContext stamped into the payloads in flight — and the two paths
+// must agree. The live path truncates the detection instant to the
+// warning's millisecond DetectedTsMs field only on the offline side, so
+// per-component means may differ by strictly less than 1 ms.
+func TestLatencyLiveTraceMatchesOffline(t *testing.T) {
+	pool, det, err := BuildLatencyInputs(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLatency(LatencyConfig{
+		Vehicles: 16,
+		Duration: 2 * time.Second,
+		Seed:     9,
+		Records:  pool,
+		Detector: det,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warnings == 0 {
+		t.Fatal("no warnings disseminated")
+	}
+	// Every offline-scored warning must also complete its trace.
+	if int64(res.LiveTraced) != res.Warnings {
+		t.Fatalf("LiveTraced = %d, Warnings = %d: trace contexts lost in flight",
+			res.LiveTraced, res.Warnings)
+	}
+	within := func(name string, live, offline time.Duration) {
+		diff := live - offline
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff >= time.Millisecond {
+			t.Errorf("%s mean: live %v vs offline %v (diff %v, want < 1ms)",
+				name, live, offline, diff)
+		}
+	}
+	within("tx", res.Live.Tx.Mean, res.Report.Tx.Mean)
+	within("queue", res.Live.Queue.Mean, res.Report.Queue.Mean)
+	within("processing", res.Live.Processing.Mean, res.Report.Processing.Mean)
+	within("dissemination", res.Live.Dissemination.Mean, res.Report.Dissemination.Mean)
+	within("total", res.Live.Total.Mean, res.Report.Total.Mean)
+	// Tx uses the same two instants on both paths; the only divergence is
+	// the stamps' truncation to whole microseconds.
+	if diff := res.Live.Tx.Mean - res.Report.Tx.Mean; diff < -2*time.Microsecond || diff > 2*time.Microsecond {
+		t.Errorf("tx means differ by %v: live %v offline %v (want within stamp truncation)",
+			diff, res.Live.Tx.Mean, res.Report.Tx.Mean)
+	}
+}
+
 func TestRunLatency256UnderPaperBounds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("256-vehicle DES run in -short mode")

@@ -10,6 +10,7 @@ import (
 	"cad3/internal/geo"
 	"cad3/internal/metrics"
 	"cad3/internal/netem"
+	"cad3/internal/obsv"
 	"cad3/internal/stream"
 	"cad3/internal/trace"
 )
@@ -120,8 +121,19 @@ func (c LatencyConfig) withDefaults() LatencyConfig {
 type LatencyResult struct {
 	Vehicles int
 	Report   metrics.LatencyReport
-	Warnings int64
-	Records  int64
+	// Live is the same experiment measured through the wire-format trace
+	// context (obsv.TraceContext riding the record frame's padding and the
+	// warning's trace tail) instead of the offline bookkeeping maps: every
+	// stage stamps the payload in flight and the poll loop completes the
+	// breakdown per warning. Offline reconstruction (Report) and the live
+	// path must agree — TestLatencyLiveTraceMatchesOffline pins the means
+	// within a millisecond.
+	Live metrics.LatencyReport
+	// LiveTraced counts warnings whose trace context survived the full
+	// pipeline (equal to Warnings when every hop is trace-aware).
+	LiveTraced int
+	Warnings   int64
+	Records    int64
 	// PerVehicleBps is the mean uplink rate per vehicle; TotalBps the
 	// RSU's received bandwidth (Figure 6c).
 	PerVehicleBps float64
@@ -178,6 +190,7 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	arrivals := make(map[key]time.Time)
 	pending := make(map[key]metrics.LatencyBreakdown)
 	recorder := metrics.NewLatencyRecorder()
+	live := metrics.NewBreakdownAccumulator()
 	var warnings, records int64
 	end := start.Add(cfg.Duration)
 
@@ -201,8 +214,13 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 			rec.Car = trace.CarID(v)
 			rec.TimestampMs = now.UnixMilli()
 			// Pooled encode: the closure owns the buffer until the MAC
-			// delivery event fires and the broker clones it.
-			payload := core.AppendRecord(stream.GetPayload(), rec)
+			// delivery event fires and the broker clones it. The trace
+			// context rides the frame's padding; StageSent uses the
+			// record's own (ms-truncated) timestamp so the live Tx matches
+			// the offline reconstruction exactly.
+			var tc obsv.TraceContext
+			tc.Stamp(obsv.StageSent, time.UnixMilli(rec.TimestampMs))
+			payload := core.AppendRecordTraced(stream.GetPayload(), rec, tc)
 			sent := now
 			if delivered, terr := medium.Transmit(class, len(payload), now); terr == nil {
 				k := key{car: rec.Car, ts: rec.TimestampMs}
@@ -224,6 +242,7 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	// RSU micro-batch loop.
 	var batch func()
 	var inMsgs []stream.Message
+	var batchID uint64
 	batch = func() {
 		now := sim.Now()
 		if now.After(end) {
@@ -232,6 +251,7 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 		inMsgs, _ = inConsumer.PollInto(inMsgs[:0], 1<<16)
 		msgs := inMsgs
 		if len(msgs) > 0 {
+			batchID++
 			records += int64(len(msgs))
 			cost := cfg.Proc.Cost(len(msgs))
 			done := now.Add(cost)
@@ -263,7 +283,19 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 					SourceTsMs:   rec.TimestampMs,
 					DetectedTsMs: done.UnixMilli(),
 				}
-				payload := core.AppendWarning(stream.GetPayload(), w)
+				// Live path: the record frame carries Sent (vehicle) and
+				// Arrive (broker log-append time); this loop adds the
+				// dequeue and detection stamps and forwards the context on
+				// the warning's trace tail.
+				var payload []byte
+				if tc, traced := core.RecordTrace(m.Value); traced {
+					tc.BatchID = batchID
+					tc.Stamp(obsv.StageDequeue, now)
+					tc.Stamp(obsv.StageDetect, done)
+					payload = core.AppendWarningTraced(stream.GetPayload(), w, tc)
+				} else {
+					payload = core.AppendWarning(stream.GetPayload(), w)
+				}
 				sim.At(done, func() {
 					_, _, _ = outProducer.Send(nil, payload)
 					stream.PutPayload(payload)
@@ -304,9 +336,19 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 			}
 			delete(pending, k)
 			detected := time.UnixMilli(w.DetectedTsMs)
-			lb.Dissemination = now.Sub(detected) + cfg.Diss.sample(rng)
+			ds := cfg.Diss.sample(rng)
+			lb.Dissemination = now.Sub(detected) + ds
 			recorder.Record(lb)
 			warnings++
+			// Live path: the delivery stamp closes the trace; the same
+			// jittered fetch-overhead sample rides on top so both paths
+			// measure the same warning.
+			if tc, traced := core.WarningTrace(m.Value); traced {
+				tc.Stamp(obsv.StageDeliver, now.Add(ds))
+				if bd, complete := tc.Breakdown(); complete {
+					live.Observe(bd)
+				}
+			}
 		}
 		stream.RecycleMessages(msgs)
 		sim.After(cfg.PollInterval, poll)
@@ -321,6 +363,8 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	return &LatencyResult{
 		Vehicles:      cfg.Vehicles,
 		Report:        recorder.Report(),
+		Live:          live.Report(),
+		LiveTraced:    live.Count(),
 		Warnings:      warnings,
 		Records:       records,
 		PerVehicleBps: total / float64(cfg.Vehicles),
@@ -347,19 +391,23 @@ func RunLatencyScaling(counts []int, base LatencyConfig) ([]*LatencyResult, erro
 	return out, nil
 }
 
-// FormatLatencyResults renders the Figure 6a + 6c series.
+// FormatLatencyResults renders the Figure 6a + 6c series. The live-total
+// column is the wire-trace measurement of the same warnings (see
+// LatencyResult.Live) — it should track the offline total within a
+// millisecond.
 func FormatLatencyResults(results []*LatencyResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%8s %10s %10s %10s %10s %10s %12s %12s\n",
-		"vehicles", "tx", "queue", "proc", "dissem", "total", "kbps/vehicle", "total-mbps")
+	fmt.Fprintf(&sb, "%8s %10s %10s %10s %10s %10s %10s %12s %12s\n",
+		"vehicles", "tx", "queue", "proc", "dissem", "total", "live-total", "kbps/vehicle", "total-mbps")
 	for _, r := range results {
-		fmt.Fprintf(&sb, "%8d %10s %10s %10s %10s %10s %12.1f %12.3f\n",
+		fmt.Fprintf(&sb, "%8d %10s %10s %10s %10s %10s %10s %12.1f %12.3f\n",
 			r.Vehicles,
 			r.Report.Tx.Mean.Round(10*time.Microsecond),
 			r.Report.Queue.Mean.Round(10*time.Microsecond),
 			r.Report.Processing.Mean.Round(10*time.Microsecond),
 			r.Report.Dissemination.Mean.Round(10*time.Microsecond),
 			r.Report.Total.Mean.Round(10*time.Microsecond),
+			r.Live.Total.Mean.Round(10*time.Microsecond),
 			r.PerVehicleBps/1000,
 			r.TotalBps/1e6,
 		)

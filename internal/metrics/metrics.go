@@ -151,9 +151,14 @@ func (r *LatencyRecorder) Report() LatencyReport {
 	}
 }
 
-// CounterSet is a set of named monotonic counters — the degraded-mode
-// accounting surface the RSU supervisor publishes (CAD3→AD3 fallbacks,
-// stale-summary hits, dropped handovers, heartbeat outcomes, restarts).
+// CounterSet is a set of named monotonic counters.
+//
+// Deprecated: the live observability registry (internal/obsv.Registry)
+// absorbed this role — it offers the same monotonic named counters as
+// lock-free atomics plus gauges, histograms, snapshot/reset/restore and
+// the /metrics debug endpoint. The RSU supervisor and the chaos study now
+// publish there; CounterSet remains only for code that wants a tiny
+// mutex-guarded map without the registry.
 // Safe for concurrent use.
 type CounterSet struct {
 	mu       sync.Mutex

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"cad3/internal/obsv"
 	"cad3/internal/stream"
 )
 
@@ -71,6 +72,10 @@ type Config[T any] struct {
 	// OnError observes per-batch decode/process errors (the engine keeps
 	// running). Nil discards them.
 	OnError func(error)
+	// Metrics, when set, receives live engine instrumentation: the
+	// microbatch.* counters and the per-batch processing-time and
+	// batch-size histograms (see OBSERVABILITY.md).
+	Metrics *obsv.Registry
 }
 
 // BatchStats summarises one processed batch.
@@ -110,6 +115,10 @@ type Engine[T any] struct {
 	stepMu sync.Mutex
 	msgBuf []stream.Message
 	items  []T
+
+	// Cached registry handles, nil when cfg.Metrics is nil.
+	mBatches, mRecords, mDecodeErrs, mProcessErrs *obsv.Counter
+	mProcessHist, mBatchSizeHist                  *obsv.Histogram
 }
 
 // NewEngine validates the config and builds an engine.
@@ -135,7 +144,17 @@ func NewEngine[T any](cfg Config[T]) (*Engine[T], error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Engine[T]{cfg: cfg}, nil
+	e := &Engine[T]{cfg: cfg}
+	if cfg.Metrics != nil {
+		e.mBatches = cfg.Metrics.Counter("microbatch.batches")
+		e.mRecords = cfg.Metrics.Counter("microbatch.records")
+		e.mDecodeErrs = cfg.Metrics.Counter("microbatch.decode_errors")
+		e.mProcessErrs = cfg.Metrics.Counter("microbatch.process_errors")
+		e.mProcessHist = cfg.Metrics.Histogram("microbatch.process_micros", nil)
+		e.mBatchSizeHist = cfg.Metrics.Histogram("microbatch.batch_size",
+			[]int64{0, 1, 8, 32, 128, 512, 2048, 8192})
+	}
+	return e, nil
 }
 
 // Step drains one batch from the source, decodes it, fans it out over the
@@ -192,6 +211,14 @@ func (e *Engine[T]) Step() (BatchStats, error) {
 		e.stats.MaxProcessingTime = bs.ProcessingTime
 	}
 	e.mu.Unlock()
+
+	if e.mBatches != nil {
+		e.mBatches.Inc()
+		e.mRecords.Add(int64(bs.Records))
+		e.mDecodeErrs.Add(int64(bs.DecodeErrors))
+		e.mProcessHist.ObserveDuration(bs.ProcessingTime)
+		e.mBatchSizeHist.Observe(int64(bs.Records))
+	}
 	return bs, pollErr
 }
 
@@ -218,6 +245,9 @@ func (e *Engine[T]) processParallel(items []T) {
 				e.mu.Lock()
 				e.stats.ProcessErrors++
 				e.mu.Unlock()
+				if e.mProcessErrs != nil {
+					e.mProcessErrs.Inc()
+				}
 				e.observeErr(fmt.Errorf("microbatch process: %w", err))
 			}
 		}(items[lo:hi])

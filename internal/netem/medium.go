@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"cad3/internal/obsv"
 )
 
 // Medium models the shared DSRC channel for the discrete-event pipeline:
@@ -25,6 +27,10 @@ type Medium struct {
 	transmissions  int64
 	totalAirtime   time.Duration
 	contentionTime time.Duration
+
+	// Cached registry handles, nil without MediumConfig.Metrics.
+	mFrames, mWireBytes, mLostFrames *obsv.Counter
+	mAirtimeHist                     *obsv.Histogram
 }
 
 // MediumConfig configures a Medium.
@@ -43,6 +49,10 @@ type MediumConfig struct {
 	HTB *HTB
 	// Seed drives the backoff jitter.
 	Seed int64
+	// Metrics, when set, receives channel instrumentation: the netem.*
+	// frame/byte counters and the per-frame airtime histogram (see
+	// OBSERVABILITY.md).
+	Metrics *obsv.Registry
 }
 
 // NewMedium builds the channel model.
@@ -53,13 +63,21 @@ func NewMedium(cfg MediumConfig) (*Medium, error) {
 	if !cfg.MCS.Valid() {
 		return nil, fmt.Errorf("netem: invalid MCS %d", int(cfg.MCS))
 	}
-	return &Medium{
+	m := &Medium{
 		mcs:  cfg.MCS,
 		mac:  MACModel{CollisionProb: cfg.CollisionProb},
 		htb:  cfg.HTB,
 		loss: cfg.Loss,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		m.mFrames = cfg.Metrics.Counter("netem.tx.frames")
+		m.mWireBytes = cfg.Metrics.Counter("netem.tx.wire_bytes")
+		m.mLostFrames = cfg.Metrics.Counter("netem.tx.lost_frames")
+		m.mAirtimeHist = cfg.Metrics.Histogram("netem.airtime_micros",
+			[]int64{50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000})
+	}
+	return m, nil
 }
 
 // Transmit models one frame from the given sender class entering the
@@ -91,6 +109,11 @@ func (m *Medium) Transmit(class string, payloadBytes int, at time.Time) (time.Ti
 	m.transmissions++
 	m.totalAirtime += tPkt
 	m.contentionTime += contention
+	if m.mFrames != nil {
+		m.mFrames.Inc()
+		m.mWireBytes.Add(int64(payloadBytes + MACHeaderBytes))
+		m.mAirtimeHist.ObserveDuration(tPkt)
+	}
 	return done, nil
 }
 
@@ -148,6 +171,9 @@ func (m *Medium) TransmitFrom(class string, payloadBytes int, at time.Time, dist
 	}
 	if m.loss != nil && m.rng.Float64() < m.loss.Probability(distanceMeters) {
 		m.lost++
+		if m.mLostFrames != nil {
+			m.mLostFrames.Inc()
+		}
 		return done, false, nil
 	}
 	return done, true, nil

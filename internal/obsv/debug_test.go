@@ -1,0 +1,120 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func debugFixture() DebugOptions {
+	reg := NewRegistry()
+	reg.Counter("rsu.warnings").Add(3)
+	reg.Gauge("rsu.tracked_cars").Set(12)
+	reg.Histogram("pipeline.process_micros", nil).ObserveDuration(11 * time.Millisecond)
+	ring := NewTraceRing(8)
+	ring.Push(TraceEntry{Car: 42, TxMicros: 3500, QueueMicros: 26500, ProcMicros: 11700})
+	return DebugOptions{
+		Registry: reg,
+		Ring:     ring,
+		Health: func() any {
+			return map[string]any{"healthy": true, "degradedNodes": 0}
+		},
+		Now: func() time.Time { return time.UnixMicro(1000) },
+	}
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s: content type %q", path, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: decode: %v", path, err)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	srv := httptest.NewServer(NewDebugMux(debugFixture()))
+	defer srv.Close()
+
+	var snap Snapshot
+	getJSON(t, srv, "/metrics", &snap)
+	if snap.Counters["rsu.warnings"] != 3 || snap.Gauges["rsu.tracked_cars"] != 12 {
+		t.Fatalf("metrics snapshot %+v", snap)
+	}
+	h, ok := snap.Histograms["pipeline.process_micros"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("histogram missing from /metrics: %+v", snap.Histograms)
+	}
+
+	var traces struct {
+		Traces []TraceEntry `json:"traces"`
+	}
+	getJSON(t, srv, "/trace/recent", &traces)
+	if len(traces.Traces) != 1 || traces.Traces[0].Car != 42 {
+		t.Fatalf("traces %+v", traces)
+	}
+	getJSON(t, srv, "/trace/recent?n=1", &traces)
+	if len(traces.Traces) != 1 {
+		t.Fatalf("traces with n=1: %+v", traces)
+	}
+
+	var health struct {
+		Status  string         `json:"status"`
+		AtMicro int64          `json:"atMicro"`
+		Detail  map[string]any `json:"detail"`
+	}
+	getJSON(t, srv, "/health", &health)
+	if health.Status != "ok" || health.AtMicro != 1000 || health.Detail["healthy"] != true {
+		t.Fatalf("health %+v", health)
+	}
+
+	// pprof index must be mounted.
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+func TestDebugBadTraceParam(t *testing.T) {
+	srv := httptest.NewServer(NewDebugMux(debugFixture()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/trace/recent?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", debugFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"cad3/internal/core"
 	"cad3/internal/geo"
+	"cad3/internal/obsv"
 	"cad3/internal/stream"
 )
 
@@ -37,6 +38,12 @@ type Checkpoint struct {
 
 	InOffsets []int64 `json:"inOffsets"`
 	CoOffsets []int64 `json:"coOffsets"`
+
+	// Metrics carries the node's observability-registry snapshot so the
+	// cumulative counters and latency histograms survive a restart — a
+	// recovered node's /metrics continues from the crash point instead of
+	// restarting from zero (which would break monotonic-counter consumers).
+	Metrics obsv.Snapshot `json:"metrics"`
 }
 
 // Checkpoint captures the node's current state. It is safe to call while
@@ -60,6 +67,7 @@ func (n *Node) Checkpoint() (*Checkpoint, error) {
 		Profile:   n.profile.Snapshot(),
 		InOffsets: n.inConsumer.Offsets(),
 		CoOffsets: n.coConsumer.Offsets(),
+		Metrics:   n.cfg.Metrics.Snapshot(),
 	}, nil
 }
 
@@ -123,5 +131,6 @@ func Recover(cfg Config, cp *Checkpoint) (*Node, error) {
 	if err := n.coConsumer.SetOffsets(cp.CoOffsets); err != nil {
 		return nil, fmt.Errorf("rsu %s: recover %s offsets: %w", cfg.Name, stream.TopicCoData, err)
 	}
+	n.cfg.Metrics.Restore(cp.Metrics)
 	return n, nil
 }

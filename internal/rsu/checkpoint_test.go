@@ -111,6 +111,16 @@ func TestCheckpointRecoverResumesWithoutReprocessing(t *testing.T) {
 	if rn.TrackedCars() != 5 {
 		t.Errorf("TrackedCars after resume = %d, want 5", rn.TrackedCars())
 	}
+
+	// The observability registry rides the checkpoint: the recovered node's
+	// counters continue from the crash point (3 pre-crash records + 2
+	// resumed), not from zero.
+	if got := rn.Registry().Counter("microbatch.records").Value(); got != 5 {
+		t.Errorf("recovered microbatch.records = %d, want 5 (3 restored + 2 resumed)", got)
+	}
+	if got := rn.Registry().Counter("microbatch.batches").Value(); got < 2 {
+		t.Errorf("recovered microbatch.batches = %d, want >= 2", got)
+	}
 }
 
 // TestRecoverLoadsDetectorFromBundle recovers with cfg.Detector nil: the

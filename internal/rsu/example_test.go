@@ -1,0 +1,81 @@
+package rsu_test
+
+import (
+	"fmt"
+
+	"cad3/internal/core"
+	"cad3/internal/geo"
+	"cad3/internal/rsu"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+// Example assembles a minimal edge node: train an AD3 detector on a
+// hand-made speed distribution, stand the node up on an in-process
+// broker, feed it one clearly abnormal record, and run one 50 ms
+// micro-batch step. The node's registry gauges mirror its stats — the
+// same view the -debug-addr /metrics endpoint serves.
+func Example() {
+	// Normal link traffic ~N(35,5); the tails are labelled abnormal.
+	var recs []trace.Record
+	car := trace.CarID(1)
+	for _, offset := range []float64{-2.8, -1.6, -0.9, -0.4, 0, 0.4, 0.9, 1.6, 2.8} {
+		for rep := 0; rep < 30; rep++ {
+			for _, hour := range []int{8, 14, 21} {
+				recs = append(recs, trace.Record{
+					Car: car, Road: 7, RoadType: geo.MotorwayLink,
+					Speed: 35 + offset*5, Hour: hour, Day: 4, RoadMeanSpeed: 35,
+				})
+				car++
+			}
+		}
+	}
+	labeler, err := core.TrainLabeler(recs, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	detector := core.NewAD3(geo.MotorwayLink)
+	if err := detector.Train(recs, labeler); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	broker := stream.NewBroker(stream.BrokerConfig{})
+	node, err := rsu.New(rsu.Config{
+		Name:     "R1",
+		Road:     7,
+		Detector: detector,
+		Client:   stream.NewInProcClient(broker),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// 3 km/h on a 35 km/h link: far outside the trained band.
+	payload, err := core.EncodeRecord(trace.Record{
+		Car: 99, Road: 7, RoadType: geo.MotorwayLink,
+		Speed: 3, Hour: 8, Day: 4, RoadMeanSpeed: 35,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, _, err := node.Client().Produce(stream.TopicInData, stream.AutoPartition, nil, payload); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	if _, err := node.Step(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	st := node.Stats()
+	gauges := node.Registry().Snapshot().Gauges
+	fmt.Printf("records=%d warnings=%d\n", st.Records, st.Warnings)
+	fmt.Printf("gauge rsu.warnings=%d\n", gauges["rsu.warnings"])
+	// Output:
+	// records=1 warnings=1
+	// gauge rsu.warnings=1
+}

@@ -19,6 +19,7 @@ import (
 	"cad3/internal/core"
 	"cad3/internal/geo"
 	"cad3/internal/microbatch"
+	"cad3/internal/obsv"
 	"cad3/internal/stream"
 	"cad3/internal/trace"
 )
@@ -67,6 +68,14 @@ type Config struct {
 	// Logger receives structured operational events (warnings produced,
 	// handovers, degraded batches). Nil discards them.
 	Logger *slog.Logger
+	// Metrics is the node's observability registry: pipeline stage
+	// histograms, engine counters, and gauge views over the node stats,
+	// served by the -debug-addr endpoint and persisted in checkpoints.
+	// Nil creates a private registry (Registry exposes it).
+	Metrics *obsv.Registry
+	// TraceRingSize bounds the /trace/recent ring. Values <= 0 select
+	// obsv.DefaultTraceRingSize.
+	TraceRingSize int
 }
 
 // Stats summarises a node's activity.
@@ -109,10 +118,18 @@ func (s Stats) Degraded() DegradedStats {
 	}
 }
 
+// tracedRecord is the engine item type: the decoded record plus its wire
+// trace context (zero when the payload was untraced or JSON — the
+// pipeline runs identically, just unobserved).
+type tracedRecord struct {
+	rec trace.Record
+	tc  obsv.TraceContext
+}
+
 // Node is one deployed RSU.
 type Node struct {
 	cfg    Config
-	engine *microbatch.Engine[trace.Record]
+	engine *microbatch.Engine[tracedRecord]
 
 	inConsumer  *stream.Consumer
 	outProducer *stream.Producer
@@ -139,6 +156,13 @@ type Node struct {
 	suppressed   atomic.Int64
 	fallbacks    atomic.Int64
 	dropped      atomic.Int64
+
+	// Observability: batch sequence for trace batch IDs, the recent-trace
+	// ring behind /trace/recent, and cached histogram handles for the
+	// per-record stage observations.
+	batchSeq                    atomic.Uint64
+	ring                        *obsv.TraceRing
+	histTx, histQueue, histProc *obsv.Histogram
 }
 
 // collaborativeDetector marks detectors whose accuracy depends on the
@@ -183,6 +207,9 @@ func New(cfg Config) (*Node, error) {
 	}
 
 	_, collab := cfg.Detector.(collaborativeDetector)
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsv.NewRegistry()
+	}
 	n := &Node{
 		cfg:         cfg,
 		inConsumer:  inConsumer,
@@ -194,20 +221,64 @@ func New(cfg Config) (*Node, error) {
 		collab:      collab,
 		neighbors:   make(map[string]*stream.Producer),
 		lastWarn:    make(map[trace.CarID]time.Time),
+		ring:        obsv.NewTraceRing(cfg.TraceRingSize),
+		histTx:      cfg.Metrics.Histogram("pipeline.tx_micros", nil),
+		histQueue:   cfg.Metrics.Histogram("pipeline.queue_micros", nil),
+		histProc:    cfg.Metrics.Histogram("pipeline.process_micros", nil),
 	}
-	engine, err := microbatch.NewEngine(microbatch.Config[trace.Record]{
+	n.registerGauges()
+	engine, err := microbatch.NewEngine(microbatch.Config[tracedRecord]{
 		Source:   inConsumer,
-		Decode:   func(m stream.Message) (trace.Record, error) { return core.DecodeRecord(m.Value) },
+		Decode:   n.decodeRecord,
 		Process:  n.processRecords,
 		Interval: cfg.BatchInterval,
 		Workers:  cfg.Workers,
 		Now:      cfg.Now,
+		Metrics:  cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rsu %s: engine: %w", cfg.Name, err)
 	}
 	n.engine = engine
 	return n, nil
+}
+
+// decodeRecord is the engine's decode hook: it parses the record, lifts
+// the trace context out of the frame padding (absent for JSON/untraced
+// payloads), tags it with the current batch, and stamps StageDequeue —
+// the moment the record left the broker queue for processing.
+func (n *Node) decodeRecord(m stream.Message) (tracedRecord, error) {
+	rec, err := core.DecodeRecord(m.Value)
+	if err != nil {
+		return tracedRecord{}, err
+	}
+	tr := tracedRecord{rec: rec}
+	if tc, ok := core.RecordTrace(m.Value); ok {
+		tc.BatchID = n.batchSeq.Load()
+		tc.Stamp(obsv.StageDequeue, n.cfg.Now())
+		tr.tc = tc
+	}
+	return tr, nil
+}
+
+// registerGauges exposes the node's existing atomic stats through the
+// registry as snapshot-time gauges, so /metrics reports them without any
+// double accounting on the hot path. The rsu.* names are cumulative
+// (monotonic) despite the gauge transport; see OBSERVABILITY.md.
+func (n *Node) registerGauges() {
+	m := n.cfg.Metrics
+	m.RegisterGaugeFunc("rsu.records", n.records.Load)
+	m.RegisterGaugeFunc("rsu.warnings", n.warnings.Load)
+	m.RegisterGaugeFunc("rsu.warnings_suppressed", n.suppressed.Load)
+	m.RegisterGaugeFunc("rsu.detect_errors", n.detectErrors.Load)
+	m.RegisterGaugeFunc("rsu.prior_hits", n.priorHits.Load)
+	m.RegisterGaugeFunc("rsu.prior_misses", n.priorMisses.Load)
+	m.RegisterGaugeFunc("rsu.fallbacks", n.fallbacks.Load)
+	m.RegisterGaugeFunc("rsu.summaries_sent", n.sentSumm.Load)
+	m.RegisterGaugeFunc("rsu.summaries_received", n.recvSumm.Load)
+	m.RegisterGaugeFunc("rsu.dropped_handovers", n.dropped.Load)
+	m.RegisterGaugeFunc("rsu.tracked_cars", func() int64 { return int64(n.builder.Cars()) })
+	m.RegisterGaugeFunc("rsu.stored_summaries", func() int64 { return int64(n.summaries.Len()) })
 }
 
 // Name returns the node's configured name.
@@ -237,9 +308,10 @@ func (n *Node) AddNeighbor(name string, client stream.Client) error {
 }
 
 // processRecords is the engine's worker callback: detect, warn, observe.
-func (n *Node) processRecords(records []trace.Record) error {
+func (n *Node) processRecords(records []tracedRecord) error {
 	var firstErr error
-	for _, rec := range records {
+	for _, tr := range records {
+		rec := tr.rec
 		n.records.Add(1)
 
 		// Maintain the road's rolling speed profile and backfill the
@@ -273,6 +345,25 @@ func (n *Node) processRecords(records []trace.Record) error {
 			continue
 		}
 
+		// Close the processing span and observe the stage latencies the
+		// trace has accumulated so far (Tx from the broker's arrival
+		// stamp, Queue from the engine's dequeue stamp). Untraced records
+		// skip all of this — two branches, no allocation either way.
+		tc := tr.tc
+		traced := tc.Valid()
+		if traced {
+			tc.Stamp(obsv.StageDetect, n.cfg.Now())
+			if tc.ArriveMicro >= tc.SentMicro && tc.SentMicro != 0 {
+				n.histTx.Observe(tc.ArriveMicro - tc.SentMicro)
+			}
+			if tc.DequeueMicro >= tc.ArriveMicro && tc.ArriveMicro != 0 {
+				n.histQueue.Observe(tc.DequeueMicro - tc.ArriveMicro)
+			}
+			if tc.DetectMicro >= tc.DequeueMicro && tc.DequeueMicro != 0 {
+				n.histProc.Observe(tc.DetectMicro - tc.DequeueMicro)
+			}
+		}
+
 		// Feed the local summary builder with the NB probability when the
 		// detector exposes one (the paper's summaries carry Naive Bayes
 		// prediction probabilities).
@@ -296,9 +387,14 @@ func (n *Node) processRecords(records []trace.Record) error {
 				DetectedTsMs: n.cfg.Now().UnixMilli(),
 			}
 			// Key and payload both ride pooled buffers: the broker copies
-			// them during Send, so they recycle immediately after.
+			// them during Send, so they recycle immediately after. Traced
+			// records emit traced warnings, so the context survives into
+			// dissemination and the vehicle can complete the breakdown.
 			key := appendCarKey(stream.GetPayload(), rec.Car)
 			_, _, err = n.outProducer.SendPooled(key, func(dst []byte) []byte {
+				if traced {
+					return core.AppendWarningTraced(dst, w, tc)
+				}
 				return core.AppendWarning(dst, w)
 			})
 			stream.PutPayload(key)
@@ -309,6 +405,9 @@ func (n *Node) processRecords(records []trace.Record) error {
 				continue
 			}
 			n.warnings.Add(1)
+			if traced {
+				n.ring.PushContext(int64(rec.Car), int64(rec.Road), tc, n.cfg.Now())
+			}
 			n.cfg.Logger.Debug("warning produced",
 				"rsu", n.cfg.Name, "car", int64(rec.Car),
 				"road", int64(rec.Road), "pNormal", det.PNormal)
@@ -349,6 +448,7 @@ func appendCarKey(dst []byte, car trace.CarID) []byte {
 // summaries, then process one micro-batch. The discrete-event simulator
 // and the tests drive nodes this way.
 func (n *Node) Step() (microbatch.BatchStats, error) {
+	n.batchSeq.Add(1) // trace batch ID for every record decoded this round
 	if err := n.drainSummaries(); err != nil && !errors.Is(err, stream.ErrPartitionDown) {
 		return microbatch.BatchStats{}, err
 	}
@@ -484,3 +584,11 @@ func (n *Node) Profile() *RoadProfile { return n.profile }
 
 // StoredSummaries returns the number of summaries received and retained.
 func (n *Node) StoredSummaries() int { return n.summaries.Len() }
+
+// Registry returns the node's observability registry (the /metrics
+// backing store; checkpointing persists its snapshot).
+func (n *Node) Registry() *obsv.Registry { return n.cfg.Metrics }
+
+// TraceRing returns the node's recent-trace ring (the /trace/recent
+// backing store).
+func (n *Node) TraceRing() *obsv.TraceRing { return n.ring }

@@ -9,7 +9,7 @@ import (
 	"sync"
 	"time"
 
-	"cad3/internal/metrics"
+	"cad3/internal/obsv"
 )
 
 // Supervisor keeps a cluster alive: it heartbeats every node, checkpoints
@@ -18,8 +18,9 @@ import (
 // the replacement into the cluster topology via ReplaceNode. While a node
 // is down — and after it recovers without its CO-DATA priors — the
 // supervisor accounts the degradation (CAD3→AD3 fallbacks, stale-summary
-// evictions, dropped handovers) into a metrics.CounterSet, making the
-// paper's silent failure modes measurable.
+// evictions, dropped handovers) into an obsv.Registry, making the
+// paper's silent failure modes measurable and live on the /metrics and
+// /health debug endpoints.
 type Supervisor struct {
 	cfg SupervisorConfig
 
@@ -80,9 +81,11 @@ type SupervisorConfig struct {
 	// Seed drives the jitter PRNG (deterministic tests). Zero seeds from
 	// the wall clock.
 	Seed int64
-	// Counters receives supervision events and degraded-mode deltas,
-	// keyed "<node>.<event>". Nil discards them.
-	Counters *metrics.CounterSet
+	// Metrics receives supervision events and degraded-mode deltas as
+	// counters keyed "<node>.<event>", plus the cluster-wide
+	// "supervisor.unhealthy" gauge. Nil discards them. (This replaces the
+	// deprecated metrics.CounterSet field.)
+	Metrics *obsv.Registry
 	// Now injects the clock. Nil selects time.Now.
 	Now func() time.Time
 	// Logger receives supervision events. Nil discards them.
@@ -148,8 +151,8 @@ func (s *Supervisor) jittered(d time.Duration) time.Duration {
 
 // count adds a delta to the named per-node counter.
 func (s *Supervisor) count(node, event string, delta int64) {
-	if s.cfg.Counters != nil {
-		s.cfg.Counters.Add(node+"."+event, delta)
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.AddCounter(node+"."+event, delta)
 	}
 }
 
@@ -163,6 +166,9 @@ func (s *Supervisor) CheckOnce() int {
 		if !s.checkNode(n) {
 			unhealthy++
 		}
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge("supervisor.unhealthy").Set(int64(unhealthy))
 	}
 	return unhealthy
 }

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"cad3/internal/geo"
-	"cad3/internal/metrics"
+	"cad3/internal/obsv"
 	"cad3/internal/stream"
 )
 
@@ -55,7 +55,7 @@ func newSupervisedFixture(t *testing.T) *supervisedFixture {
 
 func TestSupervisorRestartsDeadNodeFromCheckpoint(t *testing.T) {
 	f := newSupervisedFixture(t)
-	counters := metrics.NewCounterSet()
+	reg := obsv.NewRegistry()
 
 	// The restart hook plays the operator: bring up a broker restored
 	// from the dead one's log and recover the node from its checkpoint.
@@ -80,7 +80,7 @@ func TestSupervisorRestartsDeadNodeFromCheckpoint(t *testing.T) {
 		Restart:       restart,
 		FailThreshold: 2,
 		Seed:          7,
-		Counters:      counters,
+		Metrics:       reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +126,12 @@ func TestSupervisorRestartsDeadNodeFromCheckpoint(t *testing.T) {
 	if !mwHealth.Healthy || mwHealth.Restarts != 1 {
 		t.Fatalf("post-restart health = %+v", mwHealth)
 	}
-	if counters.Get("Mw.restarts") != 1 || counters.Get("Mw.heartbeat.fail") != 2 {
-		t.Errorf("counters = %s", counters)
+	snap := reg.Snapshot()
+	if snap.Counters["Mw.restarts"] != 1 || snap.Counters["Mw.heartbeat.fail"] != 2 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if got := reg.Gauge("supervisor.unhealthy").Value(); got != 0 {
+		t.Errorf("supervisor.unhealthy = %d after restart, want 0", got)
 	}
 
 	// The replacement is live in the topology with its state restored...
@@ -202,9 +206,9 @@ func TestSupervisorBackoffAndRestartBudget(t *testing.T) {
 
 func TestSupervisorWithoutRestartHookOnlyObserves(t *testing.T) {
 	f := newSupervisedFixture(t)
-	counters := metrics.NewCounterSet()
+	reg := obsv.NewRegistry()
 	sup, err := NewSupervisor(SupervisorConfig{
-		Cluster: f.cluster, FailThreshold: 1, Counters: counters, Seed: 3,
+		Cluster: f.cluster, FailThreshold: 1, Metrics: reg, Seed: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +221,7 @@ func TestSupervisorWithoutRestartHookOnlyObserves(t *testing.T) {
 		t.Fatal(err)
 	}
 	sup.CheckOnce()
-	if got := counters.Get("Link.degraded.fallbacks"); got != 1 {
+	if got := reg.Counter("Link.degraded.fallbacks").Value(); got != 1 {
 		t.Errorf("Link.degraded.fallbacks = %d, want 1", got)
 	}
 

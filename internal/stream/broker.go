@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cad3/internal/obsv"
 )
 
 // Broker errors that callers match with errors.Is.
@@ -40,6 +42,11 @@ type BrokerConfig struct {
 	// Now injects the clock (virtual time in simulations). Nil selects
 	// time.Now.
 	Now func() time.Time
+	// Metrics, when set, receives broker throughput counters
+	// (broker.produced/fetched messages and bytes). Trace-context arrival
+	// stamping is independent of this field — traced payloads are always
+	// stamped.
+	Metrics *obsv.Registry
 }
 
 // Broker is an in-memory, thread-safe event broker: the per-RSU Kafka
@@ -58,15 +65,35 @@ type Broker struct {
 	// Counters for bandwidth accounting.
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
+
+	// Cached registry handles (nil when cfg.Metrics is nil) so the
+	// produce/fetch paths never take the registry lookup lock.
+	mProducedMsgs, mProducedBytes *obsv.Counter
+	mFetchedMsgs, mFetchedBytes   *obsv.Counter
 }
 
 // NewBroker creates an empty broker.
 func NewBroker(cfg BrokerConfig) *Broker {
-	return &Broker{
+	b := &Broker{
 		cfg:    cfg,
 		topics: make(map[string]*topic),
 		down:   make(map[string]map[int32]bool),
 	}
+	if cfg.Metrics != nil {
+		b.mProducedMsgs = cfg.Metrics.Counter("broker.produced.msgs")
+		b.mProducedBytes = cfg.Metrics.Counter("broker.produced.bytes")
+		b.mFetchedMsgs = cfg.Metrics.Counter("broker.fetched.msgs")
+		b.mFetchedBytes = cfg.Metrics.Counter("broker.fetched.bytes")
+	}
+	return b
+}
+
+// now returns the broker clock for trace-arrival stamping.
+func (b *Broker) now() time.Time {
+	if b.cfg.Now != nil {
+		return b.cfg.Now()
+	}
+	return time.Now()
 }
 
 // CreateTopic creates a topic with the given partition count. Creating an
@@ -154,8 +181,18 @@ func (b *Broker) Produce(topicName string, partition int32, key, value []byte) (
 	// retention evicts it), so the producer may recycle its buffer as
 	// soon as Produce returns.
 	msg := pooledCloneMessage(Message{Topic: topicName, Partition: partition, Key: key, Value: value})
+	// Log-append-time trace stamping (like Kafka's LogAppendTime): a
+	// traced telemetry payload gets its StageArrive timestamp written in
+	// place into the broker's own copy, ending the Tx component of the
+	// paper's latency decomposition. Untraced and JSON payloads are left
+	// untouched.
+	obsv.StampPayload(msg.Value, obsv.StageArrive, b.now())
 	offset := t.partitions[partition].append(msg)
 	b.bytesIn.Add(int64(msg.WireSize()))
+	if b.mProducedMsgs != nil {
+		b.mProducedMsgs.Inc()
+		b.mProducedBytes.Add(int64(msg.WireSize()))
+	}
 	return partition, offset, nil
 }
 
@@ -183,6 +220,10 @@ func (b *Broker) Fetch(topicName string, partition int32, offset int64, max int)
 		bytes += int64(msgs[i].WireSize())
 	}
 	b.bytesOut.Add(bytes)
+	if b.mFetchedMsgs != nil {
+		b.mFetchedMsgs.Add(int64(len(msgs)))
+		b.mFetchedBytes.Add(bytes)
+	}
 	return msgs, nil
 }
 

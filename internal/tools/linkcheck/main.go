@@ -1,0 +1,170 @@
+// Command linkcheck validates markdown cross-references without touching
+// the network: relative links must point at files that exist in the repo,
+// and fragment links (`#section`, `FILE.md#section`) must match a heading
+// in the target document using GitHub's anchor rules. External http(s)
+// links are only checked for URL well-formedness, so the docs CI job
+// stays hermetic and never flakes on a remote server.
+//
+// Usage:
+//
+//	go run ./internal/tools/linkcheck README.md DESIGN.md ...
+//
+// Exit status is non-zero when any link is broken; each problem is
+// printed as file:line: message.
+package main
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// linkRe matches inline markdown links [text](target). Images and
+// reference-style definitions are out of scope for this repo's docs.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings; the anchor derives from the text.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// codeFenceRe strips fenced code blocks so links in examples (or stray
+// `](...)` sequences inside code) are not checked.
+var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
+
+// inlineCodeRe strips inline code spans for the same reason.
+var inlineCodeRe = regexp.MustCompile("`[^`\n]*`")
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	anchors := map[string]map[string]bool{} // abs path -> anchor set
+	broken := 0
+	for _, path := range os.Args[1:] {
+		broken += checkFile(path, anchors)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile validates every link in one markdown file, returning the
+// number of broken links found.
+func checkFile(path string, anchors map[string]map[string]bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	text := string(data)
+	stripped := inlineCodeRe.ReplaceAllString(codeFenceRe.ReplaceAllString(text, ""), "")
+	broken := 0
+	for _, line := range strings.Split(stripped, "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(path, target, anchors); msg != "" {
+				// Line numbers shift once fences are stripped; report the
+				// target instead, which is enough to locate the link.
+				fmt.Fprintf(os.Stderr, "%s: link (%s): %s\n", path, target, msg)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// checkTarget validates one link target relative to the file containing
+// it. It returns an empty string when the target is fine.
+func checkTarget(fromFile, target string, anchors map[string]map[string]bool) string {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		if _, err := url.Parse(target); err != nil {
+			return fmt.Sprintf("malformed URL: %v", err)
+		}
+		return "" // external: well-formed is all the hermetic check asserts
+	}
+	if strings.HasPrefix(target, "mailto:") {
+		return ""
+	}
+	pathPart, frag, _ := strings.Cut(target, "#")
+	resolved := fromFile
+	if pathPart != "" {
+		resolved = filepath.Join(filepath.Dir(fromFile), pathPart)
+		info, err := os.Stat(resolved)
+		if err != nil {
+			return "file does not exist"
+		}
+		if info.IsDir() || frag == "" {
+			return ""
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // anchors are only checkable in markdown
+	}
+	set, err := anchorsOf(resolved, anchors)
+	if err != nil {
+		return fmt.Sprintf("cannot read anchor target: %v", err)
+	}
+	if !set[strings.ToLower(frag)] {
+		return fmt.Sprintf("no heading matches #%s", frag)
+	}
+	return ""
+}
+
+// anchorsOf returns (building on demand) the set of GitHub-style anchors
+// for a markdown file's headings.
+func anchorsOf(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	text := codeFenceRe.ReplaceAllString(string(data), "")
+	for _, m := range headingRe.FindAllStringSubmatch(text, -1) {
+		a := slugify(m[1])
+		// GitHub de-duplicates repeated headings with -1, -2, ... suffixes;
+		// register the first occurrence and the suffixed variants lazily.
+		if set[a] {
+			for i := 1; ; i++ {
+				cand := fmt.Sprintf("%s-%d", a, i)
+				if !set[cand] {
+					set[cand] = true
+					break
+				}
+			}
+		} else {
+			set[a] = true
+		}
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// slugify applies GitHub's anchor algorithm: lowercase, drop everything
+// but letters/digits/spaces/hyphens, spaces become hyphens.
+func slugify(heading string) string {
+	// Strip inline code backticks and link syntax from the heading text.
+	heading = strings.NewReplacer("`", "", "[", "", "]", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteRune('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') ||
+			(r > 127 && (unicode.IsLetter(r) || unicode.IsDigit(r))):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

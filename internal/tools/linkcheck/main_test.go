@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Observability":                  "observability",
+		"§9 Observability":               "9-observability",
+		"Trace stages & Figure 6":        "trace-stages--figure-6",
+		"The `/metrics` endpoint":        "the-metrics-endpoint",
+		"Micro-batch engine (50 ms)":     "micro-batch-engine-50-ms",
+		"pipeline.tx_micros, explained!": "pipelinetx_micros-explained",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckTarget(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.md")
+	other := filepath.Join(dir, "other.md")
+	if err := os.WriteFile(doc, []byte("# Top Section\n\nbody\n\n## Top Section\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, []byte("# Other Heading\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := map[string]map[string]bool{}
+	ok := []string{
+		"https://example.com/page",
+		"other.md",
+		"other.md#other-heading",
+		"#top-section",
+		"#top-section-1", // de-duplicated repeat heading
+	}
+	for _, target := range ok {
+		if msg := checkTarget(doc, target, cache); msg != "" {
+			t.Errorf("checkTarget(%q) = %q, want ok", target, msg)
+		}
+	}
+	bad := []string{
+		"missing.md",
+		"other.md#no-such-heading",
+		"#nope",
+	}
+	for _, target := range bad {
+		if msg := checkTarget(doc, target, cache); msg == "" {
+			t.Errorf("checkTarget(%q) passed, want broken", target)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"cad3/internal/core"
 	"cad3/internal/metrics"
+	"cad3/internal/obsv"
 	"cad3/internal/stream"
 	"cad3/internal/trace"
 )
@@ -62,8 +63,14 @@ type Vehicle struct {
 
 	sent     atomic.Int64
 	received atomic.Int64
-	// latencies holds end-to-end warning latencies (send -> receipt).
+	// latencies holds end-to-end warning latencies (send -> receipt),
+	// reconstructed at millisecond resolution from the warning body.
 	latencies *metrics.LatencyRecorder
+	// traced streams the microsecond-precision live breakdowns carried by
+	// the wire-format trace context (Tx/Queue/Processing/Dissemination per
+	// warning) — the vehicle is both the trace origin (StageSent on send)
+	// and terminus (StageDeliver on receipt).
+	traced    *metrics.BreakdownAccumulator
 	bandwidth *metrics.BandwidthMeter
 
 	// pollMu guards the reused warning-poll scratch buffer.
@@ -102,6 +109,7 @@ func New(cfg Config) (*Vehicle, error) {
 		consumer:  c,
 		key:       []byte("car-" + strconv.FormatInt(int64(cfg.ID), 10)),
 		latencies: metrics.NewLatencyRecorder(),
+		traced:    metrics.NewBreakdownAccumulator(),
 		bandwidth: metrics.NewBandwidthMeter(),
 	}, nil
 }
@@ -128,9 +136,13 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 		payloadLen = len(payload)
 	} else {
 		// Binary fast path: encode into a pooled buffer that recycles
-		// right after the broker's copy.
+		// right after the broker's copy. The trace context rides the
+		// frame's padding: StageSent here, StageArrive at the broker,
+		// the rest down the RSU pipeline (JSON payloads carry no trace).
+		var tc obsv.TraceContext
+		tc.Stamp(obsv.StageSent, v.cfg.Now())
 		if _, _, err := v.producer.SendPooled(v.key, func(dst []byte) []byte {
-			return core.AppendRecord(dst, rec)
+			return core.AppendRecordTraced(dst, rec, tc)
 		}); err != nil {
 			return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
 		}
@@ -172,6 +184,15 @@ func (v *Vehicle) PollWarnings() ([]core.Warning, error) {
 			Queue:         time.Duration(detect) * time.Millisecond,
 			Dissemination: time.Duration(total-detect) * time.Millisecond,
 		})
+		// A traced warning carries the pipeline's per-stage stamps; this
+		// receipt is the final one. A complete, monotonic context yields
+		// the live µs-precision breakdown of Figure 6.
+		if tc, ok := core.WarningTrace(m.Value); ok {
+			tc.Stamp(obsv.StageDeliver, now)
+			if bd, complete := tc.Breakdown(); complete {
+				v.traced.Observe(bd)
+			}
+		}
 		out = append(out, w)
 	}
 	// DecodeWarning copies into the struct; recycle the payload buffers.
@@ -214,6 +235,18 @@ func (v *Vehicle) Received() int64 { return v.received.Load() }
 
 // Latencies reports the recorded warning latency breakdowns.
 func (v *Vehicle) Latencies() metrics.LatencyReport { return v.latencies.Report() }
+
+// TracedLatencies reports the live wire-trace breakdowns (µs precision,
+// all four Figure 6 components). Zero counts when the pipeline ran
+// untraced (JSON wire, or pre-trace peers).
+func (v *Vehicle) TracedLatencies() metrics.LatencyReport { return v.traced.Report() }
+
+// TracedCount returns the number of fully-traced warnings received.
+func (v *Vehicle) TracedCount() int { return v.traced.Count() }
+
+// MergeTracedInto folds this vehicle's live-trace streams into a
+// fleet-level accumulator.
+func (v *Vehicle) MergeTracedInto(dst *metrics.BreakdownAccumulator) { dst.Merge(v.traced) }
 
 // BandwidthBitsPerSec returns the vehicle's average uplink rate.
 func (v *Vehicle) BandwidthBitsPerSec() float64 { return v.bandwidth.RateBitsPerSec() }
