@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench race vet fmt cover experiments chaos profile linkcheck docs clean
+.PHONY: all build test test-short bench bench-json race vet fmt cover experiments chaos overload profile linkcheck docs clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test-short:
 
 bench:
 	$(GO) test -run XXX -bench=. -benchmem ./...
+
+# Machine-readable pipeline benchmarks (steady-state vs overload), for
+# tracking the bounded-pipeline cost across PRs.
+bench-json:
+	$(GO) test -run XXX -bench 'BenchmarkPipeline' -benchmem -json ./internal/rsu > BENCH_PR4.json
 
 race:
 	$(GO) test -race ./...
@@ -51,6 +56,11 @@ experiments:
 # Crash-safety study: partition + crash + recovery continuity table.
 chaos:
 	$(GO) run ./cmd/cad3-chaos
+
+# Overload study: goodput / warning-p99 / shed-fraction curves under
+# multiplied offered load (graceful degradation).
+overload:
+	$(GO) run ./cmd/cad3-overload
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt cpu.prof mem.prof core.test

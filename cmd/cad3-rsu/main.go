@@ -146,7 +146,7 @@ func run() error {
 					"healthy":  healthy,
 					"records":  st.Records,
 					"warnings": st.Warnings,
-					"degraded": st.Degraded(),
+					"degraded": st.DegradedCounters(),
 				}
 			},
 		})

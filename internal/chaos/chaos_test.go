@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cad3/internal/flow"
 	"cad3/internal/stream"
 )
 
@@ -157,5 +158,35 @@ func TestScheduleFiresInOrder(t *testing.T) {
 	}
 	if s.Pending() != 0 {
 		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// A broker's backpressure verdict must survive the chaos wrapper intact:
+// a faulty link does not launder flow control into a transport error, and
+// the retry-after hint stays readable.
+func TestBackpressurePassesThroughChaosClient(t *testing.T) {
+	b := stream.NewBroker(stream.BrokerConfig{FlowCapacity: 1, FlowPolicy: flow.TailDrop{}})
+	if err := b.CreateTopic(stream.TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(Config{Seed: 1}) // no fault probabilities: clean link
+	c := NewClient(inj, "veh", "rsu", stream.NewInProcClient(b))
+
+	if _, _, err := c.Produce(stream.TopicInData, 0, nil, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := c.Produce(stream.TopicInData, 0, nil, []byte("t"))
+	if !errors.Is(err, flow.ErrBackpressure) {
+		t.Fatalf("got %v, want backpressure through the chaos client", err)
+	}
+	if hint, ok := flow.RetryAfter(err); !ok || hint <= 0 {
+		t.Errorf("hint lost through the chaos client: %v, %v", hint, ok)
+	}
+
+	// With the link partitioned, the link fault wins — the broker is never
+	// consulted, and the error is the link's, not flow control's.
+	inj.Partition("veh", "rsu")
+	if _, _, err := c.Produce(stream.TopicInData, 0, nil, []byte("t")); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("partitioned link: got %v, want ErrLinkDown", err)
 	}
 }

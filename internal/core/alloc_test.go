@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"cad3/internal/flow"
 	"cad3/internal/obsv"
+	"cad3/internal/stream"
 )
 
 // TestDetectHotPathZeroAllocs enforces the allocation-free contract on the
@@ -78,5 +81,43 @@ func TestTracedWireZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("traced encode+stamp+decode+observe: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestBackpressuredSendZeroAllocs extends the zero-alloc contract to the
+// refusal path: a producer whose pooled send hits a full admission gate
+// must get its preallocated backpressure error — and recycle its payload
+// buffer — without touching the heap. Overload is exactly when per-send
+// allocations would hurt most.
+func TestBackpressuredSendZeroAllocs(t *testing.T) {
+	b := stream.NewBroker(stream.BrokerConfig{
+		FlowCapacity: 1,
+		FlowPolicy:   flow.TailDrop{},
+	})
+	if err := b.CreateTopic(stream.TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := stream.NewProducer(stream.NewInProcClient(b), stream.TopicInData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := wireTestRecord()
+	key := []byte("car-1")
+	encode := func(dst []byte) []byte { return AppendRecord(dst, rec) }
+	// Take the topic's only credit; every send after this is refused.
+	if _, _, err := p.SendPooled(key, encode); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_, _, serr := p.SendPooled(key, encode)
+		if !errors.Is(serr, flow.ErrBackpressure) {
+			t.Fatalf("want backpressure, got %v", serr)
+		}
+		if _, ok := flow.RetryAfter(serr); !ok {
+			t.Fatal("refusal lost its retry-after hint")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("backpressured pooled send: %v allocs/op, want 0", allocs)
 	}
 }

@@ -418,7 +418,7 @@ func FormatChaosResult(res *ChaosResult) string {
 			ph.Name, ph.Live.Total(), ph.Live.F1(), ph.Live.FNRate()*100,
 			ph.ExpectedSeverity, ph.RefAD3.FNRate()*100, ph.RefCAD3.FNRate()*100)
 	}
-	deg := res.LinkStats.Degraded()
+	deg := res.LinkStats.DegradedCounters()
 	fmt.Fprintf(&sb, "link degraded: fallbacks=%d staleSummaries=%d droppedHandovers=%d\n",
 		deg.Fallbacks, deg.StaleSummaries, deg.DroppedHandovers)
 	fmt.Fprintf(&sb, "chaos link: blocked=%d drops=%d dups=%d kills=%d delays=%d ops=%d\n",

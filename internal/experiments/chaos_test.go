@@ -62,7 +62,7 @@ func TestChaosStudyContinuity(t *testing.T) {
 	if res.RecoveredTrackedCars == 0 {
 		t.Error("upstream node recovered with no tracked cars — checkpoint not applied")
 	}
-	deg := res.LinkStats.Degraded()
+	deg := res.LinkStats.DegradedCounters()
 	if deg.Fallbacks == 0 {
 		t.Error("no CAD3->AD3 fallbacks accounted during the partition")
 	}

@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cad3/internal/core"
+	"cad3/internal/flow"
+	"cad3/internal/obsv"
+	"cad3/internal/rsu"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+	"cad3/internal/vehicle"
+)
+
+// The overload study answers the question the paper's evaluation holds
+// fixed: what happens when the offered telemetry load exceeds what the
+// RSU can process? It replays the corridor link records through the full
+// bounded pipeline — paced vehicles, flow-controlled broker, adaptively
+// batched RSU with degraded-mode admission — at a sweep of load
+// multipliers, on a virtual clock, and reports the goodput / warning-p99
+// / shed-fraction curve. The graceful-degradation contract: warning
+// latency stays bounded (the backlog cannot exceed the admission gates),
+// the shed fraction is reported rather than silent, and no warning or
+// neighbour summary is ever dropped — only stale low-value telemetry.
+
+// OverloadConfig configures the study.
+type OverloadConfig struct {
+	// Scenario supplies the corridor link records and the trained CAD3
+	// detector. Required.
+	Scenario *Scenario
+	// Multipliers are the offered-load multiples of the nominal 10 Hz
+	// fleet rate to sweep. Empty selects {1, 2, 4, 8}.
+	Multipliers []float64
+	// Vehicles is the fleet size. Values <= 0 select 60.
+	Vehicles int
+	// Rounds is the number of 50 ms batch windows driven per multiplier
+	// (the tail is drained afterwards). Values <= 0 select 400.
+	Rounds int
+	// Partitions per topic. Values <= 0 select 2.
+	Partitions int
+	// FlowCapacity is the per-partition admission bound (credits). Values
+	// <= 0 select 128.
+	FlowCapacity int
+	// BatchSLO is the adaptive batcher's per-batch latency objective.
+	// Values <= 0 select 25 ms.
+	BatchSLO time.Duration
+	// ProcCost is the modeled per-record detection cost the virtual clock
+	// charges (the paper's real pipeline spends most of its latency
+	// here). Values <= 0 select 500 µs.
+	ProcCost time.Duration
+	// ShedStaleAfter is the node's degraded-mode staleness threshold.
+	// Values <= 0 select 150 ms.
+	ShedStaleAfter time.Duration
+	// MaxDecimation / RecoverAfter configure the vehicles' send pacers.
+	// Values <= 0 select 8 and 16.
+	MaxDecimation int
+	RecoverAfter  int
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if len(c.Multipliers) == 0 {
+		c.Multipliers = []float64{1, 2, 4, 8}
+	}
+	if c.Vehicles <= 0 {
+		c.Vehicles = 60
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 400
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 2
+	}
+	if c.FlowCapacity <= 0 {
+		c.FlowCapacity = 128
+	}
+	if c.BatchSLO <= 0 {
+		c.BatchSLO = 25 * time.Millisecond
+	}
+	if c.ProcCost <= 0 {
+		c.ProcCost = 500 * time.Microsecond
+	}
+	if c.ShedStaleAfter <= 0 {
+		c.ShedStaleAfter = 150 * time.Millisecond
+	}
+	if c.MaxDecimation <= 0 {
+		c.MaxDecimation = 8
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 16
+	}
+	return c
+}
+
+// OverloadPoint is one multiplier's measured outcome.
+type OverloadPoint struct {
+	Multiplier float64
+	// Offered counts send attempts at the full (multiplied) rate;
+	// SentWire is what actually left the vehicles after pacing.
+	Offered  int64
+	SentWire int64
+	// PacedOut counts samples the vehicles decimated locally;
+	// Backpressured counts sends the gate refused (absorbed, not
+	// retried).
+	PacedOut      int64
+	Backpressured int64
+	// GateShed / GateRejected are the broker IN-DATA gate's refusals.
+	GateShed     int64
+	GateRejected int64
+	// Processed counts records the node drained; ShedStale of those were
+	// shed by degraded-mode admission before detection ran.
+	Processed int64
+	ShedStale int64
+	// Detected = Processed - ShedStale: records the detector actually ran.
+	Detected        int64
+	DegradedRounds  int64
+	MaxDecimation   int
+	FinalBatchLimit int64
+	// Warnings were produced by the node; WarningsDelivered reached the
+	// OUT-DATA consumer. The two must match: warnings are never shed.
+	Warnings          int64
+	WarningsDelivered int64
+	// WarningGateRefusals / SummaryGateRefusals count OUT-DATA / CO-DATA
+	// admission refusals — the never-shed invariant demands zero.
+	WarningGateRefusals int64
+	SummaryGateRefusals int64
+	SummariesOffered    int64
+	SummariesDelivered  int64
+	// WarnP50 / WarnP99 are send-to-delivery warning latencies in
+	// simulated time.
+	WarnP50, WarnP99 time.Duration
+	// GoodputPerSec is detected records per simulated second.
+	GoodputPerSec float64
+	// ShedFraction = (PacedOut + GateShed + GateRejected + ShedStale) /
+	// Offered — every intentional drop, over what the fleet wanted to send.
+	ShedFraction float64
+	// SimElapsed is the simulated duration including the tail drain.
+	SimElapsed time.Duration
+}
+
+// OverloadResult is the study outcome: one point per multiplier.
+type OverloadResult struct {
+	Points []OverloadPoint
+}
+
+// RunOverloadStudy sweeps the load multipliers, one fresh pipeline each.
+// Deterministic: single-worker engine, virtual clock driven by the round
+// counter plus the modeled per-record detection cost.
+func RunOverloadStudy(cfg OverloadConfig) (*OverloadResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("experiments: overload study needs a scenario")
+	}
+	if len(cfg.Scenario.TestLink) == 0 {
+		return nil, fmt.Errorf("experiments: scenario has no corridor link records")
+	}
+	res := &OverloadResult{}
+	for _, m := range cfg.Multipliers {
+		pt, err := runOverloadPoint(cfg, m)
+		if err != nil {
+			return nil, fmt.Errorf("overload x%.2g: %w", m, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func runOverloadPoint(cfg OverloadConfig, multiplier float64) (OverloadPoint, error) {
+	pt := OverloadPoint{Multiplier: multiplier}
+	const (
+		intervalMs  = 50  // batch window (paper: 50 ms)
+		sendEveryMs = 100 // nominal per-vehicle send period (10 Hz)
+		baseMs      = int64(1_700_000_000_000)
+	)
+
+	// Virtual clock: the round counter advances the wall, and every record
+	// the detector runs charges ProcCost — so the engine's measured batch
+	// latency, the warning timestamps, and the staleness ages all come from
+	// one consistent timeline. Shed records charge nothing: shedding is the
+	// act of skipping the detector.
+	procUs := cfg.ProcCost.Microseconds()
+	vbaseMs := baseMs
+	var node *rsu.Node
+	curMs := func() int64 {
+		ms := vbaseMs
+		if node != nil {
+			st := node.Stats()
+			ms += (st.Records - st.ShedStale) * procUs / 1000
+		}
+		return ms
+	}
+	now := func() time.Time { return time.UnixMilli(curMs()) }
+
+	reg := obsv.NewRegistry()
+	broker := stream.NewBroker(stream.BrokerConfig{
+		Now:          now,
+		Metrics:      reg,
+		FlowCapacity: cfg.FlowCapacity,
+		// FlowPolicy nil: the pipeline-default PriorityShed — telemetry
+		// sheds under pressure, warnings and summaries never do.
+	})
+	client := stream.NewInProcClient(broker)
+
+	var err error
+	node, err = rsu.New(rsu.Config{
+		Name:           "Overload",
+		Road:           CorridorLinkID,
+		Detector:       cfg.Scenario.CAD3,
+		Client:         client,
+		Workers:        1, // deterministic replay
+		Partitions:     cfg.Partitions,
+		BatchSLO:       cfg.BatchSLO,
+		ShedStaleAfter: cfg.ShedStaleAfter,
+		Now:            now,
+		Metrics:        reg,
+	})
+	if err != nil {
+		return pt, err
+	}
+
+	fleet, err := vehicle.NewFleet(cfg.Vehicles, cfg.Scenario.TestLink,
+		func(int) stream.Client { return client },
+		vehicle.Config{
+			Loop: true,
+			Now:  now,
+			Pacing: flow.PacerConfig{
+				MaxDecimation: cfg.MaxDecimation,
+				RecoverAfter:  cfg.RecoverAfter,
+			},
+		})
+	if err != nil {
+		return pt, err
+	}
+
+	// Seed the CO-DATA priors: the upstream RSU's forwarded summaries say
+	// every vehicle in the fleet has been behaving — the evidence the
+	// degraded-mode shed requires before it may drop a stale sample.
+	coProducer, err := stream.NewProducer(client, stream.TopicCoData)
+	if err != nil {
+		return pt, err
+	}
+	for i := 1; i <= cfg.Vehicles; i++ {
+		payload, serr := core.EncodeSummary(core.PredictionSummary{
+			Car:         trace.CarID(i),
+			MeanPNormal: 0.9,
+			Count:       10,
+			FromRoad:    int64(CorridorMotorwayID),
+			UpdatedMs:   curMs(),
+		})
+		if serr != nil {
+			return pt, serr
+		}
+		if _, _, serr = coProducer.Send(nil, payload); serr != nil {
+			return pt, fmt.Errorf("seed summary car %d: %w", i, serr)
+		}
+		pt.SummariesOffered++
+	}
+
+	outCons, err := stream.NewConsumer(client, stream.TopicOutData, 0)
+	if err != nil {
+		return pt, err
+	}
+	var latMs []int64
+	drainWarnings := func() error {
+		for {
+			msgs, perr := outCons.Poll(4096)
+			if len(msgs) == 0 {
+				if perr != nil {
+					return perr
+				}
+				return nil
+			}
+			for _, msg := range msgs {
+				w, derr := core.DecodeWarning(msg.Value)
+				if derr != nil {
+					continue
+				}
+				pt.WarningsDelivered++
+				l := curMs() - w.SourceTsMs
+				if l < 0 {
+					l = 0
+				}
+				latMs = append(latMs, l)
+			}
+			stream.RecycleMessages(msgs)
+		}
+	}
+
+	// Drive the rounds: each 50 ms window the fleet offers
+	// multiplier x (window / send period) records per vehicle, then the
+	// node runs one micro-batch and the warnings are collected.
+	perRound := multiplier * float64(intervalMs) / float64(sendEveryMs)
+	acc := make([]float64, cfg.Vehicles)
+	idx := make([]int, cfg.Vehicles)
+	for round := 0; round < cfg.Rounds; round++ {
+		vbaseMs += intervalMs
+		for i, v := range fleet.Vehicles() {
+			acc[i] += perRound
+			for acc[i] >= 1 {
+				acc[i]--
+				if _, serr := v.SendNext(idx[i]); serr != nil {
+					return pt, fmt.Errorf("vehicle %d send: %w", i+1, serr)
+				}
+				idx[i]++
+				pt.Offered++
+			}
+			if d := v.Pacer().Decimation(); d > pt.MaxDecimation {
+				pt.MaxDecimation = d
+			}
+		}
+		if _, serr := node.Step(); serr != nil {
+			return pt, fmt.Errorf("node step: %w", serr)
+		}
+		if derr := drainWarnings(); derr != nil {
+			return pt, derr
+		}
+	}
+
+	// Drain the admitted tail so every produced warning is counted (the
+	// gates bound the backlog, so this converges fast).
+	for extra, empty := 0, 0; empty < 2 && extra < 1000; extra++ {
+		vbaseMs += intervalMs
+		bs, serr := node.Step()
+		if serr != nil {
+			return pt, fmt.Errorf("drain step: %w", serr)
+		}
+		if derr := drainWarnings(); derr != nil {
+			return pt, derr
+		}
+		if bs.Records == 0 {
+			empty++
+		} else {
+			empty = 0
+		}
+	}
+
+	// Collect the accounting from every layer.
+	st := node.Stats()
+	pt.Processed = st.Records
+	pt.ShedStale = st.ShedStale
+	pt.Detected = st.Records - st.ShedStale
+	pt.DegradedRounds = st.DegradedRounds
+	pt.Warnings = st.Warnings
+	pt.SummariesDelivered = st.SummariesReceived
+	for _, v := range fleet.Vehicles() {
+		pt.SentWire += v.Sent()
+		pt.PacedOut += v.Pacer().Decimated()
+		pt.Backpressured += v.Pacer().Backpressured()
+	}
+	in := broker.FlowStats(stream.TopicInData)
+	pt.GateShed = in.Shed[flow.ClassTelemetry]
+	pt.GateRejected = in.Rejected
+	out := broker.FlowStats(stream.TopicOutData)
+	pt.WarningGateRefusals = out.Rejected + out.ShedTotal()
+	co := broker.FlowStats(stream.TopicCoData)
+	pt.SummaryGateRefusals = co.Rejected + co.ShedTotal()
+	pt.FinalBatchLimit = reg.Snapshot().Gauges["flow.node.batch_limit"]
+
+	pt.SimElapsed = time.Duration(curMs()-baseMs) * time.Millisecond
+	if secs := pt.SimElapsed.Seconds(); secs > 0 {
+		pt.GoodputPerSec = float64(pt.Detected) / secs
+	}
+	if pt.Offered > 0 {
+		pt.ShedFraction = float64(pt.PacedOut+pt.GateShed+pt.GateRejected+pt.ShedStale) /
+			float64(pt.Offered)
+	}
+	sort.Slice(latMs, func(i, j int) bool { return latMs[i] < latMs[j] })
+	pt.WarnP50 = pctOf(latMs, 0.50)
+	pt.WarnP99 = pctOf(latMs, 0.99)
+	return pt, nil
+}
+
+// pctOf reads the q-quantile of sorted millisecond latencies.
+func pctOf(sorted []int64, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return time.Duration(sorted[i]) * time.Millisecond
+}
+
+// FormatOverloadResult renders the goodput / latency / shed curve.
+func FormatOverloadResult(res *OverloadResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %9s %9s %7s %9s %9s %8s %8s %9s %9s %6s\n",
+		"load", "offered", "goodput", "shed%", "paced", "gate-shed",
+		"stale", "warn-p50", "warn-p99", "degraded", "limit")
+	for _, p := range res.Points {
+		fmt.Fprintf(&sb, "%-6s %9d %7.0f/s %6.1f%% %9d %9d %8d %8s %9s %9d %6d\n",
+			fmt.Sprintf("x%.3g", p.Multiplier), p.Offered, p.GoodputPerSec,
+			p.ShedFraction*100, p.PacedOut, p.GateShed, p.ShedStale,
+			p.WarnP50.Round(time.Millisecond), p.WarnP99.Round(time.Millisecond),
+			p.DegradedRounds, p.FinalBatchLimit)
+	}
+	for _, p := range res.Points {
+		fmt.Fprintf(&sb, "x%.3g: warnings %d produced / %d delivered (gate refusals %d); summaries %d offered / %d delivered (gate refusals %d); max decimation %d\n",
+			p.Multiplier, p.Warnings, p.WarningsDelivered, p.WarningGateRefusals,
+			p.SummariesOffered, p.SummariesDelivered, p.SummaryGateRefusals,
+			p.MaxDecimation)
+	}
+	return sb.String()
+}

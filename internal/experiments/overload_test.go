@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadGracefulDegradation is the study's contract at >= 2x load:
+// warning latency stays bounded, the shed fraction is reported rather
+// than silent, and no warning or neighbour summary is dropped anywhere in
+// the pipeline — only telemetry.
+func TestOverloadGracefulDegradation(t *testing.T) {
+	sc := testScenario(t)
+	res, err := RunOverloadStudy(OverloadConfig{
+		Scenario:    sc,
+		Multipliers: []float64{1, 6},
+		Vehicles:    40,
+		Rounds:      200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points: got %d, want 2", len(res.Points))
+	}
+	t.Logf("\n%s", FormatOverloadResult(res))
+	nominal, overload := res.Points[0], res.Points[1]
+
+	for _, p := range res.Points {
+		name := p.Multiplier
+		// The never-shed invariant, end to end: every warning the node
+		// produced reached the consumer, every summary offered reached the
+		// node, and neither gate ever refused one.
+		if p.WarningsDelivered != p.Warnings {
+			t.Errorf("x%g: warnings produced %d, delivered %d", name, p.Warnings, p.WarningsDelivered)
+		}
+		if p.WarningGateRefusals != 0 {
+			t.Errorf("x%g: OUT-DATA gate refused %d warnings", name, p.WarningGateRefusals)
+		}
+		if p.SummariesDelivered != p.SummariesOffered {
+			t.Errorf("x%g: summaries offered %d, delivered %d", name, p.SummariesOffered, p.SummariesDelivered)
+		}
+		if p.SummaryGateRefusals != 0 {
+			t.Errorf("x%g: CO-DATA gate refused %d summaries", name, p.SummaryGateRefusals)
+		}
+		if p.Warnings == 0 {
+			t.Errorf("x%g: no warnings produced (nothing measured)", name)
+		}
+		// Bounded latency: the gates cap the backlog, so even at overload
+		// the warning p99 must stay within a small number of batch windows
+		// — not grow with the run length.
+		if p.WarnP99 > 800*time.Millisecond {
+			t.Errorf("x%g: warning p99 %v, want <= 800ms", name, p.WarnP99)
+		}
+		// Accounting closes: every attempt either hit the wire, was
+		// decimated locally, or was absorbed as backpressure.
+		if got := p.SentWire + p.PacedOut + p.Backpressured; got != p.Offered {
+			t.Errorf("x%g: wire %d + paced %d + backpressured %d = %d, want offered %d",
+				name, p.SentWire, p.PacedOut, p.Backpressured, got, p.Offered)
+		}
+	}
+
+	// Nominal load: essentially nothing shed, no degraded rounds.
+	if nominal.ShedFraction > 0.01 {
+		t.Errorf("x1: shed fraction %.3f, want ~0", nominal.ShedFraction)
+	}
+	if nominal.DegradedRounds != 0 {
+		t.Errorf("x1: degraded rounds %d, want 0", nominal.DegradedRounds)
+	}
+
+	// Overload: the load is shed visibly, the node runs degraded, and
+	// stale low-risk telemetry is dropped by node-level admission.
+	if overload.ShedFraction < 0.1 {
+		t.Errorf("x6: shed fraction %.3f, want >= 0.1", overload.ShedFraction)
+	}
+	if overload.DegradedRounds == 0 {
+		t.Error("x6: node never entered degraded mode under 6x load")
+	}
+	if overload.ShedStale == 0 {
+		t.Error("x6: degraded-mode admission shed nothing")
+	}
+	if overload.PacedOut == 0 {
+		t.Error("x6: vehicle pacing never decimated")
+	}
+	if overload.Offered <= 2*nominal.Offered {
+		t.Errorf("x6 offered %d not > 2x nominal %d", overload.Offered, nominal.Offered)
+	}
+	// Graceful, not collapsed: the overloaded node still detects at a
+	// comparable rate to nominal (it sheds load, it does not thrash).
+	if overload.GoodputPerSec < nominal.GoodputPerSec*0.5 {
+		t.Errorf("x6 goodput %.0f/s collapsed vs nominal %.0f/s",
+			overload.GoodputPerSec, nominal.GoodputPerSec)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"cad3/internal/flow"
 	"cad3/internal/obsv"
 	"cad3/internal/stream"
 )
@@ -66,6 +67,12 @@ type Config[T any] struct {
 	Workers int
 	// MaxBatch bounds messages drained per batch. Values <= 0 select 8192.
 	MaxBatch int
+	// Adaptive, when set, replaces the fixed MaxBatch drain bound with an
+	// AIMD controller that sizes each batch toward its latency SLO: after
+	// every batch the engine feeds back (drained, processing time) and the
+	// next Step drains at most Adaptive.Size() messages. MaxBatch still
+	// caps the controller (the engine never drains more than both bounds).
+	Adaptive *flow.BatchController
 	// Now injects a clock for processing-time measurement. Nil selects
 	// time.Now.
 	Now func() time.Time
@@ -83,6 +90,10 @@ type BatchStats struct {
 	Records        int
 	DecodeErrors   int
 	ProcessingTime time.Duration
+	// Saturated reports that the batch drained its full bound — there were
+	// at least as many messages waiting as the engine was willing to take,
+	// the observable sign of backlog at the node.
+	Saturated bool
 }
 
 // EngineStats aggregates across batches.
@@ -164,14 +175,20 @@ func (e *Engine[T]) Step() (BatchStats, error) {
 	e.stepMu.Lock()
 	defer e.stepMu.Unlock()
 
+	limit := e.cfg.MaxBatch
+	if e.cfg.Adaptive != nil {
+		if a := e.cfg.Adaptive.Size(); a < limit {
+			limit = a
+		}
+	}
 	var msgs []stream.Message
 	var pollErr error
 	recycler, pooled := e.cfg.Source.(intoPoller)
 	if pooled {
-		msgs, pollErr = recycler.PollInto(e.msgBuf[:0], e.cfg.MaxBatch)
+		msgs, pollErr = recycler.PollInto(e.msgBuf[:0], limit)
 		e.msgBuf = msgs
 	} else {
-		msgs, pollErr = e.cfg.Source.Poll(e.cfg.MaxBatch)
+		msgs, pollErr = e.cfg.Source.Poll(limit)
 	}
 	if pollErr != nil {
 		e.observeErr(fmt.Errorf("microbatch poll: %w", pollErr))
@@ -195,12 +212,20 @@ func (e *Engine[T]) Step() (BatchStats, error) {
 		stream.RecycleMessages(msgs)
 	}
 	bs.Records = len(items)
+	bs.Saturated = len(msgs) >= limit && limit > 0
 
 	start := e.cfg.Now()
 	if len(items) > 0 {
 		e.processParallel(items)
 	}
 	bs.ProcessingTime = e.cfg.Now().Sub(start)
+
+	if e.cfg.Adaptive != nil {
+		// Feed back against the drained count (not the decoded count): a
+		// batch that hit the drain bound is saturated even if some records
+		// failed to decode.
+		e.cfg.Adaptive.Observe(len(msgs), bs.ProcessingTime)
+	}
 
 	e.mu.Lock()
 	e.stats.Batches++

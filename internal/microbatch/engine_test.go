@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"cad3/internal/flow"
 	"cad3/internal/stream"
 )
 
@@ -297,5 +298,118 @@ func TestEngineStatsAggregation(t *testing.T) {
 	}
 	if st.MaxProcessingTime < st.AvgProcessingTime() {
 		t.Error("max processing time below average")
+	}
+}
+
+// An adaptive engine shrinks its drain bound when batches overrun the SLO
+// and grows it back once saturated batches finish comfortably inside it.
+func TestEngineAdaptiveBatchSizing(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+
+	// Scripted clock: every call advances by lat, so each Step measures
+	// exactly one lat of processing time.
+	var now time.Time
+	var lat time.Duration
+	clock := func() time.Time {
+		t := now
+		now = now.Add(lat)
+		return t
+	}
+
+	ctrl := flow.NewBatchController(flow.BatchControllerConfig{
+		Min: 4, Max: 64, Initial: 16, Grow: 8, SLO: 50 * time.Millisecond,
+	})
+	eng, err := NewEngine(Config[int]{
+		Source:   c,
+		Decode:   intDecode,
+		Process:  func([]int) error { return nil },
+		Adaptive: ctrl,
+		Now:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fill := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, _, err := p.Send(nil, []byte(strconv.Itoa(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Saturated batch that overruns the SLO: the bound halves.
+	fill(200)
+	lat = 100 * time.Millisecond
+	bs, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records != 16 {
+		t.Fatalf("first batch drained %d, want the initial bound 16", bs.Records)
+	}
+	if got := ctrl.Size(); got != 8 {
+		t.Fatalf("bound after overrun = %d, want 8", got)
+	}
+
+	// Saturated batches well inside the SLO: the bound grows additively.
+	lat = 5 * time.Millisecond
+	if bs, err = eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records != 8 {
+		t.Fatalf("second batch drained %d, want the shrunk bound 8", bs.Records)
+	}
+	if got := ctrl.Size(); got != 16 {
+		t.Fatalf("bound after fast saturated batch = %d, want 16", got)
+	}
+
+	// Idle batches leave the bound alone: an empty pipeline is not
+	// evidence of capacity.
+	for {
+		bs, err = eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs.Records == 0 {
+			break
+		}
+	}
+	before := ctrl.Size()
+	if _, err = eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Size(); got != before {
+		t.Errorf("idle batch moved the bound %d -> %d", before, got)
+	}
+}
+
+// MaxBatch still caps the adaptive bound: the engine drains at most the
+// lower of the two.
+func TestEngineAdaptiveRespectsMaxBatch(t *testing.T) {
+	_, p, c := pipelineFixture(t)
+	ctrl := flow.NewBatchController(flow.BatchControllerConfig{Min: 32, Max: 64, Initial: 64})
+	eng, err := NewEngine(Config[int]{
+		Source:   c,
+		Decode:   intDecode,
+		Process:  func([]int) error { return nil },
+		Adaptive: ctrl,
+		MaxBatch: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, err := p.Send(nil, []byte(strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records != 10 {
+		t.Errorf("drained %d, want MaxBatch cap 10", bs.Records)
 	}
 }

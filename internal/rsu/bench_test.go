@@ -1,0 +1,86 @@
+package rsu
+
+import (
+	"testing"
+
+	"cad3/internal/flow"
+	"cad3/internal/geo"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+	"cad3/internal/vehicle"
+)
+
+// benchPipeline wires one paced/unpaced vehicle into a flow-controlled
+// broker and a live node — the full IN-DATA path the overload study
+// sweeps, reduced to a single hot loop.
+func benchPipeline(b *testing.B, capacity int, pacing flow.PacerConfig) (*vehicle.Vehicle, *Node) {
+	b.Helper()
+	_, _, _, cad3 := trainedDetectors(b)
+	broker := stream.NewBroker(stream.BrokerConfig{FlowCapacity: capacity})
+	client := stream.NewInProcClient(broker)
+	node, err := New(Config{
+		Name: "Bench", Road: 7, Detector: cad3, Client: client,
+		Workers: 1, Partitions: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := vehicle.New(vehicle.Config{
+		ID:      1,
+		Client:  client,
+		Loop:    true,
+		Records: []trace.Record{mkRec(1, geo.MotorwayLink, 35, 14)},
+		Pacing:  pacing,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v, node
+}
+
+// BenchmarkPipelineSteadyState drives the bounded pipeline inside its
+// admission budget: every send is admitted and the node drains each
+// window before the gate fills. This is the per-record cost of the happy
+// path — send + admit + drain + detect.
+func BenchmarkPipelineSteadyState(b *testing.B) {
+	v, node := benchPipeline(b, 4096, flow.PacerConfig{})
+	const window = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.SendNext(i); err != nil {
+			b.Fatal(err)
+		}
+		if i%window == window-1 {
+			if _, err := node.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if _, err := node.Step(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineOverload drives the same pipeline far past its drain
+// rate: the gate spends most of the run full, so the measured cost is
+// dominated by the refusal path — the preallocated backpressure error and
+// the pacer's local decimation, which must both stay allocation-free
+// exactly when the system is busiest.
+func BenchmarkPipelineOverload(b *testing.B) {
+	v, node := benchPipeline(b, 256, flow.PacerConfig{MaxDecimation: 8, RecoverAfter: 16})
+	const window = 2048 // drain far less often than the gate fills
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.SendNext(i); err != nil {
+			b.Fatal(err)
+		}
+		if i%window == window-1 {
+			if _, err := node.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -17,12 +17,18 @@ import (
 	"time"
 
 	"cad3/internal/core"
+	"cad3/internal/flow"
 	"cad3/internal/geo"
 	"cad3/internal/microbatch"
 	"cad3/internal/obsv"
 	"cad3/internal/stream"
 	"cad3/internal/trace"
 )
+
+// DefaultShedSafePNormal is the prior mean P(normal) above which a
+// vehicle's stale telemetry counts as low-risk for degraded-mode
+// shedding: the forwarded summary says the car has been behaving.
+const DefaultShedSafePNormal = 0.5
 
 // Errors callers match.
 var (
@@ -52,6 +58,9 @@ type Config struct {
 	BatchInterval time.Duration
 	// Workers is the engine parallelism (paper: 6). Values <= 0 select 6.
 	Workers int
+	// MaxBatch bounds messages drained per micro-batch. Values <= 0 select
+	// the engine default (8192).
+	MaxBatch int
 	// SummaryTTL expires stale CO-DATA summaries. Values <= 0 select
 	// core.DefaultSummaryTTL.
 	SummaryTTL time.Duration
@@ -73,6 +82,26 @@ type Config struct {
 	// served by the -debug-addr endpoint and persisted in checkpoints.
 	// Nil creates a private registry (Registry exposes it).
 	Metrics *obsv.Registry
+	// BatchSLO enables adaptive micro-batch sizing: the engine's drain
+	// bound is AIMD-controlled toward this per-batch processing-time
+	// objective (flow.BatchController) instead of the fixed cap. Zero
+	// keeps the fixed bound.
+	BatchSLO time.Duration
+	// ShedStaleAfter enables node-level degraded-mode admission: once the
+	// node is degraded (see DegradedAfter), telemetry older than this whose
+	// sender's forwarded summary reads low-risk is shed before detection —
+	// the stale sample's information is already superseded and the vehicle
+	// has no history of abnormality. Warnings and summaries are never
+	// touched (they ride separate topics). Zero disables shedding.
+	ShedStaleAfter time.Duration
+	// DegradedAfter is how many consecutive saturated batches (full drains
+	// — the node cannot keep up) flip the node into degraded mode. Values
+	// <= 0 select 2. One unsaturated batch clears it.
+	DegradedAfter int
+	// ShedSafePNormal is the minimum prior mean P(normal) for a stale
+	// record to count as low-risk (sheddable). Values <= 0 select
+	// DefaultShedSafePNormal.
+	ShedSafePNormal float64
 	// TraceRingSize bounds the /trace/recent ring. Values <= 0 select
 	// obsv.DefaultTraceRingSize.
 	TraceRingSize int
@@ -95,6 +124,13 @@ type Stats struct {
 	// DroppedHandovers counts summaries lost because the neighbor's
 	// CO-DATA produce failed (partition, dead broker).
 	DroppedHandovers int64
+	// ShedStale counts telemetry records the node's degraded-mode
+	// admission shed before detection (stale + low-risk only).
+	ShedStale int64
+	// DegradedRounds counts batches processed while degraded.
+	DegradedRounds int64
+	// Degraded reports whether the node is currently in degraded mode.
+	Degraded bool
 	// SummaryStore exposes the store's hit/miss/expired lookups; Expired
 	// is the silent stale-summary degradation.
 	SummaryStore core.SummaryStoreStats
@@ -107,14 +143,16 @@ type DegradedStats struct {
 	Fallbacks        int64
 	StaleSummaries   int64
 	DroppedHandovers int64
+	ShedStale        int64
 }
 
-// Degraded returns the node's degraded-mode counters.
-func (s Stats) Degraded() DegradedStats {
+// DegradedCounters returns the node's degraded-mode counters.
+func (s Stats) DegradedCounters() DegradedStats {
 	return DegradedStats{
 		Fallbacks:        s.Fallbacks,
 		StaleSummaries:   s.SummaryStore.Expired,
 		DroppedHandovers: s.DroppedHandovers,
+		ShedStale:        s.ShedStale,
 	}
 }
 
@@ -156,6 +194,13 @@ type Node struct {
 	suppressed   atomic.Int64
 	fallbacks    atomic.Int64
 	dropped      atomic.Int64
+
+	// Degraded-mode admission state: consecutive saturated batches,
+	// whether the node currently sheds, and the shed accounting.
+	saturatedRuns  atomic.Int64
+	degraded       atomic.Bool
+	shedStale      atomic.Int64
+	degradedRounds atomic.Int64
 
 	// Observability: batch sequence for trace batch IDs, the recent-trace
 	// ring behind /trace/recent, and cached histogram handles for the
@@ -227,14 +272,24 @@ func New(cfg Config) (*Node, error) {
 		histProc:    cfg.Metrics.Histogram("pipeline.process_micros", nil),
 	}
 	n.registerGauges()
+	var adaptive *flow.BatchController
+	if cfg.BatchSLO > 0 {
+		adaptive = flow.NewBatchController(flow.BatchControllerConfig{
+			SLO:     cfg.BatchSLO,
+			Metrics: cfg.Metrics,
+			Name:    "flow.node",
+		})
+	}
 	engine, err := microbatch.NewEngine(microbatch.Config[tracedRecord]{
 		Source:   inConsumer,
 		Decode:   n.decodeRecord,
 		Process:  n.processRecords,
 		Interval: cfg.BatchInterval,
 		Workers:  cfg.Workers,
+		MaxBatch: cfg.MaxBatch,
 		Now:      cfg.Now,
 		Metrics:  cfg.Metrics,
+		Adaptive: adaptive,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rsu %s: engine: %w", cfg.Name, err)
@@ -279,6 +334,16 @@ func (n *Node) registerGauges() {
 	m.RegisterGaugeFunc("rsu.dropped_handovers", n.dropped.Load)
 	m.RegisterGaugeFunc("rsu.tracked_cars", func() int64 { return int64(n.builder.Cars()) })
 	m.RegisterGaugeFunc("rsu.stored_summaries", func() int64 { return int64(n.summaries.Len()) })
+	// flow.node.* rides the same registry, so the shed accounting persists
+	// through checkpoints and serves on /metrics like everything else.
+	m.RegisterGaugeFunc("flow.node.shed_stale", n.shedStale.Load)
+	m.RegisterGaugeFunc("flow.node.degraded_rounds", n.degradedRounds.Load)
+	m.RegisterGaugeFunc("flow.node.degraded", func() int64 {
+		if n.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Name returns the node's configured name.
@@ -326,6 +391,16 @@ func (n *Node) processRecords(records []tracedRecord) error {
 		var prior *core.PredictionSummary
 		if s, ok := n.summaries.Get(rec.Car); ok {
 			prior = &s
+		}
+
+		// Degraded-mode admission: shed stale telemetry from known
+		// well-behaved vehicles before the detector runs. Prior hit/miss
+		// accounting covers processed records only.
+		if n.shouldShed(rec, prior) {
+			n.shedStale.Add(1)
+			continue
+		}
+		if prior != nil {
 			n.priorHits.Add(1)
 		} else {
 			n.priorMisses.Add(1)
@@ -452,7 +527,61 @@ func (n *Node) Step() (microbatch.BatchStats, error) {
 	if err := n.drainSummaries(); err != nil && !errors.Is(err, stream.ErrPartitionDown) {
 		return microbatch.BatchStats{}, err
 	}
-	return n.engine.Step()
+	bs, err := n.engine.Step()
+	n.observeSaturation(bs)
+	return bs, err
+}
+
+// observeSaturation tracks consecutive full-drain batches and flips the
+// node's degraded-mode flag: a node that keeps draining its full bound has
+// a backlog it cannot clear, so stale low-risk telemetry becomes sheddable
+// until one batch comes up short.
+func (n *Node) observeSaturation(bs microbatch.BatchStats) {
+	if n.cfg.ShedStaleAfter <= 0 {
+		return
+	}
+	after := int64(n.cfg.DegradedAfter)
+	if after <= 0 {
+		after = 2
+	}
+	if !bs.Saturated {
+		n.saturatedRuns.Store(0)
+		if n.degraded.CompareAndSwap(true, false) {
+			n.cfg.Logger.Info("degraded mode cleared", "rsu", n.cfg.Name)
+		}
+		return
+	}
+	if n.degraded.Load() {
+		n.degradedRounds.Add(1)
+		return
+	}
+	if n.saturatedRuns.Add(1) >= after {
+		if n.degraded.CompareAndSwap(false, true) {
+			n.degradedRounds.Add(1)
+			n.cfg.Logger.Warn("degraded mode entered",
+				"rsu", n.cfg.Name, "saturatedBatches", after)
+		}
+	}
+}
+
+// shouldShed implements the node-level degraded-mode admission decision
+// for one telemetry record: shed only when the node is degraded, the
+// record is stale, and the vehicle's own forwarded summary says it has
+// been behaving. Vehicles without a summary are never shed — absence of
+// evidence is not evidence of safety.
+func (n *Node) shouldShed(rec trace.Record, prior *core.PredictionSummary) bool {
+	if !n.degraded.Load() || n.cfg.ShedStaleAfter <= 0 || prior == nil {
+		return false
+	}
+	safe := n.cfg.ShedSafePNormal
+	if safe <= 0 {
+		safe = DefaultShedSafePNormal
+	}
+	if prior.MeanPNormal < safe {
+		return false
+	}
+	age := time.Duration(n.cfg.Now().UnixMilli()-rec.TimestampMs) * time.Millisecond
+	return age > n.cfg.ShedStaleAfter
 }
 
 // drainSummaries ingests pending CO-DATA messages into the summary store.
@@ -556,6 +685,9 @@ func (n *Node) Stats() Stats {
 		WarningsSuppressed: n.suppressed.Load(),
 		Fallbacks:          n.fallbacks.Load(),
 		DroppedHandovers:   n.dropped.Load(),
+		ShedStale:          n.shedStale.Load(),
+		DegradedRounds:     n.degradedRounds.Load(),
+		Degraded:           n.degraded.Load(),
 		SummaryStore:       n.summaries.Stats(),
 		Engine:             n.engine.Stats(),
 	}

@@ -26,7 +26,7 @@ func mkRec(car trace.CarID, rt geo.RoadType, speed float64, hour int) trace.Reco
 // trainedDetectors builds a quick labeler + AD3(link) + AD3(motorway) +
 // CAD3(link) from a hand-made distribution: link normal ~N(35,5),
 // motorway ~N(100,10), abnormal = tails.
-func trainedDetectors(t *testing.T) (*core.Labeler, *core.AD3, *core.AD3, *core.CAD3) {
+func trainedDetectors(t testing.TB) (*core.Labeler, *core.AD3, *core.AD3, *core.CAD3) {
 	t.Helper()
 	var recs []trace.Record
 	offsets := []float64{-2.8, -1.6, -0.9, -0.4, 0, 0.4, 0.9, 1.6, 2.8}
@@ -358,5 +358,128 @@ func TestNodeWithLogger(t *testing.T) {
 	}
 	if !strings.Contains(out, "handover") {
 		t.Errorf("log missing handover event:\n%s", out)
+	}
+}
+
+// Degraded-mode admission: a node that cannot clear its backlog (consecutive
+// saturated batches) sheds stale telemetry from vehicles whose forwarded
+// summaries read low-risk — and only those.
+func TestNodeDegradedModeShedsStaleLowRisk(t *testing.T) {
+	_, link, _, _ := trainedDetectors(t)
+	b := stream.NewBroker(stream.BrokerConfig{})
+	client := stream.NewInProcClient(b)
+	base := time.UnixMilli(1_700_000_000_000)
+	n, err := New(Config{
+		Name:           "MwLink",
+		Road:           7,
+		Detector:       link,
+		Client:         client,
+		Partitions:     1,
+		MaxBatch:       8,
+		ShedStaleAfter: time.Second,
+		DegradedAfter:  2,
+		Now:            func() time.Time { return base },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Car 500 has a forwarded summary that says it behaves; car 501 has
+	// no history at this RSU.
+	sum := core.PredictionSummary{
+		Car: 500, MeanPNormal: 0.95, Count: 5, FromRoad: 3,
+		UpdatedMs: base.UnixMilli(),
+	}
+	payload, err := core.EncodeSummary(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Produce(stream.TopicCoData, 0, nil, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(car trace.CarID, tsMs int64) {
+		t.Helper()
+		rec := mkRec(car, geo.MotorwayLink, 35, 14)
+		rec.TimestampMs = tsMs
+		sendRecord(t, client, rec)
+	}
+
+	// Two full drains in a row: the node declares itself degraded.
+	for i := 0; i < 16; i++ {
+		send(trace.CarID(100+i), base.UnixMilli())
+	}
+	for i := 0; i < 2; i++ {
+		bs, err := n.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bs.Saturated || bs.Records != 8 {
+			t.Fatalf("step %d: records=%d saturated=%v, want a full drain of 8", i, bs.Records, bs.Saturated)
+		}
+	}
+	if !n.Stats().Degraded {
+		t.Fatal("two saturated batches should flip the node degraded")
+	}
+
+	// One stale record each from the low-risk and the unknown car, plus a
+	// fresh one from the low-risk car: only the stale low-risk record is
+	// shed.
+	stale := base.Add(-5 * time.Second).UnixMilli()
+	send(500, stale)
+	send(501, stale)
+	send(500, base.UnixMilli())
+	bs, err := n.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records != 3 {
+		t.Fatalf("drained %d records, want 3", bs.Records)
+	}
+
+	st := n.Stats()
+	if st.ShedStale != 1 {
+		t.Errorf("ShedStale = %d, want 1 (only the stale low-risk record)", st.ShedStale)
+	}
+	if st.Degraded {
+		t.Error("an unsaturated batch should clear degraded mode")
+	}
+	if st.DegradedRounds != 1 {
+		t.Errorf("DegradedRounds = %d, want 1", st.DegradedRounds)
+	}
+	if got := n.Registry().Snapshot().Gauges["flow.node.shed_stale"]; got != 1 {
+		t.Errorf("flow.node.shed_stale gauge = %d, want 1", got)
+	}
+	if d := st.DegradedCounters(); d.ShedStale != 1 {
+		t.Errorf("DegradedCounters().ShedStale = %d, want 1", d.ShedStale)
+	}
+}
+
+// With BatchSLO set the node's engine runs under an AIMD drain bound.
+func TestNodeAdaptiveBatchBound(t *testing.T) {
+	_, link, _, _ := trainedDetectors(t)
+	b := stream.NewBroker(stream.BrokerConfig{})
+	client := stream.NewInProcClient(b)
+	n, err := New(Config{
+		Name: "MwLink", Road: 7, Detector: link, Client: client,
+		Partitions: 1, BatchSLO: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller's default floor is 32: a 100-record backlog drains in
+	// bounded slices, not all at once.
+	for i := 0; i < 100; i++ {
+		sendRecord(t, client, mkRec(trace.CarID(1000+i), geo.MotorwayLink, 35, 14))
+	}
+	bs, err := n.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Records > 96 {
+		t.Errorf("first adaptive batch drained %d records, want a bounded slice", bs.Records)
+	}
+	if got := n.Registry().Snapshot().Gauges["flow.node.batch_limit"]; got == 0 {
+		t.Error("flow.node.batch_limit gauge not registered")
 	}
 }

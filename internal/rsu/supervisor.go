@@ -199,7 +199,7 @@ func (s *Supervisor) checkNode(n *Node) bool {
 		sv.backoff = s.cfg.BaseBackoff
 		sv.nextTry = time.Time{}
 		s.count(name, "heartbeat.ok", 1)
-		s.publishDegraded(sv, n.Stats().Degraded())
+		s.publishDegraded(sv, n.Stats().DegradedCounters())
 		if cp, cperr := n.Checkpoint(); cperr == nil {
 			sv.checkpoint = cp
 			s.count(name, "checkpoints", 1)
@@ -266,6 +266,7 @@ func (s *Supervisor) publishDegraded(sv *supervised, d DegradedStats) {
 	s.count(name, "degraded.fallbacks", d.Fallbacks-sv.degraded.Fallbacks)
 	s.count(name, "degraded.stale_summaries", d.StaleSummaries-sv.degraded.StaleSummaries)
 	s.count(name, "degraded.dropped_handovers", d.DroppedHandovers-sv.degraded.DroppedHandovers)
+	s.count(name, "degraded.shed_stale", d.ShedStale-sv.degraded.ShedStale)
 	sv.degraded = d
 	sv.health.Degraded = d
 }

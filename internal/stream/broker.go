@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cad3/internal/flow"
 	"cad3/internal/obsv"
 )
 
@@ -43,10 +44,39 @@ type BrokerConfig struct {
 	// time.Now.
 	Now func() time.Time
 	// Metrics, when set, receives broker throughput counters
-	// (broker.produced/fetched messages and bytes). Trace-context arrival
+	// (broker.produced/fetched messages and bytes) and, when flow control
+	// is on, the flow.<topic>.* admission counters. Trace-context arrival
 	// stamping is independent of this field — traced payloads are always
 	// stamped.
 	Metrics *obsv.Registry
+	// FlowCapacity bounds each partition's un-drained backlog (messages):
+	// produce consumes a credit, fetch (or retention eviction) returns it,
+	// and a partition over its bound answers telemetry with
+	// flow.ErrBackpressure per FlowPolicy. Values <= 0 disable admission
+	// control (the legacy unbounded hand-off).
+	FlowCapacity int
+	// FlowPolicy decides admission when FlowCapacity > 0. Nil selects
+	// flow.PriorityShed{}: telemetry sheds under pressure, warnings and
+	// summaries never do.
+	FlowPolicy flow.Policy
+	// FlowRetryHint is the base retry-after hint refused producers get.
+	// Values <= 0 select flow.DefaultRetryHint.
+	FlowRetryHint time.Duration
+}
+
+// ClassForTopic maps the CAD3 topics onto flow priority classes: IN-DATA
+// telemetry is sheddable, OUT-DATA warnings and CO-DATA summaries are not.
+func ClassForTopic(name string) flow.Class {
+	switch name {
+	case TopicInData:
+		return flow.ClassTelemetry
+	case TopicOutData:
+		return flow.ClassWarning
+	case TopicCoData:
+		return flow.ClassSummary
+	default:
+		return flow.ClassOther
+	}
 }
 
 // Broker is an in-memory, thread-safe event broker: the per-RSU Kafka
@@ -118,8 +148,62 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 	if err != nil {
 		return err
 	}
+	if b.cfg.FlowCapacity > 0 {
+		// One admission gate per partition; counters are shared per topic
+		// (same registry names resolve to the same handles), occupancy is
+		// re-registered below as the partition sum.
+		for _, pl := range t.partitions {
+			pl.gate = flow.NewGate(flow.GateConfig{
+				Capacity:  b.cfg.FlowCapacity,
+				Policy:    b.cfg.FlowPolicy,
+				RetryHint: b.cfg.FlowRetryHint,
+				Metrics:   b.cfg.Metrics,
+				Name:      "flow." + name,
+			})
+		}
+		if b.cfg.Metrics != nil {
+			parts := t.partitions
+			b.cfg.Metrics.RegisterGaugeFunc("flow."+name+".occupancy", func() int64 {
+				var total int64
+				for _, pl := range parts {
+					total += pl.gate.Occupancy()
+				}
+				return total
+			})
+		}
+	}
 	b.topics[name] = t
 	return nil
+}
+
+// FlowEnabled reports whether the broker admits under flow control.
+func (b *Broker) FlowEnabled() bool { return b.cfg.FlowCapacity > 0 }
+
+// FlowStats sums the named topic's per-partition gate statistics. A
+// zero-value Stats is returned for unknown topics or a flow-disabled
+// broker.
+func (b *Broker) FlowStats(topicName string) flow.Stats {
+	b.mu.RLock()
+	t, ok := b.topics[topicName]
+	b.mu.RUnlock()
+	if !ok {
+		return flow.Stats{}
+	}
+	var total flow.Stats
+	for _, pl := range t.partitions {
+		if pl.gate == nil {
+			continue
+		}
+		s := pl.gate.Stats()
+		total.Admitted += s.Admitted
+		total.Rejected += s.Rejected
+		total.Occupancy += s.Occupancy
+		total.Capacity += s.Capacity
+		for c := range s.Shed {
+			total.Shed[c] += s.Shed[c]
+		}
+	}
+	return total
 }
 
 // Topics returns the topic names, sorted.
@@ -168,13 +252,23 @@ func (b *Broker) Produce(topicName string, partition int32, key, value []byte) (
 	}
 
 	if partition == AutoPartition {
-		partition = b.pickPartition(key, len(t.partitions))
+		partition = b.pickPartition(topicName, key, len(t.partitions))
 	}
 	if partition < 0 || int(partition) >= len(t.partitions) {
 		return 0, 0, fmt.Errorf("%w: %q/%d", ErrBadPartition, topicName, partition)
 	}
 	if b.partitionDown(topicName, partition) {
 		return 0, 0, fmt.Errorf("%w: %q/%d", ErrPartitionDown, topicName, partition)
+	}
+
+	// Admission control: a flow-controlled partition takes a credit or
+	// refuses. The refusal returns the gate's preallocated backpressure
+	// error untouched — no wrapping, no allocation — so senders can match
+	// flow.ErrBackpressure and read the retry-after hint.
+	if gate := t.partitions[partition].gate; gate != nil {
+		if err := gate.Admit(ClassForTopic(topicName)); err != nil {
+			return 0, 0, err
+		}
 	}
 
 	// The broker owns its copy of the payload (pooled — recycled when
@@ -274,12 +368,25 @@ func (b *Broker) Close() error {
 	return nil
 }
 
-func (b *Broker) pickPartition(key []byte, n int) int32 {
+// pickPartition selects a partition for AutoPartition produces: FNV key
+// hash for keyed messages (affinity beats availability — a down partition
+// still errors, preserving ordering-by-key), round-robin for nil keys. The
+// nil-key rotor skips partitions marked down so load spreads over the
+// healthy remainder; only when every partition is down does it fall
+// through to the rotor's raw pick (and Produce surfaces ErrPartitionDown).
+func (b *Broker) pickPartition(topicName string, key []byte, n int) int32 {
 	if n == 1 {
 		return 0
 	}
 	if key == nil {
-		return int32(b.rr.Add(1) % uint64(n))
+		start := b.rr.Add(1)
+		for i := 0; i < n; i++ {
+			p := int32((start + uint64(i)) % uint64(n))
+			if !b.partitionDown(topicName, p) {
+				return p
+			}
+		}
+		return int32(start % uint64(n))
 	}
 	h := fnv.New32a()
 	_, _ = h.Write(key)

@@ -1,0 +1,367 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cad3/internal/flow"
+	"cad3/internal/obsv"
+)
+
+// flowBroker builds a flow-controlled broker with the class-blind TailDrop
+// policy, so tests can reason about exact capacities (the default
+// PriorityShed sheds telemetry early to reserve headroom).
+func flowBroker(t *testing.T, capacity int) *Broker {
+	t.Helper()
+	return NewBroker(BrokerConfig{FlowCapacity: capacity, FlowPolicy: flow.TailDrop{}})
+}
+
+// Regression: nil-key round-robin produces must not land on partitions
+// marked down while healthy ones remain.
+func TestProduceNilKeySkipsDownPartitions(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	if err := b.CreateTopic(TopicInData, 3); err != nil {
+		t.Fatal(err)
+	}
+	b.SetPartitionDown(TopicInData, 1, true)
+
+	counts := make(map[int32]int)
+	for i := 0; i < 30; i++ {
+		part, _, err := b.Produce(TopicInData, AutoPartition, nil, []byte("v"))
+		if err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+		counts[part]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("rotor placed %d messages on the down partition", counts[1])
+	}
+	if counts[0] == 0 || counts[2] == 0 {
+		t.Errorf("healthy partitions not both used: %v", counts)
+	}
+
+	// Keyed produce keeps hash affinity even when the target is down: the
+	// caller gets ErrPartitionDown rather than a silent re-route.
+	key := []byte("vehicle-7")
+	h := b.pickPartition(TopicInData, key, 3)
+	b.SetPartitionDown(TopicInData, h, true)
+	if _, _, err := b.Produce(TopicInData, AutoPartition, key, []byte("v")); !errors.Is(err, ErrPartitionDown) {
+		t.Errorf("keyed produce to down partition: got %v, want ErrPartitionDown", err)
+	}
+
+	// With every partition down, the rotor falls through and Produce
+	// surfaces ErrPartitionDown instead of spinning.
+	for p := int32(0); p < 3; p++ {
+		b.SetPartitionDown(TopicInData, p, true)
+	}
+	if _, _, err := b.Produce(TopicInData, AutoPartition, nil, []byte("v")); !errors.Is(err, ErrPartitionDown) {
+		t.Errorf("all-down produce: got %v, want ErrPartitionDown", err)
+	}
+}
+
+func TestFlowBackpressureAndFetchCredits(t *testing.T) {
+	b := flowBroker(t, 4)
+	if err := b.CreateTopic(TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := b.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+			t.Fatalf("produce %d under capacity: %v", i, err)
+		}
+	}
+	_, _, err := b.Produce(TopicInData, 0, nil, []byte("t"))
+	if !errors.Is(err, flow.ErrBackpressure) {
+		t.Fatalf("over-capacity produce: got %v, want backpressure", err)
+	}
+	if hint, ok := flow.RetryAfter(err); !ok || hint <= 0 {
+		t.Errorf("backpressure hint = %v, %v; want positive", hint, ok)
+	}
+	if st := b.FlowStats(TopicInData); st.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", st.Rejected)
+	}
+
+	// Fetching drains the backlog and returns credits: produce succeeds
+	// again.
+	msgs, err := b.Fetch(TopicInData, 0, 0, 2)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("fetch: %d msgs, err %v", len(msgs), err)
+	}
+	RecycleMessages(msgs)
+	for i := 0; i < 2; i++ {
+		if _, _, err := b.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+			t.Fatalf("produce after drain: %v", err)
+		}
+	}
+	if _, _, err := b.Produce(TopicInData, 0, nil, []byte("t")); !errors.Is(err, flow.ErrBackpressure) {
+		t.Errorf("refilled partition should refuse again, got %v", err)
+	}
+
+	// Re-reading already-credited offsets must not double-release.
+	msgs, _ = b.Fetch(TopicInData, 0, 0, 1)
+	RecycleMessages(msgs)
+	if occ := b.FlowStats(TopicInData).Occupancy; occ != 4 {
+		t.Errorf("occupancy after re-read = %d, want 4", occ)
+	}
+}
+
+// Warnings and summaries ride a soft bound: the gate tracks their
+// occupancy but the default policy never refuses them.
+func TestFlowWarningsAndSummariesNeverShed(t *testing.T) {
+	b := NewBroker(BrokerConfig{FlowCapacity: 2}) // default PriorityShed
+	for _, topicName := range []string{TopicOutData, TopicCoData} {
+		if err := b.CreateTopic(topicName, 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, _, err := b.Produce(topicName, 0, nil, []byte("critical")); err != nil {
+				t.Fatalf("%s produce %d over capacity: %v", topicName, i, err)
+			}
+		}
+		st := b.FlowStats(topicName)
+		if st.ShedTotal() != 0 {
+			t.Errorf("%s shed %d critical messages", topicName, st.ShedTotal())
+		}
+		if st.Occupancy != 10 {
+			t.Errorf("%s occupancy = %d, want 10 (soft bound exceeded)", topicName, st.Occupancy)
+		}
+	}
+}
+
+// Retention eviction returns the credits of messages no reader claimed,
+// so an unconsumed partition cannot leak occupancy forever.
+func TestFlowEvictionReturnsCredits(t *testing.T) {
+	b := NewBroker(BrokerConfig{FlowCapacity: 100, MaxRetainedPerPartition: 8})
+	if err := b.CreateTopic(TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, err := b.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+	}
+	if occ := b.FlowStats(TopicInData).Occupancy; occ > 8 {
+		t.Errorf("occupancy = %d after eviction, want <= retained bound 8", occ)
+	}
+}
+
+func TestRestoreBrokerReseatsOccupancy(t *testing.T) {
+	cfg := BrokerConfig{FlowCapacity: 10, FlowPolicy: flow.TailDrop{}}
+	b := NewBroker(cfg)
+	if err := b.CreateTopic(TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := b.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := RestoreBroker(cfg, b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ := restored.FlowStats(TopicInData).Occupancy; occ != 6 {
+		t.Fatalf("restored occupancy = %d, want 6", occ)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := restored.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+			t.Fatalf("produce %d into restored headroom: %v", i, err)
+		}
+	}
+	if _, _, err := restored.Produce(TopicInData, 0, nil, []byte("t")); !errors.Is(err, flow.ErrBackpressure) {
+		t.Errorf("restored broker over capacity: got %v, want backpressure", err)
+	}
+	// Draining the restored backlog returns its credits.
+	msgs, err := restored.Fetch(TopicInData, 0, 0, 10)
+	if err != nil || len(msgs) != 10 {
+		t.Fatalf("fetch restored: %d msgs, err %v", len(msgs), err)
+	}
+	RecycleMessages(msgs)
+	if occ := restored.FlowStats(TopicInData).Occupancy; occ != 0 {
+		t.Errorf("occupancy after full drain = %d, want 0", occ)
+	}
+}
+
+// A group snapshot taken before a topic grew restores cleanly: committed
+// partitions keep their offsets, new partitions read from the start.
+func TestRestoreGroupTopicGrew(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	if err := b.CreateTopic(TopicInData, 2); err != nil {
+		t.Fatal(err)
+	}
+	client := NewInProcClient(b)
+	for p := int32(0); p < 2; p++ {
+		for i := 0; i < 3; i++ {
+			if _, _, err := b.Produce(TopicInData, p, nil, []byte("t")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := NewGroup(client, TopicInData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.Join("rsu-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Poll(100); err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot()
+
+	// The topic grows a partition between snapshot and restore.
+	grown := NewBroker(BrokerConfig{})
+	if err := grown.CreateTopic(TopicInData, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := grown.Produce(TopicInData, 2, nil, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreGroup(NewInProcClient(grown), snap)
+	if err != nil {
+		t.Fatalf("restore against grown topic: %v", err)
+	}
+	offsets := restored.Offsets()
+	if len(offsets) != 3 {
+		t.Fatalf("restored offsets = %v, want 3 entries", offsets)
+	}
+	if offsets[0] != snap.Offsets[0] || offsets[1] != snap.Offsets[1] {
+		t.Errorf("committed offsets changed: %v vs snapshot %v", offsets, snap.Offsets)
+	}
+	if offsets[2] != 0 {
+		t.Errorf("new partition offset = %d, want 0 (read from earliest)", offsets[2])
+	}
+	// The restored member picks up the new partition's backlog.
+	rm, err := restored.Member("rsu-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := rm.Poll(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, msg := range msgs {
+		if msg.Partition == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("restored member never read the new partition (got %d msgs)", len(msgs))
+	}
+}
+
+// A topic that shrank below the snapshot is an error: committed offsets
+// would silently vanish.
+func TestRestoreGroupTopicShrankErrors(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	if err := b.CreateTopic(TopicInData, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := GroupSnapshot{Topic: TopicInData, Offsets: []int64{5, 7, 9}, Members: []string{"rsu-1"}}
+	if _, err := RestoreGroup(NewInProcClient(b), snap); err == nil {
+		t.Fatal("restore with 3 snapshotted offsets against 2 partitions should fail")
+	}
+}
+
+// Backpressure must survive the TCP hop: the producer-side error matches
+// flow.ErrBackpressure and carries the broker's retry-after hint.
+func TestTCPBackpressureRoundTrip(t *testing.T) {
+	b := NewBroker(BrokerConfig{FlowCapacity: 2, FlowPolicy: flow.TailDrop{}, FlowRetryHint: 3 * time.Millisecond})
+	if err := b.CreateTopic(TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := client.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+	}
+	_, _, err = client.Produce(TopicInData, 0, nil, []byte("t"))
+	if !errors.Is(err, flow.ErrBackpressure) {
+		t.Fatalf("remote over-capacity produce: got %v, want backpressure", err)
+	}
+	hint, ok := flow.RetryAfter(err)
+	if !ok {
+		t.Fatalf("remote backpressure lost its retry-after hint: %v", err)
+	}
+	if hint < 3*time.Millisecond {
+		t.Errorf("remote hint = %v, want >= configured base 3ms", hint)
+	}
+}
+
+// A RetryClient treats backpressure as a broker verdict: one attempt, no
+// reconnect storm against an overloaded RSU.
+func TestRetryClientDoesNotBlindRetryBackpressure(t *testing.T) {
+	if !brokerError(flow.ErrBackpressure) {
+		t.Fatal("backpressure must classify as a broker error, not a transport fault")
+	}
+
+	b := NewBroker(BrokerConfig{FlowCapacity: 1})
+	if err := b.CreateTopic(TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rc, err := DialRetry(srv.Addr(), 5, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	slept := 0
+	rc.sleep = func(time.Duration) { slept++ }
+
+	if _, _, err := rc.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rc.Produce(TopicInData, 0, nil, []byte("t")); !errors.Is(err, flow.ErrBackpressure) {
+		t.Fatalf("got %v, want backpressure", err)
+	}
+	if slept != 0 {
+		t.Errorf("retry client slept %d times on a backpressure verdict", slept)
+	}
+}
+
+// Flow metrics surface on the broker's registry: aggregate admission
+// counters plus a per-topic occupancy gauge summed over partitions.
+func TestFlowMetricsOnRegistry(t *testing.T) {
+	reg := obsv.NewRegistry()
+	// Default PriorityShed: capacity 10 sheds telemetry at occupancy 9.
+	b := NewBroker(BrokerConfig{FlowCapacity: 10, Metrics: reg})
+	if err := b.CreateTopic(TopicInData, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, _, err := b.Produce(TopicInData, 0, nil, []byte("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := b.Produce(TopicInData, 0, nil, []byte("t"))
+	if !errors.Is(err, flow.ErrBackpressure) {
+		t.Fatalf("got %v, want backpressure", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["flow.IN-DATA.admitted"]; got != 9 {
+		t.Errorf("admitted counter = %d, want 9", got)
+	}
+	if got := snap.Counters["flow.IN-DATA.shed.telemetry"]; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	if got := snap.Gauges["flow.IN-DATA.occupancy"]; got != 9 {
+		t.Errorf("occupancy gauge = %d, want 9 (partition sum)", got)
+	}
+}

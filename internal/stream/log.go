@@ -4,12 +4,23 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"cad3/internal/flow"
 )
 
 // partitionLog is one partition's append-only message log. It retains a
 // bounded number of messages: once the log exceeds maxRetained the oldest
 // half is discarded and the base offset advances, like Kafka segment
 // deletion. Offsets are stable across truncation.
+//
+// When the broker runs flow-controlled, the log also fronts an admission
+// gate: appends consume credits (the broker calls Admit before append) and
+// the drain side returns them — a fetch that advances the furthest-read
+// offset releases that many credits, and retention eviction releases the
+// credits of messages no reader ever claimed. Occupancy therefore tracks
+// the un-drained backlog of the partition's fastest reader, the CAD3
+// single-consumer-group semantics (the RSU ingestion loop on IN-DATA, the
+// vehicle fleet collectively on OUT-DATA).
 type partitionLog struct {
 	mu          sync.Mutex
 	base        int64 // offset of msgs[0]
@@ -17,6 +28,11 @@ type partitionLog struct {
 	maxRetained int
 	maxAge      time.Duration // 0 = no age-based retention
 	now         func() time.Time
+
+	// gate is the partition's admission gate (nil = unbounded legacy
+	// admission); credited is the highest offset accounted as drained.
+	gate     *flow.Gate
+	credited int64
 }
 
 // defaultMaxRetained bounds per-partition memory; at ~200 B/message this is
@@ -58,6 +74,8 @@ func (l *partitionLog) append(m Message) int64 {
 }
 
 // dropLocked discards the oldest n messages, advancing the base offset.
+// Credits held by evicted-but-never-fetched messages return to the gate:
+// eviction is the queue draining, just without a reader.
 func (l *partitionLog) dropLocked(n int) {
 	if n <= 0 {
 		return
@@ -75,6 +93,17 @@ func (l *partitionLog) dropLocked(n int) {
 	copy(fresh, l.msgs[n:])
 	l.msgs = fresh
 	l.base += int64(n)
+	l.creditThroughLocked(l.base)
+}
+
+// creditThroughLocked releases gate credits up to offset (exclusive) if
+// that advances the drained frontier.
+func (l *partitionLog) creditThroughLocked(offset int64) {
+	if l.gate == nil || offset <= l.credited {
+		return
+	}
+	l.gate.Release(offset - l.credited)
+	l.credited = offset
 }
 
 // read returns up to max messages starting at offset. Reading below the
@@ -101,6 +130,8 @@ func (l *partitionLog) read(offset int64, max int) []Message {
 		// RecycleMessages once decoded.
 		out[i] = pooledCloneMessage(l.msgs[start+i])
 	}
+	// Fetch credits: the furthest-ahead reader drains the queue.
+	l.creditThroughLocked(l.base + int64(end))
 	return out
 }
 

@@ -1,11 +1,9 @@
 package stream
 
-import "sync"
-
 // Payload buffer pooling. The telemetry fast path produces and consumes
 // hundreds of small (~200 B) messages per simulated second; recycling
-// their backing buffers through a sync.Pool keeps the broker's per-message
-// copies and the consumers' clones off the allocator.
+// their backing buffers through a bounded free list keeps the broker's
+// per-message copies and the consumers' clones off the allocator.
 //
 // Ownership contract:
 //
@@ -33,17 +31,24 @@ const (
 	maxPooledFrameCap = 1 << 16
 )
 
-var payloadPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, pooledBufCap)
-		return &b
-	},
-}
+// payloadFree is a bounded free list of payload buffers. A buffered
+// channel instead of a sync.Pool because Put into a sync.Pool must box
+// the slice header (`Put(&b)` escapes), costing one heap allocation per
+// recycled buffer — exactly the per-message cost pooling exists to
+// remove. Channel send/receive copies the header into the ring, so both
+// directions are allocation-free; a full ring simply drops the buffer to
+// the garbage collector.
+var payloadFree = make(chan []byte, 1024)
 
 // GetPayload returns an empty length-zero buffer from the pool, ready for
 // append-style encoding (e.g. core.AppendRecord).
 func GetPayload() []byte {
-	return (*payloadPool.Get().(*[]byte))[:0]
+	select {
+	case b := <-payloadFree:
+		return b[:0]
+	default:
+		return make([]byte, 0, pooledBufCap)
+	}
 }
 
 // PutPayload returns a buffer to the pool. Nil and oversized buffers are
@@ -52,8 +57,10 @@ func PutPayload(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledBufCap {
 		return
 	}
-	b = b[:0]
-	payloadPool.Put(&b)
+	select {
+	case payloadFree <- b[:0]:
+	default: // free list full: let the GC take it
+	}
 }
 
 // RecycleMessages returns the Key/Value buffers of polled messages to the
@@ -90,20 +97,19 @@ func recyclePayloads(m *Message) {
 	m.Key, m.Value = nil, nil
 }
 
-var framePool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 4096)
-		return &b
-	},
-}
+// frameFree recycles wire-frame bodies, same shape as payloadFree.
+var frameFree = make(chan []byte, 64)
 
 // getFrame returns an n-byte buffer for a wire frame body.
 func getFrame(n int) []byte {
-	b := *framePool.Get().(*[]byte)
-	if cap(b) < n {
-		return make([]byte, n)
+	select {
+	case b := <-frameFree:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
 	}
-	return b[:n]
+	return make([]byte, n)
 }
 
 // putFrame returns a frame body to the pool.
@@ -111,6 +117,8 @@ func putFrame(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledFrameCap {
 		return
 	}
-	b = b[:0]
-	framePool.Put(&b)
+	select {
+	case frameFree <- b[:0]:
+	default:
+	}
 }

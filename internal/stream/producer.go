@@ -1,8 +1,11 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"cad3/internal/flow"
 )
 
 // Producer publishes messages to one topic through a Client. It is safe
@@ -32,6 +35,12 @@ func NewProducer(client Client, topicName string) (*Producer, error) {
 func (p *Producer) Send(key, value []byte) (int32, int64, error) {
 	part, off, err := p.client.Produce(p.topic, AutoPartition, key, value)
 	if err != nil {
+		// Backpressure passes through untouched: the refusal is part of the
+		// allocation-free fast path, and wrapping would cost an allocation
+		// per refused send exactly when the system is overloaded.
+		if errors.Is(err, flow.ErrBackpressure) {
+			return 0, 0, err
+		}
 		return 0, 0, fmt.Errorf("produce to %q: %w", p.topic, err)
 	}
 	p.sent.Add(1)
@@ -55,6 +64,9 @@ func (p *Producer) SendPooled(key []byte, encode func(dst []byte) []byte) (int32
 func (p *Producer) SendToPartition(partition int32, key, value []byte) (int64, error) {
 	_, off, err := p.client.Produce(p.topic, partition, key, value)
 	if err != nil {
+		if errors.Is(err, flow.ErrBackpressure) {
+			return 0, err
+		}
 		return 0, fmt.Errorf("produce to %q/%d: %w", p.topic, partition, err)
 	}
 	p.sent.Add(1)

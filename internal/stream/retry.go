@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"cad3/internal/flow"
 )
 
 // RetryClient decorates a TCP client with automatic reconnection: when a
@@ -152,10 +154,14 @@ func (rc *RetryClient) jittered(d time.Duration) time.Duration {
 
 // brokerError reports whether the error is an application-level broker
 // response (retrying cannot help) rather than a transport failure.
+// Backpressure is deliberately broker-class: a refused send must NOT be
+// blind-retried on the spot — that is the retry storm flow control exists
+// to prevent. Senders pace (flow.Pacer) or drop instead.
 func brokerError(err error) bool {
 	for _, sentinel := range []error{
 		ErrTopicExists, ErrUnknownTopic, ErrBadPartition,
 		ErrBrokerClosed, ErrPartitionDown, ErrValueTooLarge, ErrEmptyTopicName,
+		flow.ErrBackpressure,
 	} {
 		if errors.Is(err, sentinel) {
 			return true

@@ -4,8 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"cad3/internal/flow"
 )
 
 func timeFromUnixNano(nanos int64) time.Time {
@@ -106,7 +110,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		resp, err := s.handle(&enc, msgType, payload)
 		if err != nil {
 			enc.reset(respError)
-			enc.str(err.Error())
+			enc.str(errorWireMessage(err))
 			resp = enc.frame()
 		}
 		putFrame(payload) // handle copied what it keeps; resp is enc's buffer
@@ -245,8 +249,40 @@ func (c *TCPClient) roundTrip() (byte, wireDecoder, error) {
 	return msgType, dec, nil
 }
 
+// errorWireMessage renders a handler error for the wire. Backpressure
+// refusals additionally carry their live retry-after hint, so the remote
+// producer's pacer backs off by the broker's estimate rather than a guess.
+func errorWireMessage(err error) string {
+	if errors.Is(err, flow.ErrBackpressure) {
+		if hint, ok := flow.RetryAfter(err); ok {
+			return fmt.Sprintf("%s retry-after-us=%d", flow.ErrBackpressure.Error(), hint.Microseconds())
+		}
+	}
+	return err.Error()
+}
+
+// remoteBackpressure is the client-side reconstruction of a broker's
+// backpressure refusal: it matches flow.ErrBackpressure and carries the
+// hint parsed off the wire.
+type remoteBackpressure struct {
+	hint time.Duration
+}
+
+func (e *remoteBackpressure) Error() string             { return flow.ErrBackpressure.Error() + " (remote)" }
+func (e *remoteBackpressure) Is(target error) bool      { return target == flow.ErrBackpressure }
+func (e *remoteBackpressure) RetryAfter() time.Duration { return e.hint }
+
 // remoteError maps server-side sentinel messages back to matchable errors.
 func remoteError(msg string) error {
+	if bp := flow.ErrBackpressure.Error(); len(msg) >= len(bp) && msg[:len(bp)] == bp {
+		e := &remoteBackpressure{}
+		if i := strings.Index(msg, "retry-after-us="); i >= 0 {
+			if us, err := strconv.ParseInt(msg[i+len("retry-after-us="):], 10, 64); err == nil {
+				e.hint = time.Duration(us) * time.Microsecond
+			}
+		}
+		return e
+	}
 	for _, sentinel := range []error{
 		ErrTopicExists, ErrUnknownTopic, ErrBadPartition,
 		ErrBrokerClosed, ErrPartitionDown, ErrValueTooLarge,

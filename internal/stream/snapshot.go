@@ -129,6 +129,13 @@ func RestoreBroker(cfg BrokerConfig, snap *BrokerSnapshot) (*Broker, error) {
 					AppendedAt: time.Unix(0, ms.AppendedAtNs),
 				}
 			}
+			// A flow-controlled restore re-seats the restored backlog as
+			// gate occupancy: the messages were admitted before the crash,
+			// so they re-enter as credit debt, not via re-admission.
+			if pl.gate != nil {
+				pl.credited = ps.Base
+				pl.gate.Acquire(int64(len(ps.Messages)))
+			}
 			pl.mu.Unlock()
 		}
 	}
@@ -175,7 +182,11 @@ func (g *Group) Snapshot() GroupSnapshot {
 
 // RestoreGroup rebuilds a group against a (possibly restarted) broker
 // from its snapshot. The topic must exist with at least the snapshotted
-// partition count.
+// partition count: partitions added since the snapshot resume from the
+// earliest offset (a grown topic re-reads nothing it already committed,
+// and reads the new partitions from their start), while a topic that
+// shrank below the snapshot is an error — committed offsets would
+// silently vanish.
 func RestoreGroup(client Client, snap GroupSnapshot) (*Group, error) {
 	g, err := NewGroup(client, snap.Topic, 0)
 	if err != nil {
@@ -183,7 +194,7 @@ func RestoreGroup(client Client, snap GroupSnapshot) (*Group, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if len(snap.Offsets) != g.partitions {
+	if len(snap.Offsets) > g.partitions {
 		return nil, fmt.Errorf("stream: group snapshot has %d offsets, topic %q has %d partitions",
 			len(snap.Offsets), snap.Topic, g.partitions)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cad3/internal/core"
+	"cad3/internal/flow"
 	"cad3/internal/metrics"
 	"cad3/internal/obsv"
 	"cad3/internal/stream"
@@ -49,6 +50,14 @@ type Config struct {
 	// JSONWire publishes telemetry as JSON instead of the compact binary
 	// codec — the debugging/interop fallback (RSUs decode both).
 	JSONWire bool
+	// Pacing enables send-side congestion response when MaxDecimation > 0:
+	// a backpressured send doubles the vehicle's decimation factor (send
+	// every k-th sample, drop the rest locally) instead of retrying, and a
+	// streak of accepted sends earns the rate back — the AIMD response
+	// DSRC congestion control mandates for status-message channels. The
+	// zero value leaves the vehicle unpaced (backpressure surfaces as a
+	// send error).
+	Pacing flow.PacerConfig
 	// Now injects the clock. Nil selects time.Now.
 	Now func() time.Time
 }
@@ -58,6 +67,8 @@ type Vehicle struct {
 	cfg      Config
 	producer *stream.Producer
 	consumer *stream.Consumer
+	// pacer is the send-side congestion response (nil = unpaced).
+	pacer *flow.Pacer
 	// key is the precomputed partitioning key ("car-<id>").
 	key []byte
 
@@ -103,7 +114,7 @@ func New(cfg Config) (*Vehicle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vehicle %d: %w", cfg.ID, err)
 	}
-	return &Vehicle{
+	v := &Vehicle{
 		cfg:       cfg,
 		producer:  p,
 		consumer:  c,
@@ -111,12 +122,22 @@ func New(cfg Config) (*Vehicle, error) {
 		latencies: metrics.NewLatencyRecorder(),
 		traced:    metrics.NewBreakdownAccumulator(),
 		bandwidth: metrics.NewBandwidthMeter(),
-	}, nil
+	}
+	if cfg.Pacing.MaxDecimation > 0 {
+		v.pacer = flow.NewPacer(cfg.Pacing)
+	}
+	return v, nil
 }
 
 // SendNext publishes the record at the given replay index (modulo the
 // record count when looping), stamped with the current time so latency is
 // measured from transmission. It returns the stamped record.
+//
+// A paced vehicle (Config.Pacing) may not transmit at all: under an
+// elevated decimation factor most samples are dropped locally, and a send
+// the broker refuses with backpressure is absorbed — the pacer doubles its
+// decimation instead of the vehicle retrying or erroring out. Either way
+// the returned error is nil; Sent() tells how many records actually left.
 func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 	if !v.cfg.Loop && i >= len(v.cfg.Records) {
 		return trace.Record{}, ErrNoRecords
@@ -124,15 +145,20 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 	rec := v.cfg.Records[i%len(v.cfg.Records)]
 	rec.Car = v.cfg.ID
 	rec.TimestampMs = v.cfg.Now().UnixMilli()
+	if v.pacer != nil && !v.pacer.Tick() {
+		// Locally decimated: the congestion response cuts the channel rate
+		// at the source, no traffic reaches the broker.
+		return rec, nil
+	}
 	var payloadLen int
+	var err error
 	if v.cfg.JSONWire {
-		payload, err := core.EncodeRecordJSON(rec)
+		var payload []byte
+		payload, err = core.EncodeRecordJSON(rec)
 		if err != nil {
 			return trace.Record{}, fmt.Errorf("vehicle %d: encode: %w", v.cfg.ID, err)
 		}
-		if _, _, err := v.producer.Send(v.key, payload); err != nil {
-			return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
-		}
+		_, _, err = v.producer.Send(v.key, payload)
 		payloadLen = len(payload)
 	} else {
 		// Binary fast path: encode into a pooled buffer that recycles
@@ -141,12 +167,22 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 		// the rest down the RSU pipeline (JSON payloads carry no trace).
 		var tc obsv.TraceContext
 		tc.Stamp(obsv.StageSent, v.cfg.Now())
-		if _, _, err := v.producer.SendPooled(v.key, func(dst []byte) []byte {
+		_, _, err = v.producer.SendPooled(v.key, func(dst []byte) []byte {
 			return core.AppendRecordTraced(dst, rec, tc)
-		}); err != nil {
-			return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
-		}
+		})
 		payloadLen = core.RecordWireSize
+	}
+	if err != nil {
+		if v.pacer != nil && errors.Is(err, flow.ErrBackpressure) {
+			// Refused by the gate: never blind-retry — double the
+			// decimation and move on. The next samples absorb the cut.
+			v.pacer.OnBackpressure()
+			return rec, nil
+		}
+		return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
+	}
+	if v.pacer != nil {
+		v.pacer.OnSuccess()
 	}
 	v.sent.Add(1)
 	v.bandwidth.Add(payloadLen, v.cfg.Now())
@@ -229,6 +265,9 @@ func (v *Vehicle) Run(ctx context.Context) error {
 
 // Sent returns the number of records published.
 func (v *Vehicle) Sent() int64 { return v.sent.Load() }
+
+// Pacer returns the vehicle's send-side pacer, or nil when unpaced.
+func (v *Vehicle) Pacer() *flow.Pacer { return v.pacer }
 
 // Received returns the number of warnings addressed to this vehicle.
 func (v *Vehicle) Received() int64 { return v.received.Load() }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cad3/internal/core"
+	"cad3/internal/flow"
 	"cad3/internal/geo"
 	"cad3/internal/stream"
 	"cad3/internal/trace"
@@ -194,5 +195,103 @@ func TestFleetRun(t *testing.T) {
 	}
 	if f.TotalReceived() != 0 {
 		t.Errorf("TotalReceived = %d with no RSU running", f.TotalReceived())
+	}
+}
+
+// A paced vehicle responds to backpressure by decimating its send rate
+// instead of erroring or retrying, then earns the rate back on sustained
+// acceptance.
+func TestVehiclePacingUnderBackpressure(t *testing.T) {
+	// Keyed sends land on one partition; capacity 1 means every second
+	// un-drained send is refused.
+	b := stream.NewBroker(stream.BrokerConfig{FlowCapacity: 1, FlowPolicy: flow.TailDrop{}})
+	for _, topic := range []string{stream.TopicInData, stream.TopicOutData} {
+		if err := b.CreateTopic(topic, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := stream.NewInProcClient(b)
+	v, err := New(Config{
+		ID: 9, Client: client, Records: testRecords(4), Loop: true,
+		Pacing: flow.PacerConfig{MaxDecimation: 8, RecoverAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First send is admitted; the queue is now full.
+	if _, err := v.SendNext(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Sent() != 1 {
+		t.Fatalf("Sent = %d, want 1", v.Sent())
+	}
+
+	// Second send is refused: no error surfaces, the pacer backs off.
+	if _, err := v.SendNext(1); err != nil {
+		t.Fatalf("backpressured send must not error, got %v", err)
+	}
+	if v.Sent() != 1 {
+		t.Errorf("refused send counted as sent")
+	}
+	if got := v.Pacer().Decimation(); got != 2 {
+		t.Errorf("decimation after backpressure = %d, want 2", got)
+	}
+	if v.Pacer().Backpressured() != 1 {
+		t.Errorf("Backpressured = %d, want 1", v.Pacer().Backpressured())
+	}
+
+	// At factor 2, the next sample is dropped locally — the broker sees no
+	// traffic at all.
+	before := b.BytesIn()
+	if _, err := v.SendNext(2); err != nil {
+		t.Fatal(err)
+	}
+	if b.BytesIn() != before {
+		t.Error("decimated sample reached the broker")
+	}
+	if v.Pacer().Decimated() != 1 {
+		t.Errorf("Decimated = %d, want 1", v.Pacer().Decimated())
+	}
+
+	// Drain the queue; a streak of accepted sends recovers full rate.
+	drain := func() {
+		t.Helper()
+		c, err := stream.NewConsumer(client, stream.TopicInData, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs, _ := c.Poll(64)
+		stream.RecycleMessages(msgs)
+	}
+	for i := 3; v.Pacer().Decimation() > 1 && i < 40; i++ {
+		drain()
+		if _, err := v.SendNext(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Pacer().Decimation(); got != 1 {
+		t.Errorf("decimation never recovered: %d", got)
+	}
+}
+
+// An unpaced vehicle surfaces backpressure as a send error (matchable via
+// flow.ErrBackpressure) rather than silently dropping.
+func TestVehicleUnpacedSurfacesBackpressure(t *testing.T) {
+	b := stream.NewBroker(stream.BrokerConfig{FlowCapacity: 1, FlowPolicy: flow.TailDrop{}})
+	for _, topic := range []string{stream.TopicInData, stream.TopicOutData} {
+		if err := b.CreateTopic(topic, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := New(Config{ID: 9, Client: stream.NewInProcClient(b), Records: testRecords(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.SendNext(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.SendNext(1); !errors.Is(err, flow.ErrBackpressure) {
+		t.Errorf("got %v, want a backpressure error", err)
 	}
 }
