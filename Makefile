@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json race vet fmt cover experiments chaos overload profile linkcheck docs clean
+.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos overload profile linkcheck docs clean
 
 all: build vet test
 
@@ -32,8 +32,16 @@ profile:
 	$(GO) test -run XXX -bench 'BenchmarkDetectHotPath|BenchmarkWireCodec' -benchmem \
 		-cpuprofile cpu.prof -memprofile mem.prof ./internal/core
 
+# go vet plus the repo-aware analyzers (determinism, pool safety, wire
+# layout, zero-alloc, goroutine hygiene) — see DESIGN.md §11.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/cad3-vet ./...
+
+# Debug build with the runtime pool guard: double-recycles of pooled
+# buffers panic with both offending call sites.
+test-checks:
+	$(GO) test -tags cad3_checks ./internal/stream/...
 
 # Hermetic markdown cross-reference check (the CI docs job).
 linkcheck:

@@ -1,0 +1,115 @@
+// Command cad3-vet runs the repo-specific static analyzers in
+// internal/lint over the whole module and prints every finding as
+//
+//	file:line: [analyzer] message
+//
+// exiting non-zero if anything is found. It enforces the invariants the
+// compiler cannot see: simulation packages stay on injected clocks
+// (virtualclock), pooled buffers are not touched after recycling
+// (poolsafety), the wire-format constants match the bytes the codec
+// actually moves (wirelayout), //cad3:noalloc functions stay off the
+// allocator (noalloc), and long-running packages spawn no fire-and-forget
+// goroutines (goroutinehygiene). See DESIGN.md §11 for the rationale and
+// the //cad3:allow escape hatch.
+//
+// Usage:
+//
+//	cad3-vet [-list] [-only analyzer,analyzer] [dir]
+//
+// With no directory, the module containing the current directory is
+// analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cad3/internal/lint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cad3-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("unknown analyzer %q (use -list)", name)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	dir := "."
+	if args := flag.Args(); len(args) > 0 {
+		// Accept `./...` for familiarity with go vet; the whole module is
+		// always analyzed.
+		dir = strings.TrimSuffix(args[0], "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" || dir == "." {
+			dir = "."
+		}
+	}
+
+	root, module, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		return err
+	}
+	loader := lint.NewLoader(root, module)
+	prog, err := loader.LoadRepo()
+	if err != nil {
+		return err
+	}
+
+	// Type errors mean the analysis ran on a partial picture — surface
+	// them as a load failure rather than pretending the tree is clean.
+	var typeErrs []string
+	for _, pkg := range prog.Pkgs {
+		for _, e := range pkg.TypeErrors {
+			typeErrs = append(typeErrs, fmt.Sprintf("%s: %v", pkg.Path, e))
+		}
+	}
+	if len(typeErrs) > 0 {
+		sort.Strings(typeErrs)
+		for _, e := range typeErrs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return fmt.Errorf("%d type error(s) while loading — fix the build first", len(typeErrs))
+	}
+
+	findings := lint.Run(prog, analyzers)
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cad3-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	return nil
+}

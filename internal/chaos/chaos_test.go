@@ -190,3 +190,39 @@ func TestBackpressurePassesThroughChaosClient(t *testing.T) {
 		t.Errorf("partitioned link: got %v, want ErrLinkDown", err)
 	}
 }
+
+// The delay fault must never fall back to time.Sleep: a nil Sleep hook
+// under a delay-capable config is a misconfiguration that would couple a
+// "deterministic" experiment to the host scheduler, so apply panics
+// instead (the virtualclock analyzer enforces the static side of this).
+func TestDelayWithNilSleepPanics(t *testing.T) {
+	inj := NewInjector(Config{Seed: 1, DelayProb: 1, MinDelay: time.Millisecond})
+	c := NewClient(inj, "a", "b", newBrokerClient(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Produce with a drawn delay and nil Sleep did not panic")
+		}
+	}()
+	_, _, _ = c.Produce("t", 0, nil, []byte("payload"))
+}
+
+// With an injected Sleep the drawn delays are delivered to the hook —
+// virtual time advances, the wall clock does not.
+func TestDelayUsesInjectedSleep(t *testing.T) {
+	inj := NewInjector(Config{Seed: 1, DelayProb: 1, MinDelay: 2 * time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	c := NewClient(inj, "a", "b", newBrokerClient(t))
+	var virtual time.Duration
+	c.Sleep = func(d time.Duration) { virtual += d }
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if _, _, err := c.Produce("t", 0, nil, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := 100 * time.Millisecond; virtual != want {
+		t.Errorf("virtual sleep accumulated %v, want %v", virtual, want)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("wall clock advanced %v — delays leaked out of the hook", elapsed)
+	}
+}

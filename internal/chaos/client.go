@@ -39,8 +39,11 @@ type Client struct {
 	inner stream.Client
 	inj   *Injector
 
-	// Sleep implements injected delays. Nil selects time.Sleep; the
-	// discrete-event harnesses inject a virtual-clock advance instead.
+	// Sleep implements injected delays; the discrete-event harnesses
+	// inject a virtual-clock advance. It is mandatory when the fault
+	// config can draw delays: falling back to time.Sleep here would
+	// silently re-couple a "deterministic" experiment to the host
+	// scheduler, so apply panics instead of guessing.
 	Sleep func(time.Duration)
 }
 
@@ -68,11 +71,11 @@ func (c *Client) apply() (bool, bool, error) {
 		return false, false, fmt.Errorf("%w: %s -> %s", ErrConnKilled, c.From, c.To)
 	}
 	if d.delay > 0 {
-		if c.Sleep != nil {
-			c.Sleep(d.delay)
-		} else {
-			time.Sleep(d.delay)
+		if c.Sleep == nil {
+			panic("chaos: delay fault drawn on link " + c.From + " -> " + c.To +
+				" but Client.Sleep is nil; inject a (virtual) clock")
 		}
+		c.Sleep(d.delay)
 	}
 	return d.drop, d.dup, nil
 }

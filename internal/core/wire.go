@@ -68,6 +68,8 @@ const maxSummaryTail = 255
 // extended slice. The result is exactly RecordWireSize bytes longer than
 // dst. Like the JSON form, the generator-ground-truth Anomalous flag is
 // not carried on the wire.
+//
+//cad3:noalloc
 func AppendRecord(dst []byte, r trace.Record) []byte {
 	off := len(dst)
 	dst = append(dst, make([]byte, RecordWireSize)...)
@@ -93,6 +95,8 @@ func AppendRecord(dst []byte, r trace.Record) []byte {
 // exactly RecordWireSize bytes — tracing is wire-size free — and the
 // encoding allocates nothing beyond the frame itself. DecodeRecord reads
 // traced and untraced frames identically; RecordTrace recovers tc.
+//
+//cad3:noalloc
 func AppendRecordTraced(dst []byte, r trace.Record, tc obsv.TraceContext) []byte {
 	off := len(dst)
 	dst = AppendRecord(dst, r)
@@ -103,6 +107,8 @@ func AppendRecordTraced(dst []byte, r trace.Record, tc obsv.TraceContext) []byte
 // RecordTrace extracts the trace context from a binary record payload.
 // ok=false for untraced frames and JSON payloads (the graceful-degradation
 // path: the pipeline runs untraced).
+//
+//cad3:noalloc
 func RecordTrace(b []byte) (obsv.TraceContext, bool) {
 	if !isBinary(b, hdrRecord) {
 		return obsv.TraceContext{}, false
@@ -111,6 +117,8 @@ func RecordTrace(b []byte) (obsv.TraceContext, bool) {
 }
 
 // AppendWarning appends the binary encoding of w to dst.
+//
+//cad3:noalloc
 func AppendWarning(dst []byte, w Warning) []byte {
 	off := len(dst)
 	dst = append(dst, make([]byte, warningWireSize)...)
@@ -128,6 +136,8 @@ func AppendWarning(dst []byte, w Warning) []byte {
 // tail carrying tc — the warning-side trace transport (warnings have no
 // padding, so the context rides a fixed-size tail instead). DecodeWarning
 // ignores the tail; WarningTrace recovers it.
+//
+//cad3:noalloc
 func AppendWarningTraced(dst []byte, w Warning, tc obsv.TraceContext) []byte {
 	dst = AppendWarning(dst, w)
 	off := len(dst)
@@ -138,6 +148,8 @@ func AppendWarningTraced(dst []byte, w Warning, tc obsv.TraceContext) []byte {
 
 // WarningTrace extracts the trace context from a binary warning payload.
 // ok=false for untraced warnings and JSON payloads.
+//
+//cad3:noalloc
 func WarningTrace(b []byte) (obsv.TraceContext, bool) {
 	if !isBinary(b, hdrWarning) {
 		return obsv.TraceContext{}, false
@@ -178,6 +190,8 @@ var le = binary.LittleEndian
 // isBinary reports whether b starts with the given version-1 binary
 // header. Anything else — JSON (which starts with '{' or whitespace),
 // an unknown future version, garbage — is routed to the JSON fallback.
+//
+//cad3:noalloc
 func isBinary(b []byte, hdr byte) bool {
 	return len(b) > 0 && b[0] == hdr
 }

@@ -1,0 +1,186 @@
+// Package lint is the CAD3 repo-aware static-analysis suite behind
+// cmd/cad3-vet. It loads every package in the module with nothing but
+// the standard library (go/parser + go/types, stdlib imports resolved
+// from $GOROOT source) and runs analyzers that enforce the invariants
+// the codebase's hot paths depend on but the compiler cannot check:
+//
+//   - virtualclock: simulation packages must take an injected clock —
+//     no wall-clock time.Now/time.Sleep/timers.
+//   - poolsafety: pooled payload buffers must not be read, written, or
+//     recycled again after they were handed back to the pool.
+//   - wirelayout: the fixed 200 B record frame, the 41 B warning, and
+//     the 50 B trace blob at offset 76 are cross-checked against the
+//     offsets the codec actually writes, so the constants and the code
+//     can never drift apart.
+//   - noalloc: functions annotated //cad3:noalloc must not contain
+//     allocating constructs (capturing closures, map/slice literals,
+//     make/new, string concatenation, interface boxing).
+//   - goroutinehygiene: long-running packages must not spawn bare
+//     goroutines without lifecycle control (context, stop channel, or
+//     WaitGroup).
+//
+// Findings print as "file:line: [analyzer] message"; a finding can be
+// suppressed with an annotation on the same line or the line above:
+//
+//	//cad3:allow <analyzer> <reason>
+//
+// The reason is mandatory — an allow without one is itself a finding.
+// See DESIGN.md §11 for each analyzer's rationale.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding the way cad3-vet prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a loaded Program.
+type Analyzer struct {
+	// Name is the identifier findings carry and //cad3:allow references.
+	Name string
+	// Doc is a one-line description for cad3-vet -list.
+	Doc string
+	// Run reports the analyzer's findings over the whole program.
+	Run func(prog *Program) []Finding
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		VirtualClock,
+		PoolSafety,
+		WireLayout,
+		NoAlloc,
+		GoroutineHygiene,
+	}
+}
+
+// AllowTag is the annotation prefix that suppresses a finding.
+const AllowTag = "//cad3:allow"
+
+// allow is one parsed //cad3:allow annotation.
+type allow struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// Run executes the analyzers over the program, applies //cad3:allow
+// suppressions, and appends a finding for every malformed allow (missing
+// analyzer name or reason). Findings come back sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, a.Run(prog)...)
+	}
+	allows, bad := prog.allows()
+	out = append(filterAllowed(out, allows), bad...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// filterAllowed drops findings covered by a well-formed allow annotation
+// for the same analyzer on the finding's line or the line directly above.
+func filterAllowed(findings []Finding, allows []allow) []Finding {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	idx := make(map[key]bool, len(allows))
+	for _, al := range allows {
+		idx[key{al.pos.Filename, al.pos.Line, al.analyzer}] = true
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line, f.Analyzer}
+		kAbove := key{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}
+		if idx[k] || idx[kAbove] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// allows scans every file's comments for //cad3:allow annotations,
+// returning the well-formed ones and a finding per malformed one.
+func (prog *Program) allows() ([]allow, []Finding) {
+	var ok []allow
+	var bad []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, AllowTag) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, AllowTag)
+					if i := strings.Index(rest, "//"); i >= 0 {
+						rest = rest[:i] // a nested comment is not part of the reason
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Pos:      pos,
+							Analyzer: "allow",
+							Message:  "malformed " + AllowTag + ": need \"" + AllowTag + " <analyzer> <reason>\" — the reason is mandatory",
+						})
+						continue
+					}
+					ok = append(ok, allow{
+						pos:      pos,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return ok, bad
+}
+
+// pkgBase returns the last element of an import path — analyzers that
+// target specific repo packages (netem, stream, ...) match on it so the
+// golden-file testdata packages trigger the same rules.
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// funcDecl finds a top-level function declaration by name in the package.
+func (p *Package) funcDecl(name string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, okd := d.(*ast.FuncDecl); okd && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}

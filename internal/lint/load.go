@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	// Path is the package's import path (module-qualified for repo
+	// packages, synthetic for golden-file testdata).
+	Path string
+	// Dir is the directory the files came from.
+	Dir   string
+	Files []*ast.File
+	// Types is the type-checked package; Info holds the use/def/type
+	// maps the analyzers consult. Both are always non-nil, but may be
+	// incomplete if the package had type errors (analyzers must treat
+	// missing Info entries as "unknown", not crash).
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check diagnostics. cad3-vet surfaces them
+	// as a load failure; the golden harness asserts there are none so a
+	// broken testdata package cannot silently produce zero findings.
+	TypeErrors []error
+}
+
+// Program is the full set of packages one analysis run sees.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Loader loads repo packages with the standard library only: files are
+// parsed with go/parser, repo-internal imports are resolved recursively
+// from source, and standard-library imports go through go/importer's
+// source importer ($GOROOT/src). No go/packages, no subprocesses.
+type Loader struct {
+	// Root is the module root directory.
+	Root string
+	// Module is the module path ("cad3"); imports under it load from Root.
+	Module string
+	// Tags are extra build tags considered active (GOOS, GOARCH, and the
+	// toolchain's go1.x tags are always active).
+	Tags []string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module directory.
+func NewLoader(root, module string, tags ...string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   root,
+		Module: module,
+		Tags:   tags,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*Package{},
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer so the type checker can pull in
+// dependencies: module-internal paths load (and cache) from source,
+// everything else is delegated to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.Root, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path, reusing the cache on repeat calls.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	names, err := l.goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", n, perr)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	// Register before type-checking: import cycles would otherwise
+	// recurse forever (the type checker reports the cycle as an error).
+	l.pkgs[path] = pkg
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info) // errors land in TypeErrors
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, files[0].Name.Name)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// goFiles lists the buildable non-test Go files of dir, honoring
+// //go:build constraints against the loader's active tag set.
+func (l *Loader) goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		ok, cerr := l.fileBuildable(filepath.Join(dir, n))
+		if cerr != nil {
+			return nil, cerr
+		}
+		if ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// fileBuildable evaluates the file's //go:build constraint (if any)
+// against GOOS, GOARCH, the toolchain release tags, and l.Tags. Files
+// guarded by foreign tags (e.g. the cad3_checks debug build) are
+// excluded exactly like `go build` excludes them.
+func (l *Loader) fileBuildable(path string) (bool, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if !constraint.IsGoBuild(line) {
+				continue
+			}
+			expr, perr := constraint.Parse(line)
+			if perr != nil {
+				return false, fmt.Errorf("lint: %s: %w", path, perr)
+			}
+			return expr.Eval(l.tagActive), nil
+		}
+		break // first non-comment, non-blank line: constraints must precede it
+	}
+	return true, nil
+}
+
+// tagActive reports whether a build tag is satisfied in this toolchain's
+// default configuration.
+func (l *Loader) tagActive(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "unix" && unixOS[runtime.GOOS] {
+		return true
+	}
+	if strings.HasPrefix(tag, "go1.") {
+		return releaseTagActive(tag)
+	}
+	for _, t := range l.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// releaseTagActive reports whether a go1.N tag is at or below the
+// running toolchain's minor version.
+func releaseTagActive(tag string) bool {
+	var n int
+	if _, err := fmt.Sscanf(tag, "go1.%d", &n); err != nil {
+		return false
+	}
+	cur := runtime.Version() // e.g. "go1.24.0"
+	var major int
+	if _, err := fmt.Sscanf(cur, "go1.%d", &major); err != nil {
+		return true // unusual toolchain string: accept the tag
+	}
+	return n <= major
+}
+
+// LoadRepo loads every package in the module (skipping testdata, hidden
+// directories, and directories with no buildable files) into a Program.
+func (l *Loader) LoadRepo() (*Program, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != l.Root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+			return filepath.SkipDir
+		}
+		names, gerr := l.goFiles(path)
+		if gerr != nil || len(names) == 0 {
+			return nil //nolint: unreadable dirs and file-less dirs are skipped
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: l.fset}
+	for _, dir := range dirs {
+		rel, rerr := filepath.Rel(l.Root, dir)
+		if rerr != nil {
+			return nil, rerr
+		}
+		path := l.Module
+		if rel != "." {
+			path = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, lerr := l.LoadDir(dir, path)
+		if lerr != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", path, lerr)
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod and
+// returns it with the module path parsed from the file.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

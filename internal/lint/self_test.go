@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean runs the full suite over the real module — the same
+// check `make vet` and CI run. Any finding here is a real regression
+// against the invariants in DESIGN.md §11.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not a -short test")
+	}
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewLoader(root, module).LoadRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+	for _, f := range Run(prog, Analyzers()) {
+		rel := f
+		if r, rerr := filepath.Rel(root, f.Pos.Filename); rerr == nil {
+			rel.Pos.Filename = r
+		}
+		t.Errorf("%s", rel.String())
+	}
+}

@@ -1,0 +1,55 @@
+// Package stream is a golden fixture: its name puts it in the
+// goroutinehygiene analyzer's long-running set. It spawns goroutines
+// under every accepted lifecycle discipline plus two seeded leaks.
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+// Server is a miniature stand-in for the real broker.
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// StartGuarded registers the goroutine with a WaitGroup: legal.
+func (s *Server) StartGuarded() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// StartStoppable ties the goroutine to a stop channel: legal.
+func (s *Server) StartStoppable() {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// StartWithContext hands the spawned call a context: legal.
+func (s *Server) StartWithContext(ctx context.Context) {
+	go s.pump(ctx)
+}
+
+func (s *Server) pump(ctx context.Context) { <-ctx.Done() }
+
+// StartLeak is a fire-and-forget literal: nothing can stop it.
+func (s *Server) StartLeak(events chan int) {
+	go func() { // want "no lifecycle control"
+		for range events {
+		}
+	}()
+}
+
+// LeakNamed spawns a named function with no registration: leak.
+func LeakNamed(events chan int) {
+	go drain(events) // want "no lifecycle control"
+}
+
+func drain(events chan int) {
+	for range events {
+	}
+}

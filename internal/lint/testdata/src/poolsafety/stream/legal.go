@@ -1,0 +1,55 @@
+package stream
+
+// The patterns here are all legal; any finding in this file is a false
+// positive and fails the golden test.
+
+// pollLoop is the canonical consumer: poll, recycle, re-arm with a
+// zero-length reslice.
+func pollLoop(msgs []Message) {
+	for i := 0; i < 3; i++ {
+		msgs = append(msgs, Message{})
+		RecycleMessages(msgs)
+		msgs = msgs[:0]
+	}
+}
+
+// rangeRecycle hands each element back; the loop variable rebinds every
+// iteration, so no double-recycle.
+func rangeRecycle(bufs [][]byte) {
+	for _, b := range bufs {
+		PutPayload(b)
+	}
+}
+
+// killOrReturn recycles only on the terminating path; the fallthrough
+// path still owns the buffer.
+func killOrReturn(flag bool, buf []byte) {
+	if flag {
+		PutPayload(buf)
+		return
+	}
+	buf[0] = 1
+}
+
+// reacquire overwrites the dead variable with a fresh lease.
+func reacquire() []byte {
+	buf := GetPayload()
+	PutPayload(buf)
+	buf = GetPayload()
+	return buf
+}
+
+// deferredRecycle pushes the kill into a deferred closure: it runs at
+// function exit, not inline, so the body's uses are fine.
+func deferredRecycle() {
+	buf := GetPayload()
+	defer func() { PutPayload(buf) }()
+	buf = append(buf, 1)
+	_ = buf
+}
+
+// headerLen may keep using len/cap after a batch recycle.
+func headerLen(msgs []Message) int {
+	RecycleMessages(msgs)
+	return len(msgs) + cap(msgs)
+}

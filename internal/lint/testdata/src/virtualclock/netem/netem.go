@@ -1,0 +1,58 @@
+// Package netem is a golden fixture: its name puts it in the
+// virtualclock analyzer's simulation set, and it mixes legal virtual-time
+// arithmetic with seeded wall-clock violations.
+package netem
+
+import "time"
+
+// Simulator is a miniature stand-in for the real event-driven simulator.
+type Simulator struct {
+	now time.Time
+}
+
+// Step advances virtual time — pure arithmetic, legal.
+func (s *Simulator) Step(d time.Duration) {
+	s.now = s.now.Add(d)
+}
+
+// Epoch uses a pure constructor, legal.
+func Epoch() time.Time {
+	return time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Drift reads the wall clock.
+func (s *Simulator) Drift() time.Duration {
+	return time.Since(s.now) // want "wall-clock time.Since"
+}
+
+// Wait blocks on the host scheduler.
+func (s *Simulator) Wait(d time.Duration) {
+	time.Sleep(d) // want "wall-clock time.Sleep"
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+func timer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want "wall-clock time.NewTimer"
+}
+
+// allowed demonstrates a well-formed suppression: no finding.
+func allowed() time.Time {
+	return time.Now() //cad3:allow virtualclock boot banner timestamp is display-only
+}
+
+// badAllow has a reasonless allow: the suppression is rejected AND
+// reported, so the wall-clock finding surfaces too.
+func badAllow() time.Time {
+	return time.Now() //cad3:allow virtualclock // want "wall-clock time.Now" "reason is mandatory"
+}
+
+// shadowed uses a local variable named time-like things resolved through
+// a non-package object: not a wall-clock reference.
+func shadowed() int {
+	type clock struct{ Now func() int }
+	time := clock{Now: func() int { return 0 }}
+	return time.Now()
+}

@@ -1,0 +1,50 @@
+// Package core is a golden fixture for the wirelayout analyzer: the
+// encoder writes 72 bytes of fixed layout while recordBodySize still
+// says 64 — seeded drift the analyzer must catch. The decoder reads a
+// consistent 64 bytes, so only the encoder reports.
+package core
+
+import "encoding/binary"
+
+var le = binary.LittleEndian
+
+const (
+	recordBodySize = 64
+	// RecordWireSize is the padded on-air frame.
+	RecordWireSize = 200
+)
+
+// Record is a miniature telemetry record.
+type Record struct {
+	Car, Seq, A, B, C, D, E, F, G uint64
+}
+
+// AppendRecord encodes nine fields (72 bytes); the constant says 64.
+func AppendRecord(dst []byte, r Record) []byte { // want "AppendRecord touches 72 bytes of fixed layout but recordBodySize = 64"
+	dst = append(dst, make([]byte, RecordWireSize)...)
+	b := dst[len(dst)-RecordWireSize:]
+	le.PutUint64(b[0:], r.Car)
+	le.PutUint64(b[8:], r.Seq)
+	le.PutUint64(b[16:], r.A)
+	le.PutUint64(b[24:], r.B)
+	le.PutUint64(b[32:], r.C)
+	le.PutUint64(b[40:], r.D)
+	le.PutUint64(b[48:], r.E)
+	le.PutUint64(b[56:], r.F)
+	le.PutUint64(b[64:], r.G)
+	return dst
+}
+
+// DecodeRecord reads exactly the first 64 bytes — consistent with the
+// constant, so no finding here.
+func DecodeRecord(b []byte) (r Record) {
+	r.Car = le.Uint64(b[0:])
+	r.Seq = le.Uint64(b[8:])
+	r.A = le.Uint64(b[16:])
+	r.B = le.Uint64(b[24:])
+	r.C = le.Uint64(b[32:])
+	r.D = le.Uint64(b[40:])
+	r.E = le.Uint64(b[48:])
+	r.F = le.Uint64(b[56:])
+	return r
+}

@@ -1,0 +1,61 @@
+// Package obsv is the trace side of the wirelayout fixture. Its blob
+// layout is self-consistent, but the mirror constant RecordTraceOffset
+// drifted from the codec's 64-byte body, and StampPayload stamps one
+// offset PutTrace never writes.
+package obsv
+
+import "encoding/binary"
+
+var le = binary.LittleEndian
+
+const (
+	// TraceBlobSize is the in-band trace-context blob.
+	TraceBlobSize = 50
+	// RecordTraceOffset should equal the codec's fixed body size (64).
+	RecordTraceOffset = 70 // want "RecordTraceOffset = 70 drifted from"
+	// RecordFrameSize mirrors the codec's frame — consistent.
+	RecordFrameSize = 200
+)
+
+// PutTrace writes the 50-byte blob: magic, flags, six uint64 fields.
+func PutTrace(b []byte, t [6]uint64) {
+	b[0] = 0xA7
+	b[1] = 1
+	le.PutUint64(b[2:], t[0])
+	le.PutUint64(b[10:], t[1])
+	le.PutUint64(b[18:], t[2])
+	le.PutUint64(b[26:], t[3])
+	le.PutUint64(b[34:], t[4])
+	le.PutUint64(b[42:], t[5])
+}
+
+// GetTrace reads the same extent back.
+func GetTrace(b []byte) (t [6]uint64, ok bool) {
+	if b[0] != 0xA7 {
+		return t, false
+	}
+	t[0] = le.Uint64(b[2:])
+	t[1] = le.Uint64(b[10:])
+	t[2] = le.Uint64(b[18:])
+	t[3] = le.Uint64(b[26:])
+	t[4] = le.Uint64(b[34:])
+	t[5] = le.Uint64(b[42:])
+	return t, true
+}
+
+// StampPayload rewrites one stage slot in place; offset 20 is not a
+// field boundary PutTrace ever writes.
+func StampPayload(b []byte, stage int, v uint64) {
+	var off int
+	switch stage {
+	case 0:
+		off = 10
+	case 1:
+		off = 18
+	case 2:
+		off = 20 // want "StampPayload stamps offset 20, which PutTrace never writes"
+	default:
+		return
+	}
+	le.PutUint64(b[off:], v)
+}

@@ -148,6 +148,8 @@ var traceLE = binary.LittleEndian
 
 // PutTrace encodes tc into b, which must hold at least TraceBlobSize
 // bytes. It writes in place and allocates nothing.
+//
+//cad3:noalloc
 func PutTrace(b []byte, tc TraceContext) {
 	_ = b[TraceBlobSize-1]
 	b[0] = traceMagic
@@ -164,6 +166,8 @@ func PutTrace(b []byte, tc TraceContext) {
 // does not start with a current-version trace header — untraced padding,
 // JSON payloads, and future versions all land here and degrade to the
 // untraced pipeline.
+//
+//cad3:noalloc
 func GetTrace(b []byte) (TraceContext, bool) {
 	if len(b) < TraceBlobSize || b[0] != traceMagic || b[1] != traceVersion {
 		return TraceContext{}, false
@@ -182,6 +186,8 @@ func GetTrace(b []byte) (TraceContext, bool) {
 // 200 B binary record frame carries it in its padding, a traced binary
 // warning as its tail. Anything else (JSON, untraced warnings, other
 // payload types) has none.
+//
+//cad3:noalloc
 func payloadTraceRegion(payload []byte) []byte {
 	switch {
 	case len(payload) == RecordFrameSize:
@@ -195,6 +201,8 @@ func payloadTraceRegion(payload []byte) []byte {
 
 // PayloadTrace extracts the trace context from any wire payload, reporting
 // ok=false for untraced or JSON payloads.
+//
+//cad3:noalloc
 func PayloadTrace(payload []byte) (TraceContext, bool) {
 	region := payloadTraceRegion(payload)
 	if region == nil {
@@ -212,6 +220,8 @@ func PayloadTrace(payload []byte) (TraceContext, bool) {
 // forwarded to OUT-DATA carries the original record's context, and the
 // second broker hop must not overwrite the IN-DATA arrival — that hop's
 // delay belongs to Dissemination, which StageDeliver closes.
+//
+//cad3:noalloc
 func StampPayload(payload []byte, s Stage, t time.Time) bool {
 	region := payloadTraceRegion(payload)
 	if region == nil || region[0] != traceMagic || region[1] != traceVersion {

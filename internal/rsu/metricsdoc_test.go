@@ -1,0 +1,241 @@
+package rsu
+
+// Metric-inventory conformance: OBSERVABILITY.md promises "every name the
+// substrate emits is listed below; there are no undocumented metrics".
+// This test holds the document to that promise in both directions, the
+// same way linkcheck holds the cross-references: it parses the three
+// inventory tables, stands up one hermetic deployment that exercises
+// every registering component on a single obsv.Registry, and diffs the
+// snapshot against the documented names. A metric added to the code
+// without a table row fails, and so does a table row whose metric no
+// component registers anymore.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"cad3/internal/flow"
+	"cad3/internal/geo"
+	"cad3/internal/netem"
+	"cad3/internal/obsv"
+	"cad3/internal/stream"
+)
+
+// docMetric is one documented metric name, compiled to a matcher because
+// the inventory uses `<node>`, `<topic>`, `<class>` and `<pacer>`
+// placeholders for instance-keyed names.
+type docMetric struct {
+	name string
+	re   *regexp.Regexp
+}
+
+func (d docMetric) matches(name string) bool { return d.re.MatchString(name) }
+
+// compileDocName turns a documented name into an anchored regexp,
+// replacing each <placeholder> with a wildcard (`<pacer>` expands to a
+// dotted prefix like "flow.pacer", so the wildcard must cross dots).
+func compileDocName(t *testing.T, name string) docMetric {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("^")
+	rest := name
+	for {
+		open := strings.Index(rest, "<")
+		if open < 0 {
+			b.WriteString(regexp.QuoteMeta(rest))
+			break
+		}
+		close := strings.Index(rest, ">")
+		if close < open {
+			t.Fatalf("malformed placeholder in documented metric %q", name)
+		}
+		b.WriteString(regexp.QuoteMeta(rest[:open]))
+		b.WriteString(".+")
+		rest = rest[close+1:]
+	}
+	b.WriteString("$")
+	return docMetric{name: name, re: regexp.MustCompile(b.String())}
+}
+
+// metricTableRow extracts the first backticked cell of an inventory
+// table row.
+var metricTableRow = regexp.MustCompile("^\\|\\s*`([^`]+)`")
+
+// parseMetricInventory reads the Counters / Gauges / Histograms tables
+// out of OBSERVABILITY.md.
+func parseMetricInventory(t *testing.T) (counters, gauges, hists []docMetric) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("read inventory: %v", err)
+	}
+	var section *[]docMetric
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "### Counters"):
+			section = &counters
+			continue
+		case strings.HasPrefix(trimmed, "### Gauges"):
+			section = &gauges
+			continue
+		case strings.HasPrefix(trimmed, "### Histograms"):
+			section = &hists
+			continue
+		case strings.HasPrefix(trimmed, "#"):
+			section = nil
+			continue
+		}
+		if section == nil {
+			continue
+		}
+		if m := metricTableRow.FindStringSubmatch(trimmed); m != nil && m[1] != "name" {
+			*section = append(*section, compileDocName(t, m[1]))
+		}
+	}
+	if len(counters) < 10 || len(gauges) < 10 || len(hists) < 3 {
+		t.Fatalf("inventory parse looks broken: %d counters, %d gauges, %d histograms",
+			len(counters), len(gauges), len(hists))
+	}
+	return counters, gauges, hists
+}
+
+// registerEverything stands up every metric-emitting component of the
+// substrate on the one registry and drives the supervisor through a
+// healthy round, a failed restart and a successful restart, so the
+// event-keyed `<node>.*` counters register too. Everything else
+// registers eagerly at construction.
+func registerEverything(t *testing.T, reg *obsv.Registry) {
+	t.Helper()
+	_, _, mw, cad := trainedDetectors(t)
+
+	net := geo.NewNetwork(0)
+	if err := net.AddSegment(lineSeg(t, 1, geo.Motorway)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddSegment(lineSeg(t, 2, geo.MotorwayLink)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flow-controlled broker: registers broker.* plus the per-topic
+	// flow.<topic>.{admitted,rejected,shed.<class>,occupancy} family for
+	// the three CAD3 topics the node provisions.
+	mwBroker := stream.NewBroker(stream.BrokerConfig{Metrics: reg, FlowCapacity: 64})
+	lkBroker := stream.NewBroker(stream.BrokerConfig{})
+	cluster, err := NewCluster(net, []Config{
+		// The Mw node carries the registry: pipeline.* histograms, the
+		// rsu.* / flow.node.* gauge views, the microbatch.* engine
+		// metrics, and (via BatchSLO) the adaptive flow.node.batch_limit
+		// controller.
+		{Name: "Mw", Road: 1, Detector: mw, Client: stream.NewInProcClient(mwBroker),
+			Metrics: reg, BatchSLO: 50 * time.Millisecond},
+		{Name: "Link", Road: 2, Detector: cad, Client: stream.NewInProcClient(lkBroker)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Vehicle-side pacer and the 802.11p channel model.
+	flow.NewPacer(flow.PacerConfig{Metrics: reg})
+	if _, err := netem.NewMedium(netem.MediumConfig{Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Supervision events. A virtual clock steps past the restart backoff
+	// and a restart hook that fails once then succeeds covers the full
+	// counter family: heartbeat.{ok,fail}, checkpoints, restarts,
+	// restart.fail and the degraded.* deltas (published every healthy
+	// probe, delta or not).
+	now := time.Unix(0, 0)
+	failNext := true
+	restart := func(name string, cp *Checkpoint) (*Node, error) {
+		if failNext {
+			failNext = false
+			return nil, errors.New("injected restart failure")
+		}
+		b := stream.NewBroker(stream.BrokerConfig{})
+		return Recover(Config{Client: stream.NewInProcClient(b)}, cp)
+	}
+	sup, err := NewSupervisor(SupervisorConfig{
+		Cluster:       cluster,
+		Restart:       restart,
+		FailThreshold: 1,
+		Seed:          7,
+		Metrics:       reg,
+		Now:           func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.CheckOnce(); got != 0 {
+		t.Fatalf("unhealthy = %d on a healthy cluster", got)
+	}
+	if err := mwBroker.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.CheckOnce(); got != 1 {
+		t.Fatalf("unhealthy = %d after failed restart, want 1", got)
+	}
+	now = now.Add(time.Minute) // clear the restart backoff
+	if got := sup.CheckOnce(); got != 0 {
+		t.Fatalf("unhealthy = %d after restart, want 0", got)
+	}
+}
+
+// diffInventory reports registered-but-undocumented names and
+// documented-but-unregistered rows for one metric kind.
+func diffInventory(t *testing.T, kind string, registered []string, doc []docMetric) {
+	t.Helper()
+	matched := make(map[string]bool, len(doc))
+	for _, name := range registered {
+		found := false
+		for _, d := range doc {
+			if d.matches(name) {
+				matched[d.name] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s %q is registered but missing from OBSERVABILITY.md's inventory", kind, name)
+		}
+	}
+	for _, d := range doc {
+		if !matched[d.name] {
+			t.Errorf("%s `%s` is documented in OBSERVABILITY.md but nothing registers it", kind, d.name)
+		}
+	}
+}
+
+// TestMetricInventoryMatchesDocs fails when the code's registered metric
+// names and OBSERVABILITY.md's inventory drift apart, in either
+// direction.
+func TestMetricInventoryMatchesDocs(t *testing.T) {
+	counters, gauges, hists := parseMetricInventory(t)
+	reg := obsv.NewRegistry()
+	registerEverything(t, reg)
+	snap := reg.Snapshot()
+
+	diffInventory(t, "counter", mapKeys(snap.Counters), counters)
+	diffInventory(t, "gauge", mapKeys(snap.Gauges), gauges)
+	histNames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		histNames = append(histNames, name)
+	}
+	diffInventory(t, "histogram", histNames, hists)
+}
+
+func mapKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

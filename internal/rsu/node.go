@@ -210,6 +210,31 @@ type Node struct {
 	histTx, histQueue, histProc *obsv.Histogram
 }
 
+// warnEncoder carries one warning through SendPooled without building a
+// closure per send: fn is bound once when the encoder is created, and
+// the staging fields are rewritten per warning. Encoders are pooled
+// because the engine calls processRecords from several workers at once.
+type warnEncoder struct {
+	w      core.Warning
+	tc     obsv.TraceContext
+	traced bool
+	fn     func(dst []byte) []byte
+}
+
+//cad3:noalloc
+func (e *warnEncoder) encode(dst []byte) []byte {
+	if e.traced {
+		return core.AppendWarningTraced(dst, e.w, e.tc)
+	}
+	return core.AppendWarning(dst, e.w)
+}
+
+var warnEncoders = sync.Pool{New: func() any {
+	e := &warnEncoder{}
+	e.fn = e.encode
+	return e
+}}
+
 // collaborativeDetector marks detectors whose accuracy depends on the
 // forwarded prior (satisfied by *core.CAD3 via its fusion weight).
 type collaborativeDetector interface {
@@ -465,14 +490,12 @@ func (n *Node) processRecords(records []tracedRecord) error {
 			// them during Send, so they recycle immediately after. Traced
 			// records emit traced warnings, so the context survives into
 			// dissemination and the vehicle can complete the breakdown.
+			enc := warnEncoders.Get().(*warnEncoder)
+			enc.w, enc.tc, enc.traced = w, tc, traced
 			key := appendCarKey(stream.GetPayload(), rec.Car)
-			_, _, err = n.outProducer.SendPooled(key, func(dst []byte) []byte {
-				if traced {
-					return core.AppendWarningTraced(dst, w, tc)
-				}
-				return core.AppendWarning(dst, w)
-			})
+			_, _, err = n.outProducer.SendPooled(key, enc.fn)
 			stream.PutPayload(key)
+			warnEncoders.Put(enc)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("warn car %d: %w", rec.Car, err)
@@ -514,6 +537,8 @@ func carKey(car trace.CarID) []byte {
 
 // appendCarKey appends the partitioning key for a car ("car-<id>") without
 // the fmt machinery.
+//
+//cad3:noalloc
 func appendCarKey(dst []byte, car trace.CarID) []byte {
 	dst = append(dst, "car-"...)
 	return strconv.AppendInt(dst, int64(car), 10)

@@ -1,0 +1,54 @@
+package rsu
+
+import (
+	"testing"
+
+	"cad3/internal/core"
+	"cad3/internal/obsv"
+)
+
+// TestWarnEncoderReuse pins the shape of the warning fast path's fix for
+// the per-send closure the noalloc analyzer flagged: encoders come out
+// of the pool with fn prebound, restaging them is allocation-free, and
+// the bound callback sees the fields written after it was created.
+func TestWarnEncoderReuse(t *testing.T) {
+	enc := warnEncoders.Get().(*warnEncoder)
+	if enc.fn == nil {
+		t.Fatal("pooled encoder has no prebound fn")
+	}
+
+	enc.w = core.Warning{Car: 7, Road: 3, PNormal: 0.25, SourceTsMs: 10, DetectedTsMs: 20}
+	enc.traced = false
+	plain := enc.fn(nil)
+	w, err := core.DecodeWarning(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != enc.w {
+		t.Errorf("round-trip warning = %+v, want %+v", w, enc.w)
+	}
+
+	enc.tc = obsv.TraceContext{BatchID: 9, SentMicro: 1}
+	enc.traced = true
+	traced := enc.fn(nil)
+	if tc, ok := core.WarningTrace(traced); !ok || tc.BatchID != 9 {
+		t.Errorf("traced encode lost the context (ok=%v tc=%+v)", ok, tc)
+	}
+	warnEncoders.Put(enc)
+
+	allocs := testing.AllocsPerRun(500, func() {
+		e := warnEncoders.Get().(*warnEncoder)
+		e.w.Car++
+		buf := e.fn(scratch[:0])
+		if len(buf) == 0 {
+			t.Fatal("empty encode")
+		}
+		warnEncoders.Put(e)
+	})
+	if allocs != 0 {
+		t.Errorf("pooled warn encode: %v allocs/op, want 0", allocs)
+	}
+}
+
+// scratch is the reused encode buffer for the alloc measurement.
+var scratch = make([]byte, 0, 256)

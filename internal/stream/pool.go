@@ -45,6 +45,7 @@ var payloadFree = make(chan []byte, 1024)
 func GetPayload() []byte {
 	select {
 	case b := <-payloadFree:
+		guardLease(b)
 		return b[:0]
 	default:
 		return make([]byte, 0, pooledBufCap)
@@ -53,19 +54,27 @@ func GetPayload() []byte {
 
 // PutPayload returns a buffer to the pool. Nil and oversized buffers are
 // dropped. The caller must not touch the buffer afterwards.
+//
+//cad3:noalloc
 func PutPayload(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledBufCap {
 		return
 	}
+	// Admit into the guard before the send: once the header is in the
+	// ring another goroutine may lease it immediately.
+	guardAdmit(b)
 	select {
 	case payloadFree <- b[:0]:
 	default: // free list full: let the GC take it
+		guardRetract(b)
 	}
 }
 
 // RecycleMessages returns the Key/Value buffers of polled messages to the
 // pool and nils them out. Call it only when the messages' payloads have
 // been fully decoded (copied into structs) and nothing aliases them.
+//
+//cad3:noalloc
 func RecycleMessages(msgs []Message) {
 	for i := range msgs {
 		PutPayload(msgs[i].Key)
@@ -104,6 +113,7 @@ var frameFree = make(chan []byte, 64)
 func getFrame(n int) []byte {
 	select {
 	case b := <-frameFree:
+		guardLease(b)
 		if cap(b) >= n {
 			return b[:n]
 		}
@@ -117,8 +127,10 @@ func putFrame(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledFrameCap {
 		return
 	}
+	guardAdmit(b)
 	select {
 	case frameFree <- b[:0]:
 	default:
+		guardRetract(b)
 	}
 }

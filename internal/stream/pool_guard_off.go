@@ -1,0 +1,12 @@
+//go:build !cad3_checks
+
+package stream
+
+// Release builds compile the pool guard hooks to no-ops that inline to
+// nothing, keeping the recycle fast path allocation- and branch-free.
+// The cad3_checks debug build (pool_guard.go) replaces them with a
+// pointer-keyed double-recycle detector: `go test -tags cad3_checks`.
+
+func guardAdmit([]byte)   {}
+func guardRetract([]byte) {}
+func guardLease([]byte)   {}

@@ -1,0 +1,84 @@
+//go:build cad3_checks
+
+package stream
+
+import (
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+// resetPoolGuard drains the payload ring and clears the guard table so
+// each test starts from a known-empty pool (other package tests share
+// the global free lists).
+func resetPoolGuard() {
+	for {
+		select {
+		case <-payloadFree:
+			continue
+		default:
+		}
+		break
+	}
+	guardMu.Lock()
+	freeSites = map[unsafe.Pointer]string{}
+	guardMu.Unlock()
+}
+
+// TestGuardPanicsOnDoubleRecycle proves the debug build turns a double
+// PutPayload into an immediate panic naming both recycle call sites.
+func TestGuardPanicsOnDoubleRecycle(t *testing.T) {
+	resetPoolGuard()
+	b := GetPayload()
+	b = append(b, 1, 2, 3)
+	PutPayload(b)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second PutPayload of the same buffer did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		if !strings.Contains(msg, "double recycle of pooled buffer") ||
+			!strings.Contains(msg, "already recycled at") ||
+			!strings.Contains(msg, "pool_guard_test.go") {
+			t.Errorf("panic message lacks the offending call sites: %q", msg)
+		}
+	}()
+	PutPayload(b)
+}
+
+// TestGuardAllowsRecycleAfterLease proves the legal lifecycle stays
+// silent: put, get (lease), put again.
+func TestGuardAllowsRecycleAfterLease(t *testing.T) {
+	resetPoolGuard()
+	b := GetPayload()
+	b = append(b, 42)
+	PutPayload(b)
+	leased := GetPayload() // the ring returns the same buffer
+	PutPayload(leased)     // legal: the new owner recycles once
+}
+
+// TestGuardRetractsDroppedBuffers proves a buffer the full ring dropped
+// to the GC is forgotten — recycling a fresh buffer that happens to
+// reuse its storage must not trip the detector.
+func TestGuardRetractsDroppedBuffers(t *testing.T) {
+	resetPoolGuard()
+	// Fill the ring completely, then overflow it by one.
+	kept := make([][]byte, 0, cap(payloadFree)+1)
+	for i := 0; i <= cap(payloadFree); i++ {
+		kept = append(kept, append(GetPayload(), byte(i)))
+	}
+	for _, b := range kept {
+		PutPayload(b) // the last one is dropped and must be retracted
+	}
+	guardMu.Lock()
+	n := len(freeSites)
+	guardMu.Unlock()
+	if n != cap(payloadFree) {
+		t.Errorf("guard tracks %d buffers, want exactly the ring capacity %d", n, cap(payloadFree))
+	}
+}

@@ -71,6 +71,13 @@ type Vehicle struct {
 	pacer *flow.Pacer
 	// key is the precomputed partitioning key ("car-<id>").
 	key []byte
+	// encodeRec is the reusable SendPooled encode callback; it reads the
+	// pending* staging fields so the binary fast path builds no closure
+	// (and therefore allocates nothing) per send. Each vehicle has a
+	// single sender goroutine, so plain fields suffice.
+	encodeRec  func(dst []byte) []byte
+	pendingRec trace.Record
+	pendingTC  obsv.TraceContext
 
 	sent     atomic.Int64
 	received atomic.Int64
@@ -123,6 +130,9 @@ func New(cfg Config) (*Vehicle, error) {
 		traced:    metrics.NewBreakdownAccumulator(),
 		bandwidth: metrics.NewBandwidthMeter(),
 	}
+	v.encodeRec = func(dst []byte) []byte {
+		return core.AppendRecordTraced(dst, v.pendingRec, v.pendingTC)
+	}
 	if cfg.Pacing.MaxDecimation > 0 {
 		v.pacer = flow.NewPacer(cfg.Pacing)
 	}
@@ -165,11 +175,10 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 		// right after the broker's copy. The trace context rides the
 		// frame's padding: StageSent here, StageArrive at the broker,
 		// the rest down the RSU pipeline (JSON payloads carry no trace).
-		var tc obsv.TraceContext
-		tc.Stamp(obsv.StageSent, v.cfg.Now())
-		_, _, err = v.producer.SendPooled(v.key, func(dst []byte) []byte {
-			return core.AppendRecordTraced(dst, rec, tc)
-		})
+		v.pendingRec = rec
+		v.pendingTC = obsv.TraceContext{}
+		v.pendingTC.Stamp(obsv.StageSent, v.cfg.Now())
+		_, _, err = v.producer.SendPooled(v.key, v.encodeRec)
 		payloadLen = core.RecordWireSize
 	}
 	if err != nil {

@@ -295,3 +295,27 @@ func TestVehicleUnpacedSurfacesBackpressure(t *testing.T) {
 		t.Errorf("got %v, want a backpressure error", err)
 	}
 }
+
+// TestSendNextNoPerSendClosure pins the binary fast path's allocation
+// budget: the only heap traffic per send is the broker's stored-message
+// bookkeeping (2 allocs on the accepted path, measured independently in
+// the stream package). SendNext itself must add nothing — its encode
+// callback is the reusable v.encodeRec, not a per-send capturing closure,
+// which is exactly what cad3-vet's noalloc analyzer enforces statically.
+func TestSendNextNoPerSendClosure(t *testing.T) {
+	_, client := testBrokerClient(t)
+	v, err := New(Config{ID: 9, Client: client, Records: testRecords(3), Loop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, serr := v.SendNext(i); serr != nil {
+			t.Fatal(serr)
+		}
+		i++
+	})
+	if allocs > 2 {
+		t.Errorf("SendNext: %v allocs/op, want <= 2 (broker storage only)", allocs)
+	}
+}
