@@ -18,10 +18,12 @@ test-short:
 bench:
 	$(GO) test -run XXX -bench=. -benchmem ./...
 
-# Machine-readable pipeline benchmarks (steady-state vs overload), for
-# tracking the bounded-pipeline cost across PRs.
+# Machine-readable pipeline + wire benchmarks (steady-state vs overload,
+# sync vs pipelined vs batched wire), for tracking per-record cost
+# across PRs. BENCH_PR4.json is the frozen pre-pipelining baseline.
 bench-json:
-	$(GO) test -run XXX -bench 'BenchmarkPipeline' -benchmem -json ./internal/rsu > BENCH_PR4.json
+	$(GO) test -run XXX -bench 'BenchmarkPipeline|BenchmarkWire' -benchmem -json \
+		./internal/rsu ./internal/stream > BENCH_PR6.json
 
 race:
 	$(GO) test -race ./...

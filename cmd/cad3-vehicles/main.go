@@ -42,6 +42,8 @@ func run() error {
 	duration := flag.Duration("duration", 10*time.Second, "run duration")
 	seed := flag.Int64("seed", 1, "record pool seed")
 	jsonWire := flag.Bool("json", false, "publish telemetry as JSON instead of the binary codec (debug/interop)")
+	conns := flag.Int("conns", stream.DefaultPoolSize, "pooled pipelined connections shared by the fleet")
+	perConn := flag.Bool("per-conn", false, "one synchronous connection per vehicle (pre-pipelining behavior, for comparison)")
 	flag.Parse()
 
 	pool, _, err := experiments.BuildLatencyInputs(*seed)
@@ -49,23 +51,35 @@ func run() error {
 		return err
 	}
 
-	// One TCP connection per vehicle, as in the paper's per-producer
-	// emulation.
-	clients := make([]*stream.RetryClient, 0, *n)
-	defer func() {
-		for _, c := range clients {
-			_ = c.Close()
+	// By default the whole fleet multiplexes a small pool of pipelined
+	// connections with per-link circuit breakers; -per-conn restores the
+	// paper's one-synchronous-connection-per-producer emulation.
+	var clientFor func(i int) stream.Client
+	if *perConn {
+		clients := make([]*stream.RetryClient, 0, *n)
+		defer func() {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+		}()
+		for i := 0; i < *n; i++ {
+			c, err := stream.DialRetry(*addr, 0, 0)
+			if err != nil {
+				return fmt.Errorf("dial vehicle %d: %w", i, err)
+			}
+			clients = append(clients, c)
 		}
-	}()
-	for i := 0; i < *n; i++ {
-		c, err := stream.DialRetry(*addr, 0, 0)
+		clientFor = func(i int) stream.Client { return clients[i] }
+	} else {
+		pc, err := stream.DialPool(*addr, stream.PoolConfig{Size: *conns})
 		if err != nil {
-			return fmt.Errorf("dial vehicle %d: %w", i, err)
+			return fmt.Errorf("dial pool: %w", err)
 		}
-		clients = append(clients, c)
+		defer pc.Close()
+		clientFor = func(i int) stream.Client { return pc }
 	}
 
-	fleet, err := vehicle.NewFleet(*n, pool, func(i int) stream.Client { return clients[i] }, vehicle.Config{Loop: true, JSONWire: *jsonWire})
+	fleet, err := vehicle.NewFleet(*n, pool, clientFor, vehicle.Config{Loop: true, JSONWire: *jsonWire})
 	if err != nil {
 		return err
 	}

@@ -118,6 +118,24 @@ func (p *Pacer) OnBackpressure() {
 	}
 }
 
+// Floor drops the pacer straight to its maximum decimation factor. A
+// tripped circuit breaker calls this: an unanswering link is worse than a
+// backpressuring broker, so instead of doubling per refusal the sender
+// cuts to the floor at once and earns the rate back through the usual
+// recovery streaks once the breaker's probes restore the link.
+func (p *Pacer) Floor() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.streak = 0
+	if p.k == p.maxDecimation {
+		return
+	}
+	p.k = p.maxDecimation
+	if p.mDecimation != nil {
+		p.mDecimation.Set(int64(p.k))
+	}
+}
+
 // OnSuccess records an accepted send; a long enough streak halves the
 // decimation factor back toward full rate.
 func (p *Pacer) OnSuccess() {

@@ -80,6 +80,15 @@ func goHasLifecycle(pkg *Package, g *ast.GoStmt, stack []ast.Node) bool {
 		// A literal body with no evidence may still be registered by the
 		// enclosing function (wg.Add before `go`).
 	}
+	// A named function or method declared in this package (e.g. a
+	// client's reader goroutine `go c.readLoop()`): resolve the
+	// declaration and accept it only if its body carries the evidence —
+	// a stop channel, context, or WaitGroup it answers to.
+	if decl := resolveSpawnedDecl(pkg, g.Call.Fun); decl != nil && decl.Body != nil {
+		if nodeHasLifecycleEvidence(pkg, decl.Body) {
+			return true
+		}
+	}
 	// Context handed to the spawned call directly?
 	for _, arg := range g.Call.Args {
 		if exprIsContext(pkg, arg) {
@@ -104,6 +113,34 @@ func goHasLifecycle(pkg *Package, g *ast.GoStmt, stack []ast.Node) bool {
 		break // only the nearest enclosing function counts
 	}
 	return false
+}
+
+// resolveSpawnedDecl maps a spawned named function or method back to its
+// declaration in the same package (cross-package spawns resolve to nil —
+// their hygiene is the defining package's concern).
+func resolveSpawnedDecl(pkg *Package, fun ast.Expr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	pos := obj.Pos()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Pos() == pos {
+				return fd
+			}
+		}
+	}
+	return nil
 }
 
 // nodeHasLifecycleEvidence looks for ctx/stop-channel/WaitGroup use

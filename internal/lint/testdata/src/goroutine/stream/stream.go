@@ -1,0 +1,25 @@
+// Named-function spawn fixtures for the goroutinehygiene analyzer:
+// the declaration of a spawned method is resolved and scanned for
+// lifecycle evidence.
+package stream
+
+// StartReader spawns a named method whose own body waits on the stop
+// channel (the pipelined client's reader-goroutine shape): legal.
+func (s *Server) StartReader() {
+	go s.readLoop()
+}
+
+func (s *Server) readLoop() {
+	<-s.stop
+}
+
+// LeakMethod spawns a named method with no lifecycle evidence anywhere
+// in its body: leak.
+func (s *Server) LeakMethod(events chan int) {
+	go s.drainAll(events) // want "no lifecycle control"
+}
+
+func (s *Server) drainAll(events chan int) {
+	for range events {
+	}
+}

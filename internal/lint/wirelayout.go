@@ -26,7 +26,10 @@ import (
 //   - the obsv mirror constants (RecordTraceOffset, RecordFrameSize,
 //     WarningTraceOffset) and the core layout they mirror;
 //   - StampPayload's per-stage offsets and PutTrace's field offsets;
-//   - the trace blob fitting inside the record frame's padding.
+//   - the trace blob fitting inside the record frame's padding;
+//   - the stream wire protocol's fixed v2 layouts: helloBodySize vs
+//     putHello/readHelloBody and batchOKResultSize vs
+//     putBatchOK/readBatchOK.
 //
 // Packages are located structurally (a package that defines AppendRecord
 // plus recordBodySize is "the codec"; one defining PutTrace plus
@@ -64,6 +67,20 @@ func runWireLayout(prog *Program) []Finding {
 			w.reportConst("RecordWireSize", fmt.Sprintf(
 				"record frame (%d B) is smaller than the fixed body (%d B)", coreFrame, coreBody))
 		}
+	}
+
+	// The stream wire protocol's fixed v2 layouts: the hello body and the
+	// per-record batch result. Located structurally like the codec —
+	// whichever package defines putHello plus helloBodySize is the wire
+	// layer — so the golden fixture exercises the same path.
+	if wire := findPackageWith(prog, "putHello", "helloBodySize"); wire != nil {
+		w := &wireChecker{prog: prog, pkg: wire, out: &out}
+		hello := w.constVal("helloBodySize")
+		w.checkExtent("putHello", "helloBodySize", hello, writeExtent)
+		w.checkExtent("readHelloBody", "helloBodySize", hello, readExtent)
+		batchOK := w.constVal("batchOKResultSize")
+		w.checkExtent("putBatchOK", "batchOKResultSize", batchOK, writeExtent)
+		w.checkExtent("readBatchOK", "batchOKResultSize", batchOK, readExtent)
 	}
 
 	if obsv != nil {

@@ -149,6 +149,27 @@ func registerEverything(t *testing.T, reg *obsv.Registry) {
 		t.Fatal(err)
 	}
 
+	// Pooled wire client against a live TCP server: registers the wire.*
+	// counters/gauges and, through the per-link circuit breakers, the
+	// wire.breaker.* family. One produce exercises the request path.
+	wireBroker := stream.NewBroker(stream.BrokerConfig{})
+	srv, err := stream.NewServer(wireBroker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool, err := stream.DialPool(srv.Addr(), stream.PoolConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.CreateTopic("wire-probe", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pool.Produce("wire-probe", 0, nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
 	// Supervision events. A virtual clock steps past the restart backoff
 	// and a restart hook that fails once then succeeds covers the full
 	// counter family: heartbeat.{ok,fail}, checkpoints, restarts,

@@ -1,0 +1,380 @@
+package stream
+
+// Batched produce. A reqProduceBatch frame packs N records for one topic
+// into a single length-prefixed frame, flushed with one vectored write
+// (net.Buffers → writev) straight from the callers' buffers — the frame
+// header and the per-field length prefixes come from reused scratch, the
+// key/value bytes are never copied on the way out. Against a pipelined
+// server several batch frames ride in flight at once (the issue/await
+// split below); against a synchronous one the batch degrades to
+// sequential Produce calls, so callers need no fallback logic of their
+// own.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"cad3/internal/flow"
+)
+
+// BatchRecord is one record in a produce batch. A nil Key selects
+// round-robin partitioning, like Produce.
+type BatchRecord struct {
+	Key   []byte
+	Value []byte
+}
+
+// BatchResult is the broker's per-record answer to a batch. Err is nil
+// on success, flow.ErrBackpressure (with RetryAfter carrying the
+// broker's hint) on a paced refusal, or a remote error otherwise — the
+// sentinel shapes mirror Produce so callers reuse their handling.
+type BatchResult struct {
+	Partition  int32
+	Offset     int64
+	RetryAfter time.Duration
+	Err        error
+}
+
+// BatchClient is a Client that can produce a batch in one round trip.
+// TCPClient and PoolClient implement it; the in-proc client does not
+// need to (there is no wire to amortize).
+type BatchClient interface {
+	Client
+	// ProduceBatchInto sends recs to one topic/partition and decodes the
+	// per-record results into res; len(res) must equal len(recs).
+	ProduceBatchInto(topic string, partition int32, recs []BatchRecord, res []BatchResult) error
+}
+
+// errBatchSize is returned when len(res) != len(recs).
+var errBatchSize = errors.New("stream: batch results length must match records")
+
+// PendingBatch is an issued-but-unawaited batch: the frame is on the
+// wire (or, in synchronous mode, the records are parked) and Await
+// collects the per-record results. Keeping several pending batches in
+// flight is how a producer fills the connection's window.
+type PendingBatch struct {
+	c  *TCPClient
+	ch chan pipeResp
+	n  int
+
+	// Synchronous fallback: the records are sent one by one at Await.
+	sync      bool
+	topic     string
+	partition int32
+	recs      []BatchRecord
+}
+
+// batchFrameSize computes the full frame size (length prefix included)
+// of a batch for the given topic and records.
+//
+//cad3:noalloc
+func batchFrameSize(topic string, recs []BatchRecord) int {
+	// frame len + type + corr + topic (u32 + bytes) + partition + count.
+	n := 4 + 1 + corrSize + 4 + len(topic) + 4 + 4
+	for i := range recs {
+		n += 8 + len(recs[i].Key) + len(recs[i].Value)
+	}
+	return n
+}
+
+// batchInlineCutoff is the largest value that gets copied into the
+// arena rather than referenced from the iov. The kernel charges writev
+// per iovec entry: three entries per record turns a 64-record telemetry
+// batch into ~200 segments and the segment walk, not the byte copy,
+// dominates the syscall. Below the cutoff a memcpy into one contiguous
+// arena run is far cheaper than its own iovec; above it, zero-copy by
+// reference wins.
+const batchInlineCutoff = 4096
+
+// encodeBatchLocked assembles the vectored batch frame under c.mu: the
+// header (frame length, type, correlation ID, topic, partition, count)
+// goes into the encoder buffer; record prefixes, keys, and small values
+// are packed contiguously into the reused arena, with only values past
+// batchInlineCutoff parked in the iov by reference. One writev flushes
+// the lot — for telemetry-sized records that is two iovec entries total.
+//
+//cad3:noalloc
+func (c *TCPClient) encodeBatchLocked(topic string, partition int32, recs []BatchRecord, total int) {
+	c.enc.str(topic)
+	c.enc.u32(uint32(partition))
+	c.enc.u32(uint32(len(recs)))
+
+	// The arena is sized up front to the whole frame (a safe upper bound
+	// on its share): growing it mid-loop would move the runs already
+	// parked in the iov.
+	if cap(c.arena) < total {
+		c.arena = append(c.arena[:cap(c.arena)], make([]byte, total-cap(c.arena))...)
+	}
+	a := c.arena[:0]
+
+	c.iov = c.iov[:0]
+	c.iov = append(c.iov, c.enc.buf)
+	seg := 0 // start of the arena run not yet parked in the iov
+	var p [8]byte
+	for i := range recs {
+		k, v := recs[i].Key, recs[i].Value
+		binary.BigEndian.PutUint32(p[0:], uint32(len(k)))
+		binary.BigEndian.PutUint32(p[4:], uint32(len(v)))
+		a = append(a, p[:4]...)
+		a = append(a, k...)
+		a = append(a, p[4:8]...)
+		if len(v) > batchInlineCutoff {
+			c.iov = append(c.iov, a[seg:len(a):len(a)])
+			seg = len(a)
+			c.iov = append(c.iov, v)
+		} else {
+			a = append(a, v...)
+		}
+	}
+	if len(a) > seg {
+		c.iov = append(c.iov, a[seg:len(a):len(a)])
+	}
+	// Patch the frame length over the whole vectored payload.
+	binary.BigEndian.PutUint32(c.enc.buf[:4], uint32(total-4))
+}
+
+// ProduceBatchIssue puts a batch on the wire and returns without waiting
+// for the results; Await collects them. recs (and the buffers behind
+// them) must stay untouched until Await returns. On a synchronous
+// connection nothing is sent until Await, which degrades to sequential
+// Produce calls.
+func (c *TCPClient) ProduceBatchIssue(topic string, partition int32, recs []BatchRecord) (PendingBatch, error) {
+	if c.pipe == nil {
+		return PendingBatch{c: c, sync: true, topic: topic, partition: partition, recs: recs, n: len(recs)}, nil
+	}
+	total := batchFrameSize(topic, recs)
+	if uint32(total) > c.peerMax {
+		return PendingBatch{}, fmt.Errorf("stream: batch frame %d B exceeds peer max %d B; flush smaller batches", total, c.peerMax)
+	}
+	p := c.pipe
+	ch, err := p.acquire()
+	if err != nil {
+		return PendingBatch{}, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		p.release(ch)
+		return PendingBatch{}, ErrClientClosed
+	}
+	if err := c.pipeIssueLocked(ch, reqProduceBatch); err != nil {
+		c.mu.Unlock()
+		p.release(ch)
+		return PendingBatch{}, err
+	}
+	c.encodeBatchLocked(topic, partition, recs, total)
+	_, werr := c.iov.WriteTo(c.conn)
+	if werr != nil {
+		_ = c.conn.Close()
+	}
+	c.mu.Unlock()
+	if werr != nil {
+		r := <-ch // reader's fail path delivers; keep the channel clean
+		if r.buf != nil {
+			putFrame(r.buf)
+		}
+		p.release(ch)
+		return PendingBatch{}, fmt.Errorf("stream batch write: %w", werr)
+	}
+	return PendingBatch{c: c, ch: ch, n: len(recs)}, nil
+}
+
+// Await collects the batch's per-record results into res, which must
+// have the batch's length. The error covers transport/protocol failures;
+// per-record broker refusals land in res[i].Err.
+func (pb *PendingBatch) Await(res []BatchResult) error {
+	if len(res) != pb.n {
+		return errBatchSize
+	}
+	if pb.sync {
+		for i := range pb.recs {
+			res[i] = BatchResult{}
+			part, off, err := pb.c.Produce(pb.topic, pb.partition, pb.recs[i].Key, pb.recs[i].Value)
+			if err != nil {
+				res[i].Err = err
+				if errors.Is(err, flow.ErrBackpressure) {
+					if hint, ok := flow.RetryAfter(err); ok {
+						res[i].RetryAfter = hint
+					}
+					continue
+				}
+				continue
+			}
+			res[i].Partition = part
+			res[i].Offset = off
+		}
+		return nil
+	}
+
+	msgType, dec, err := pb.c.pipeAwait(pb.ch)
+	if err != nil {
+		return err
+	}
+	if msgType != respProduceBatch {
+		dec.release()
+		return errUnexpectedResponse(msgType)
+	}
+	n := int(dec.u32())
+	if dec.err == nil && n != pb.n {
+		dec.err = fmt.Errorf("stream: batch answered %d results for %d records", n, pb.n)
+	}
+	for i := 0; i < pb.n && dec.err == nil; i++ {
+		res[i] = BatchResult{}
+		switch status := dec.byte1(); status {
+		case batchStatusOK:
+			res[i].Partition = int32(dec.u32())
+			res[i].Offset = int64(dec.u64())
+		case batchStatusBackpressure:
+			res[i].RetryAfter = time.Duration(dec.u64()) * time.Microsecond
+			res[i].Err = flow.ErrBackpressure
+		case batchStatusError:
+			res[i].Err = remoteError(dec.str())
+		default:
+			if dec.err == nil {
+				dec.err = fmt.Errorf("stream: unknown batch result status %d", status)
+			}
+		}
+	}
+	err = dec.err
+	dec.release()
+	return err
+}
+
+// ProduceBatchInto implements BatchClient: issue + await in one call.
+func (c *TCPClient) ProduceBatchInto(topic string, partition int32, recs []BatchRecord, res []BatchResult) error {
+	if len(res) != len(recs) {
+		return errBatchSize
+	}
+	pb, err := c.ProduceBatchIssue(topic, partition, recs)
+	if err != nil {
+		return err
+	}
+	return pb.Await(res)
+}
+
+// BatchProducerConfig tunes a BatchProducer.
+type BatchProducerConfig struct {
+	// FlushEvery flushes automatically once this many records are
+	// buffered. Values <= 0 select 64.
+	FlushEvery int
+	// MaxBytes caps the projected frame size of a buffered batch; Add
+	// flushes before the cap is crossed. Values <= 0 select 256 KiB
+	// (clamped to the connection's negotiated frame limit by the client).
+	MaxBytes int
+}
+
+func (cfg BatchProducerConfig) withDefaults() BatchProducerConfig {
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 64
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 256 << 10
+	}
+	return cfg
+}
+
+// BatchProducer accumulates records into pooled buffers and flushes them
+// as batch frames. It is NOT safe for concurrent use — one producer per
+// sending goroutine, like the paper's per-vehicle Kafka producer. The
+// results of a flush are surfaced through the OnResult callback, so a
+// caller can feed its pacer without blocking the add path.
+type BatchProducer struct {
+	client    BatchClient
+	topic     string
+	partition int32
+	cfg       BatchProducerConfig
+
+	recs  []BatchRecord
+	bytes int
+	res   []BatchResult
+
+	// OnResult, when set, observes every per-record result at flush.
+	OnResult func(r BatchResult)
+}
+
+// NewBatchProducer binds a batch producer to a topic. partition is
+// usually AutoPartition: each record's key picks its partition.
+func NewBatchProducer(client BatchClient, topicName string, partition int32, cfg BatchProducerConfig) (*BatchProducer, error) {
+	if client == nil {
+		return nil, fmt.Errorf("stream: batch producer requires a client")
+	}
+	if topicName == "" {
+		return nil, ErrEmptyTopicName
+	}
+	cfg = cfg.withDefaults()
+	return &BatchProducer{
+		client:    client,
+		topic:     topicName,
+		partition: partition,
+		cfg:       cfg,
+		recs:      make([]BatchRecord, 0, cfg.FlushEvery),
+		res:       make([]BatchResult, cfg.FlushEvery),
+	}, nil
+}
+
+// Add buffers one record, copying key and value into pooled buffers (the
+// caller's slices are free to reuse immediately). It flushes when the
+// batch reaches FlushEvery records or MaxBytes projected frame bytes.
+func (bp *BatchProducer) Add(key, value []byte) error {
+	rec := BatchRecord{Value: append(GetPayload(), value...)}
+	if len(key) > 0 {
+		rec.Key = append(GetPayload(), key...)
+	}
+	bp.recs = append(bp.recs, rec)
+	bp.bytes += 8 + len(key) + len(value)
+	if len(bp.recs) >= bp.cfg.FlushEvery || bp.bytes >= bp.cfg.MaxBytes {
+		return bp.Flush()
+	}
+	return nil
+}
+
+// AddPooled buffers a record whose value is assembled directly into a
+// pooled buffer by encode (e.g. core.AppendRecord), skipping the copy
+// Add would make.
+func (bp *BatchProducer) AddPooled(key []byte, encode func(dst []byte) []byte) error {
+	rec := BatchRecord{Value: encode(GetPayload())}
+	if len(key) > 0 {
+		rec.Key = append(GetPayload(), key...)
+	}
+	bp.bytes += 8 + len(rec.Key) + len(rec.Value)
+	bp.recs = append(bp.recs, rec)
+	if len(bp.recs) >= bp.cfg.FlushEvery || bp.bytes >= bp.cfg.MaxBytes {
+		return bp.Flush()
+	}
+	return nil
+}
+
+// Len returns the number of buffered (unflushed) records.
+func (bp *BatchProducer) Len() int { return len(bp.recs) }
+
+// Flush sends the buffered records as one batch frame and recycles their
+// buffers. Per-record refusals go to OnResult; the returned error is
+// transport-level (the whole batch failed).
+func (bp *BatchProducer) Flush() error {
+	if len(bp.recs) == 0 {
+		return nil
+	}
+	if cap(bp.res) < len(bp.recs) {
+		bp.res = make([]BatchResult, len(bp.recs))
+	}
+	res := bp.res[:len(bp.recs)]
+	err := bp.client.ProduceBatchInto(bp.topic, bp.partition, bp.recs, res)
+	for i := range bp.recs {
+		PutPayload(bp.recs[i].Key)
+		PutPayload(bp.recs[i].Value)
+		bp.recs[i] = BatchRecord{}
+	}
+	bp.recs = bp.recs[:0]
+	bp.bytes = 0
+	if err != nil {
+		return err
+	}
+	if bp.OnResult != nil {
+		for i := range res {
+			bp.OnResult(res[i])
+		}
+	}
+	return nil
+}

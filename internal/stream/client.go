@@ -1,5 +1,7 @@
 package stream
 
+import "cad3/internal/flow"
+
 // Client abstracts access to a broker: the in-process client binds
 // directly, the TCP client speaks the wire protocol. Producers and
 // consumers are written against this interface so the same pipeline code
@@ -25,6 +27,7 @@ type InProcClient struct {
 }
 
 var _ Client = (*InProcClient)(nil)
+var _ BatchClient = (*InProcClient)(nil)
 
 // NewInProcClient binds a client to a broker.
 func NewInProcClient(b *Broker) *InProcClient { return &InProcClient{broker: b} }
@@ -52,6 +55,32 @@ func (c *InProcClient) PartitionCount(topicName string) (int, error) {
 // ListTopics implements Client.
 func (c *InProcClient) ListTopics() ([]string, error) {
 	return c.broker.Topics(), nil
+}
+
+// ProduceBatchInto implements BatchClient: the broker's single-pass
+// batch append, without a wire in between. Matching the TCP client,
+// failures are reported per record in res; the call itself only errors
+// on a res/recs length mismatch.
+func (c *InProcClient) ProduceBatchInto(topic string, partition int32, recs []BatchRecord, res []BatchResult) error {
+	if len(res) != len(recs) {
+		return errBatchSize
+	}
+	err := c.broker.ProduceBatch(topic, partition, recs, func(i int, part int32, off int64, perr error) {
+		res[i] = BatchResult{Partition: part, Offset: off, Err: perr}
+		if perr != nil {
+			if hint, ok := flow.RetryAfter(perr); ok {
+				res[i].RetryAfter = hint
+			}
+		}
+	})
+	if err != nil {
+		// Whole-batch refusal (unknown topic, closed broker): every record
+		// failed the same way.
+		for i := range res {
+			res[i] = BatchResult{Err: err}
+		}
+	}
+	return nil
 }
 
 // Close implements Client. The underlying broker stays open — it may be

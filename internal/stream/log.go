@@ -73,6 +73,39 @@ func (l *partitionLog) append(m Message) int64 {
 	return offset
 }
 
+// appendBatch adds a run of messages destined for this partition in one
+// lock acquisition, stamping them all with one append time (Kafka's
+// LogAppendTime has batch granularity too). The messages receive
+// contiguous offsets starting at the returned base. The slice contents
+// are taken over by the log; the slice header itself is not retained.
+func (l *partitionLog) appendBatch(msgs []Message, stamp time.Time) int64 {
+	if len(msgs) == 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base := l.base + int64(len(l.msgs))
+	for i := range msgs {
+		msgs[i].Offset = base + int64(i)
+		msgs[i].AppendedAt = stamp
+	}
+	l.msgs = append(l.msgs, msgs...)
+	for len(l.msgs) > l.maxRetained {
+		l.dropLocked(len(l.msgs) / 2)
+	}
+	if l.maxAge > 0 {
+		cutoff := stamp.Add(-l.maxAge)
+		drop := 0
+		for drop < len(l.msgs)-1 && l.msgs[drop].AppendedAt.Before(cutoff) {
+			drop++
+		}
+		if drop > 0 {
+			l.dropLocked(drop)
+		}
+	}
+	return base
+}
+
 // dropLocked discards the oldest n messages, advancing the base offset.
 // Credits held by evicted-but-never-fetched messages return to the gate:
 // eviction is the queue draining, just without a reader.
@@ -88,10 +121,18 @@ func (l *partitionLog) dropLocked(n int) {
 	for i := 0; i < n; i++ {
 		recyclePayloads(&l.msgs[i])
 	}
+	// Compact in place: retention fires every maxRetained/2 appends under
+	// sustained load, and reallocating the window each time made the GC
+	// the hottest function in the produce path. Capacity stays bounded by
+	// what maxRetained already allowed; the vacated tail is zeroed so
+	// stale entries don't pin recycled buffers.
 	remaining := len(l.msgs) - n
-	fresh := make([]Message, remaining)
-	copy(fresh, l.msgs[n:])
-	l.msgs = fresh
+	copy(l.msgs, l.msgs[n:])
+	tail := l.msgs[remaining:]
+	for i := range tail {
+		tail[i] = Message{}
+	}
+	l.msgs = l.msgs[:remaining]
 	l.base += int64(n)
 	l.creditThroughLocked(l.base)
 }

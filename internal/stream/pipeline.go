@@ -1,0 +1,495 @@
+package stream
+
+// Client-side windowed pipelining (protocol v2). A pipelined TCPClient
+// decouples request issue from response read: callers encode and write
+// their frame under the client mutex (fixing the on-wire order), park a
+// response channel in a FIFO ring, and block on that channel alone while
+// other callers keep the connection busy. A dedicated reader goroutine
+// matches each inbound frame to the oldest waiter — responses arrive in
+// request order because the server handles frames sequentially — and
+// verifies the echoed correlation ID as an integrity check. The in-flight
+// window is a token semaphore sized at DialConfig.Window.
+//
+// See DESIGN.md §12 for the full protocol and failure semantics.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// errPipeBroken wraps the first terminal error of a pipelined connection;
+// every in-flight and subsequent request fails with it.
+var errPipeBroken = errors.New("stream: pipelined connection broken")
+
+// errUnexpectedResponse is the cold-path constructor for a response
+// frame of the wrong type — a protocol violation, hoisted out of the
+// //cad3:noalloc request bodies.
+func errUnexpectedResponse(msgType byte) error {
+	return fmt.Errorf("stream: unexpected response type %d", msgType)
+}
+
+// pipeResp is one response delivered to a waiter. buf is the pooled
+// frame payload past the correlation ID; the waiter releases it.
+type pipeResp struct {
+	msgType byte
+	buf     []byte
+	err     error
+}
+
+// pipeWaiter is one in-flight request: the correlation ID it was issued
+// under and the channel its response is delivered on.
+type pipeWaiter struct {
+	corr uint32
+	ch   chan pipeResp
+}
+
+// pipeState is the pipelining machinery of one TCPClient.
+type pipeState struct {
+	// window is the in-flight token semaphore: issue acquires, await
+	// releases after the response channel is drained and recycled.
+	window chan struct{}
+	// free recycles response channels; holding a window token guarantees
+	// a receive cannot block (channels return before tokens).
+	free chan chan pipeResp
+	// stop is closed by Close; the reader goroutine exits on it and
+	// issuers refuse instead of blocking on a dead window.
+	stop chan struct{}
+	// done is closed by the reader goroutine on exit.
+	done chan struct{}
+	// br buffers the connection for the reader.
+	br *bufio.Reader
+
+	mu   sync.Mutex
+	next uint32       // next correlation ID
+	ring []pipeWaiter // FIFO of in-flight waiters, capacity = window
+	head uint32       // ring read index (reader)
+	tail uint32       // ring write index (issuers)
+	err  error        // first terminal error; set once, then sticky
+}
+
+// newPipeState sizes the machinery for a window of w in-flight requests.
+func newPipeState(conn net.Conn, w int) *pipeState {
+	p := &pipeState{
+		window: make(chan struct{}, w),
+		free:   make(chan chan pipeResp, w),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		br:     bufio.NewReaderSize(conn, 64<<10),
+		ring:   make([]pipeWaiter, w),
+	}
+	for i := 0; i < w; i++ {
+		p.window <- struct{}{}
+		p.free <- make(chan pipeResp, 1)
+	}
+	return p
+}
+
+// newTCPClient negotiates the protocol on a fresh connection. Unless
+// pipelining is disabled it sends a hello; a v2 server answers respHello
+// and the connection runs pipelined, while an old server answers
+// respError (unknown request type) and the same connection falls back to
+// the synchronous v1 path — the fallback is negotiated, not accidental.
+func newTCPClient(conn net.Conn, cfg DialConfig) (*TCPClient, error) {
+	cfg = cfg.withDefaults()
+	c := &TCPClient{
+		conn:     conn,
+		maxFrame: uint32(cfg.MaxFrameSize),
+		peerMax:  uint32(cfg.MaxFrameSize),
+		timeout:  cfg.RequestTimeout,
+	}
+	if cfg.DisablePipelining {
+		return c, nil
+	}
+
+	c.enc.reset(reqHello)
+	var body [helloBodySize]byte
+	putHello(body[:], protocolV2, c.maxFrame, uint32(cfg.Window))
+	c.enc.buf = append(c.enc.buf, body[:]...)
+	if _, err := conn.Write(c.enc.frame()); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("stream hello write: %w", err)
+	}
+	msgType, payload, err := readFrame(conn, c.maxFrame)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("stream hello read: %w", err)
+	}
+	switch {
+	case msgType == respHello && len(payload) >= helloBodySize:
+		version, peerMax, _ := readHelloBody(payload)
+		putFrame(payload)
+		if peerMax > 0 {
+			c.peerMax = peerMax
+		}
+		if version < protocolV2 {
+			return c, nil // server too old to pipeline: stay synchronous
+		}
+	case msgType == respError:
+		// Pre-v2 server: it rejected the hello as an unknown request and
+		// is ready for the next synchronous request on this connection.
+		putFrame(payload)
+		return c, nil
+	default:
+		putFrame(payload)
+		_ = conn.Close()
+		return nil, fmt.Errorf("stream hello: unexpected response type %d", msgType)
+	}
+
+	c.pipe = newPipeState(conn, cfg.Window)
+	c.enc.v2 = true
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop is the dedicated reader of a pipelined connection: it owns the
+// read side, delivering each response frame to the oldest in-flight
+// waiter. It exits when the connection dies or Close fires the stop
+// channel (Close also closes the conn, so the blocking read returns), and
+// fails every parked waiter on the way out so no caller hangs.
+func (c *TCPClient) readLoop() {
+	p := c.pipe
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			p.fail(ErrClientClosed)
+			return
+		default:
+		}
+		msgType, payload, err := readFrame(p.br, c.maxFrame)
+		if err != nil {
+			select {
+			case <-p.stop:
+				err = ErrClientClosed
+			default:
+			}
+			p.fail(err)
+			return
+		}
+		if len(payload) < corrSize {
+			putFrame(payload)
+			p.fail(errors.New("stream: v2 frame missing correlation ID"))
+			_ = c.conn.Close()
+			return
+		}
+		corr := binary.BigEndian.Uint32(payload)
+		p.mu.Lock()
+		if p.head == p.tail {
+			p.mu.Unlock()
+			putFrame(payload)
+			p.fail(errors.New("stream: response with no request in flight"))
+			_ = c.conn.Close()
+			return
+		}
+		w := p.ring[p.head%uint32(len(p.ring))]
+		p.head++
+		p.mu.Unlock()
+		if w.corr != corr {
+			putFrame(payload)
+			w.ch <- pipeResp{err: fmt.Errorf("stream: correlation mismatch: got %d want %d", corr, w.corr)}
+			p.fail(errors.New("stream: correlation mismatch"))
+			_ = c.conn.Close()
+			return
+		}
+		w.ch <- pipeResp{msgType: msgType, buf: payload[corrSize:]}
+	}
+}
+
+// fail marks the pipe broken and delivers the error to every parked
+// waiter. Idempotent; the first error wins.
+func (p *pipeState) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	for p.head != p.tail {
+		w := p.ring[p.head%uint32(len(p.ring))]
+		p.head++
+		w.ch <- pipeResp{err: p.err}
+	}
+	p.mu.Unlock()
+}
+
+// acquire takes a window token and a recycled response channel. It
+// refuses immediately once the pipe is stopped or broken.
+//
+//cad3:noalloc
+func (p *pipeState) acquire() (chan pipeResp, error) {
+	select {
+	case <-p.window:
+	case <-p.stop:
+		return nil, ErrClientClosed
+	}
+	p.mu.Lock()
+	err := p.err
+	p.mu.Unlock()
+	if err != nil {
+		p.window <- struct{}{}
+		return nil, p.brokenErr(err)
+	}
+	// Guaranteed non-blocking: channels outnumber outstanding tokens.
+	ch := <-p.free
+	return ch, nil
+}
+
+// release recycles the response channel (which must be drained) and
+// returns the window token, in that order — so a token holder always
+// finds a free channel.
+//
+//cad3:noalloc
+func (p *pipeState) release(ch chan pipeResp) {
+	p.free <- ch
+	p.window <- struct{}{}
+}
+
+// brokenErr wraps a terminal pipe error unless it is already a clean
+// close.
+func (p *pipeState) brokenErr(err error) error {
+	if errors.Is(err, ErrClientClosed) {
+		return ErrClientClosed
+	}
+	return fmt.Errorf("%w: %w", errPipeBroken, err)
+}
+
+// enqueue parks the waiter in the FIFO ring and returns the correlation
+// ID assigned to it. Must be called with c.mu held (the caller writes the
+// frame before unlocking, so ring order equals wire order).
+//
+//cad3:noalloc
+func (p *pipeState) enqueue(ch chan pipeResp) (uint32, error) {
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return 0, p.brokenErr(err)
+	}
+	corr := p.next
+	p.next++
+	p.ring[p.tail%uint32(len(p.ring))] = pipeWaiter{corr: corr, ch: ch}
+	p.tail++
+	p.mu.Unlock()
+	return corr, nil
+}
+
+// pipeIssue finishes an issue under c.mu: enqueue the waiter, stamp the
+// encoder with the correlation ID (the caller encodes the body after
+// this returns), and report the corr. Split from pipeAwait so batch
+// senders can keep several frames in flight.
+func (c *TCPClient) pipeIssueLocked(ch chan pipeResp, msgType byte) error {
+	corr, err := c.pipe.enqueue(ch)
+	if err != nil {
+		return err
+	}
+	c.enc.corr = corr
+	c.enc.reset(msgType)
+	return nil
+}
+
+// pipeWrite flushes the encoded frame under c.mu. A write error poisons
+// the connection: responses can no longer line up, so the conn is closed
+// and the reader fails every waiter (including ours).
+func (c *TCPClient) pipeWriteLocked() error {
+	if _, err := c.conn.Write(c.enc.frame()); err != nil {
+		_ = c.conn.Close()
+		return fmt.Errorf("stream write: %w", err)
+	}
+	return nil
+}
+
+// pipeAwait blocks for the response on ch and recycles the channel and
+// window token. On timeout the connection is poisoned (a late response
+// would desynchronize the ring) and the reader's fail path still delivers
+// to ch, keeping the channel clean before it is recycled.
+func (c *TCPClient) pipeAwait(ch chan pipeResp) (byte, wireDecoder, error) {
+	var r pipeResp
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		select {
+		case r = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			_ = c.conn.Close() // reader fails all waiters, including ours
+			r = <-ch
+			if r.buf != nil {
+				putFrame(r.buf)
+			}
+			c.pipe.release(ch)
+			return 0, wireDecoder{}, fmt.Errorf("stream: request timed out after %v", c.timeout)
+		}
+	} else {
+		r = <-ch
+	}
+	c.pipe.release(ch)
+	if r.err != nil {
+		return 0, wireDecoder{}, c.pipe.brokenErr(r.err)
+	}
+	dec := wireDecoder{buf: r.buf}
+	if r.msgType == respError {
+		msg := dec.str()
+		dec.release()
+		return 0, wireDecoder{}, remoteError(msg)
+	}
+	return r.msgType, dec, nil
+}
+
+// pipeCall runs one fully-encoded request/response cycle. encodeLocked
+// writes the request body into c.enc (called with c.mu held, after the
+// type byte and correlation ID are in place).
+func (c *TCPClient) pipeDo(msgType byte, encodeLocked func(enc *wireEncoder)) (byte, wireDecoder, error) {
+	p := c.pipe
+	ch, err := p.acquire()
+	if err != nil {
+		return 0, wireDecoder{}, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		p.release(ch)
+		return 0, wireDecoder{}, ErrClientClosed
+	}
+	if err := c.pipeIssueLocked(ch, msgType); err != nil {
+		c.mu.Unlock()
+		p.release(ch)
+		return 0, wireDecoder{}, err
+	}
+	if encodeLocked != nil {
+		encodeLocked(&c.enc)
+	}
+	err = c.pipeWriteLocked()
+	c.mu.Unlock()
+	if err != nil {
+		// Already enqueued: the reader delivers the failure to ch; drain
+		// it so the channel recycles clean.
+		r := <-ch
+		if r.buf != nil {
+			putFrame(r.buf)
+		}
+		p.release(ch)
+		return 0, wireDecoder{}, err
+	}
+	return c.pipeAwait(ch)
+}
+
+// producePipe is Produce on a pipelined connection. Explicit body (no
+// pipeDo closure): this is the per-record hot path and a capturing
+// closure would cost an allocation per send.
+//
+//cad3:noalloc
+func (c *TCPClient) producePipe(topicName string, partition int32, key, value []byte) (int32, int64, error) {
+	p := c.pipe
+	ch, err := p.acquire()
+	if err != nil {
+		return 0, 0, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		p.release(ch)
+		return 0, 0, ErrClientClosed
+	}
+	if err := c.pipeIssueLocked(ch, reqProduce); err != nil {
+		c.mu.Unlock()
+		p.release(ch)
+		return 0, 0, err
+	}
+	c.enc.str(topicName)
+	c.enc.u32(uint32(partition))
+	c.enc.bytes(key)
+	c.enc.bytes(value)
+	err = c.pipeWriteLocked()
+	c.mu.Unlock()
+	if err != nil {
+		r := <-ch
+		if r.buf != nil {
+			putFrame(r.buf)
+		}
+		p.release(ch)
+		return 0, 0, err
+	}
+	msgType, dec, err := c.pipeAwait(ch)
+	if err != nil {
+		return 0, 0, err
+	}
+	if msgType != respProduce {
+		dec.release()
+		return 0, 0, errUnexpectedResponse(msgType)
+	}
+	part := int32(dec.u32())
+	off := int64(dec.u64())
+	err = dec.err
+	dec.release()
+	return part, off, err
+}
+
+// createTopicPipe is CreateTopic on a pipelined connection.
+func (c *TCPClient) createTopicPipe(name string, partitions int) error {
+	_, dec, err := c.pipeDo(reqCreateTopic, func(enc *wireEncoder) {
+		enc.str(name)
+		enc.u32(uint32(partitions))
+	})
+	if err != nil {
+		return err
+	}
+	dec.release()
+	return nil
+}
+
+// fetchPipe is Fetch on a pipelined connection.
+func (c *TCPClient) fetchPipe(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	msgType, dec, err := c.pipeDo(reqFetch, func(enc *wireEncoder) {
+		enc.str(topicName)
+		enc.u32(uint32(partition))
+		enc.u64(uint64(offset))
+		enc.u32(uint32(max))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if msgType != respFetch {
+		dec.release()
+		return nil, errUnexpectedResponse(msgType)
+	}
+	msgs := dec.messages(topicName)
+	err = dec.err
+	dec.release()
+	return msgs, err
+}
+
+// listTopicsPipe is ListTopics on a pipelined connection.
+func (c *TCPClient) listTopicsPipe() ([]string, error) {
+	_, dec, err := c.pipeDo(reqListTopics, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := int(dec.u32())
+	if dec.err != nil || n < 0 || n > 1<<20 {
+		dec.release()
+		return nil, fmt.Errorf("stream: implausible topic count %d", n)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, dec.str())
+	}
+	err = dec.err
+	dec.release()
+	return out, err
+}
+
+// partitionCountPipe is PartitionCount on a pipelined connection.
+func (c *TCPClient) partitionCountPipe(topicName string) (int, error) {
+	_, dec, err := c.pipeDo(reqPartitionCount, func(enc *wireEncoder) {
+		enc.str(topicName)
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := int(dec.u32())
+	err = dec.err
+	dec.release()
+	return n, err
+}

@@ -35,10 +35,11 @@ func NewProducer(client Client, topicName string) (*Producer, error) {
 func (p *Producer) Send(key, value []byte) (int32, int64, error) {
 	part, off, err := p.client.Produce(p.topic, AutoPartition, key, value)
 	if err != nil {
-		// Backpressure passes through untouched: the refusal is part of the
-		// allocation-free fast path, and wrapping would cost an allocation
-		// per refused send exactly when the system is overloaded.
-		if errors.Is(err, flow.ErrBackpressure) {
+		// Backpressure and circuit-open pass through untouched: both are
+		// part of the allocation-free fast path (they fire exactly when
+		// the system is overloaded or the link is down), and senders
+		// match them with errors.Is to drive their pacer.
+		if errors.Is(err, flow.ErrBackpressure) || errors.Is(err, flow.ErrCircuitOpen) {
 			return 0, 0, err
 		}
 		return 0, 0, fmt.Errorf("produce to %q: %w", p.topic, err)
@@ -64,7 +65,7 @@ func (p *Producer) SendPooled(key []byte, encode func(dst []byte) []byte) (int32
 func (p *Producer) SendToPartition(partition int32, key, value []byte) (int64, error) {
 	_, off, err := p.client.Produce(p.topic, partition, key, value)
 	if err != nil {
-		if errors.Is(err, flow.ErrBackpressure) {
+		if errors.Is(err, flow.ErrBackpressure) || errors.Is(err, flow.ErrCircuitOpen) {
 			return 0, err
 		}
 		return 0, fmt.Errorf("produce to %q/%d: %w", p.topic, partition, err)

@@ -131,7 +131,7 @@ func dialContext(ctx context.Context, addr string) (*TCPClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream dial %s: %w", addr, err)
 	}
-	return &TCPClient{conn: conn}, nil
+	return newTCPClient(conn, DialConfig{})
 }
 
 // sleepCtx sleeps for d or until the client's context ends.

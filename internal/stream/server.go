@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -19,11 +21,33 @@ func timeFromUnixNano(nanos int64) time.Time {
 	return time.Unix(0, nanos)
 }
 
+// ServerConfig tunes a Server beyond the defaults.
+type ServerConfig struct {
+	// MaxFrameSize bounds a single inbound frame; it is also announced to
+	// pipelining clients in the hello exchange so they cap their batch
+	// frames. Values <= 0 select DefaultMaxFrameSize.
+	MaxFrameSize int
+	// DisablePipelining makes the server answer reqHello like a pre-v2
+	// server would (respError, unknown request type), forcing every
+	// client onto the synchronous v1 path. Tests use it to prove the
+	// fallback is negotiated, not accidental.
+	DisablePipelining bool
+}
+
+func (cfg ServerConfig) withDefaults() ServerConfig {
+	if cfg.MaxFrameSize <= 0 {
+		cfg.MaxFrameSize = DefaultMaxFrameSize
+	}
+	return cfg
+}
+
 // Server exposes a Broker over TCP using the binary wire protocol. One
 // server per RSU mirrors the paper's per-RSU Kafka broker.
 type Server struct {
-	broker *Broker
-	ln     net.Listener
+	broker   *Broker
+	ln       net.Listener
+	maxFrame uint32
+	noPipe   bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -34,18 +58,35 @@ type Server struct {
 // NewServer starts serving the broker on addr (e.g. "127.0.0.1:0") and
 // returns once the listener is bound. Close shuts it down.
 func NewServer(broker *Broker, addr string) (*Server, error) {
+	return NewServerCfg(broker, addr, ServerConfig{})
+}
+
+// NewServerCfg is NewServer with an explicit config.
+func NewServerCfg(broker *Broker, addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("stream server listen: %w", err)
 	}
-	return NewServerOn(broker, ln), nil
+	return NewServerOnCfg(broker, ln, cfg), nil
 }
 
 // NewServerOn serves the broker on an already-bound listener. The caller
 // may wrap the listener (e.g. with a fault injector) before handing it
 // over; Close closes it.
 func NewServerOn(broker *Broker, ln net.Listener) *Server {
-	s := &Server{broker: broker, ln: ln, conns: make(map[net.Conn]struct{})}
+	return NewServerOnCfg(broker, ln, ServerConfig{})
+}
+
+// NewServerOnCfg is NewServerOn with an explicit config.
+func NewServerOnCfg(broker *Broker, ln net.Listener, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		broker:   broker,
+		ln:       ln,
+		maxFrame: uint32(cfg.MaxFrameSize),
+		noPipe:   cfg.DisablePipelining,
+		conns:    make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -102,11 +143,18 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	var enc wireEncoder
+	first := true
 	for {
-		msgType, payload, err := readFrame(conn)
+		msgType, payload, err := readFrame(conn, s.maxFrame)
 		if err != nil {
 			return // peer closed or protocol error
 		}
+		if first && msgType == reqHello && !s.noPipe {
+			s.servePipelined(conn, payload)
+			putFrame(payload)
+			return
+		}
+		first = false
 		resp, err := s.handle(&enc, msgType, payload)
 		if err != nil {
 			enc.reset(respError)
@@ -114,6 +162,90 @@ func (s *Server) serveConn(conn net.Conn) {
 			resp = enc.frame()
 		}
 		putFrame(payload) // handle copied what it keeps; resp is enc's buffer
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// servePipelined runs a v2 connection: after answering the hello, every
+// frame carries a correlation ID that is echoed on its response.
+// Requests are handled in order (responses stay in request order — the
+// pipelining win is that the client no longer waits a round trip between
+// them), reads are buffered, and responses coalesce into one write per
+// burst so a saturating client costs one syscall per direction per
+// batch of frames, not per request.
+func (s *Server) servePipelined(conn net.Conn, hello []byte) {
+	if len(hello) < helloBodySize {
+		return // malformed hello
+	}
+	clientVersion, _, _ := readHelloBody(hello)
+	var enc wireEncoder
+	enc.reset(respHello)
+	var body [helloBodySize]byte
+	version := uint32(protocolV2)
+	if clientVersion < protocolV2 {
+		version = protocolV1
+	}
+	putHello(body[:], version, s.maxFrame, 0)
+	enc.buf = append(enc.buf, body[:]...)
+	if _, err := conn.Write(enc.frame()); err != nil {
+		return
+	}
+	if version < protocolV2 {
+		// Peer too old for pipelining: fall back to the synchronous loop.
+		s.serveSyncTail(conn, &enc)
+		return
+	}
+
+	const flushThreshold = 64 << 10
+	br := bufio.NewReaderSize(conn, 64<<10)
+	enc.v2 = true
+	var wbuf []byte
+	for {
+		msgType, payload, err := readFrame(br, s.maxFrame)
+		if err != nil {
+			return
+		}
+		if len(payload) < corrSize {
+			putFrame(payload)
+			return // malformed v2 frame
+		}
+		enc.corr = binary.BigEndian.Uint32(payload)
+		resp, err := s.handle(&enc, msgType, payload[corrSize:])
+		if err != nil {
+			enc.reset(respError)
+			enc.str(errorWireMessage(err))
+			resp = enc.frame()
+		}
+		putFrame(payload)
+		wbuf = append(wbuf, resp...)
+		// Flush when the read side has drained (no more pipelined requests
+		// in flight right now) or the write buffer is big enough.
+		if br.Buffered() == 0 || len(wbuf) >= flushThreshold {
+			if _, err := conn.Write(wbuf); err != nil {
+				return
+			}
+			wbuf = wbuf[:0]
+		}
+	}
+}
+
+// serveSyncTail continues a connection in v1 mode after a hello exchange
+// settled on the synchronous protocol.
+func (s *Server) serveSyncTail(conn net.Conn, enc *wireEncoder) {
+	for {
+		msgType, payload, err := readFrame(conn, s.maxFrame)
+		if err != nil {
+			return
+		}
+		resp, err := s.handle(enc, msgType, payload)
+		if err != nil {
+			enc.reset(respError)
+			enc.str(errorWireMessage(err))
+			resp = enc.frame()
+		}
+		putFrame(payload)
 		if _, err := conn.Write(resp); err != nil {
 			return
 		}
@@ -155,6 +287,49 @@ func (s *Server) handle(enc *wireEncoder, msgType byte, payload []byte) ([]byte,
 		enc.reset(respProduce)
 		enc.u32(uint32(part))
 		enc.u64(uint64(off))
+		return enc.frame(), nil
+
+	case reqProduceBatch:
+		// Zero-copy decode: each record's key/value views (into the frame
+		// buffer, valid for the whole handle call) collect into one slice,
+		// then the broker appends the batch in a single pass — one topic
+		// lookup, one clock read, one partition lock per same-partition
+		// run — and the per-record results stream into the response frame.
+		var recs []BatchRecord
+		topicName, partition, n, err := decodeBatchRequest(&dec, func(i int, _ string, _ int32, key, value []byte) {
+			recs = append(recs, BatchRecord{Key: key, Value: value})
+		})
+		if err != nil {
+			return nil, err
+		}
+		enc.reset(respProduceBatch)
+		enc.u32(uint32(n))
+		berr := s.broker.ProduceBatch(topicName, partition, recs, func(i int, part int32, off int64, perr error) {
+			switch {
+			case perr == nil:
+				var res [batchOKResultSize]byte
+				putBatchOK(res[:], part, off)
+				enc.buf = append(enc.buf, res[:]...)
+			case errors.Is(perr, flow.ErrBackpressure):
+				enc.byte1(batchStatusBackpressure)
+				hint, _ := flow.RetryAfter(perr)
+				enc.u64(uint64(hint.Microseconds()))
+			default:
+				enc.byte1(batchStatusError)
+				enc.str(perr.Error())
+			}
+		})
+		if berr != nil {
+			// Whole-batch refusal (unknown topic, closed broker): every
+			// record failed identically, reported per record so the batch
+			// response stays well-formed.
+			enc.reset(respProduceBatch)
+			enc.u32(uint32(n))
+			for i := 0; i < n; i++ {
+				enc.byte1(batchStatusError)
+				enc.str(berr.Error())
+			}
+		}
 		return enc.frame(), nil
 
 	case reqFetch:
@@ -201,13 +376,33 @@ func (s *Server) handle(enc *wireEncoder, msgType byte, payload []byte) ([]byte,
 	}
 }
 
-// TCPClient is a Client speaking the wire protocol to a Server. Requests
-// are serialized over a single connection; wrap one per goroutine for
-// parallelism.
+// TCPClient is a Client speaking the wire protocol to a Server.
+//
+// Against a v2 server (the default), the client runs pipelined: a
+// dedicated reader goroutine matches responses to in-flight requests
+// through a correlation-ID ring, so concurrent callers multiplex the one
+// connection instead of serializing a round trip each — see pipeline.go.
+// Against an old server (or with DialConfig.DisablePipelining) requests
+// fall back to the synchronous v1 path, serialized under the mutex.
 type TCPClient struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  wireEncoder
+
+	// maxFrame bounds inbound response frames; peerMax is the server's
+	// announced inbound limit (v1 servers: assumed symmetric) that batch
+	// flushes must stay under.
+	maxFrame uint32
+	peerMax  uint32
+	timeout  time.Duration
+	closed   bool
+
+	// Reused vectored-write scratch for batch flushes (guarded by mu).
+	iov   net.Buffers
+	arena []byte
+
+	// pipe is non-nil when the connection negotiated protocol v2.
+	pipe *pipeState
 }
 
 var _ Client = (*TCPClient)(nil)
@@ -215,28 +410,93 @@ var _ Client = (*TCPClient)(nil)
 // DialTimeout is the TCP connect timeout.
 const DialTimeout = 5 * time.Second
 
-// Dial connects to a stream server.
+// DefaultWindow is the default in-flight request window of a pipelined
+// connection.
+const DefaultWindow = 32
+
+// maxWindow bounds the correlation ring (and so per-connection memory).
+const maxWindow = 1024
+
+// DialConfig tunes a TCP client. The zero value selects pipelining with
+// DefaultWindow in-flight requests and DefaultMaxFrameSize frames.
+type DialConfig struct {
+	// DisablePipelining skips the hello exchange and speaks the
+	// synchronous v1 protocol, like a pre-v2 client would.
+	DisablePipelining bool
+	// Window caps in-flight pipelined requests on the connection. Values
+	// <= 0 select DefaultWindow; values above maxWindow are clamped.
+	Window int
+	// MaxFrameSize bounds inbound frames and is announced to the server.
+	// Values <= 0 select DefaultMaxFrameSize.
+	MaxFrameSize int
+	// RequestTimeout bounds each request round trip. On a pipelined
+	// connection a timeout poisons the link (responses would no longer
+	// line up), so the connection is closed and every in-flight request
+	// errors; the pool's breaker turns that into a trip. Zero disables.
+	RequestTimeout time.Duration
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Window > maxWindow {
+		cfg.Window = maxWindow
+	}
+	if cfg.MaxFrameSize <= 0 {
+		cfg.MaxFrameSize = DefaultMaxFrameSize
+	}
+	return cfg
+}
+
+// Dial connects to a stream server, negotiating the pipelined protocol.
 func Dial(addr string) (*TCPClient, error) {
+	return DialCfg(addr, DialConfig{})
+}
+
+// DialCfg is Dial with an explicit config.
+func DialCfg(addr string, cfg DialConfig) (*TCPClient, error) {
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("stream dial %s: %w", addr, err)
 	}
-	return &TCPClient{conn: conn}, nil
+	return newTCPClient(conn, cfg)
 }
 
-// Close closes the connection.
+// Pipelined reports whether the connection negotiated protocol v2.
+func (c *TCPClient) Pipelined() bool { return c.pipe != nil }
+
+// Close closes the connection and, on a pipelined client, stops the
+// reader goroutine and fails every in-flight request.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	p := c.pipe
+	c.mu.Unlock()
+	if p != nil {
+		close(p.stop)
+	}
+	err := c.conn.Close()
+	if p != nil {
+		<-p.done // reader exited; no more slot deliveries
+	}
+	return err
 }
 
-// roundTrip sends the encoded frame and reads one response.
+// roundTrip sends the encoded frame and reads one response (v1 path).
 func (c *TCPClient) roundTrip() (byte, wireDecoder, error) {
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if _, err := c.conn.Write(c.enc.frame()); err != nil {
 		return 0, wireDecoder{}, fmt.Errorf("stream write: %w", err)
 	}
-	msgType, payload, err := readFrame(c.conn)
+	msgType, payload, err := readFrame(c.conn, c.maxFrame)
 	if err != nil {
 		return 0, wireDecoder{}, fmt.Errorf("stream read: %w", err)
 	}
@@ -272,6 +532,14 @@ func (e *remoteBackpressure) Error() string             { return flow.ErrBackpre
 func (e *remoteBackpressure) Is(target error) bool      { return target == flow.ErrBackpressure }
 func (e *remoteBackpressure) RetryAfter() time.Duration { return e.hint }
 
+// remoteFailure is a generic server-side error relayed over the wire.
+// Its type matters to the connection pool: a remoteFailure means the
+// link delivered a response (the transport is healthy), so it must not
+// count against the link's circuit breaker.
+type remoteFailure struct{ msg string }
+
+func (e *remoteFailure) Error() string { return "stream remote: " + e.msg }
+
 // remoteError maps server-side sentinel messages back to matchable errors.
 func remoteError(msg string) error {
 	if bp := flow.ErrBackpressure.Error(); len(msg) >= len(bp) && msg[:len(bp)] == bp {
@@ -291,11 +559,14 @@ func remoteError(msg string) error {
 			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
 		}
 	}
-	return errors.New("stream remote: " + msg)
+	return &remoteFailure{msg: msg}
 }
 
 // CreateTopic implements Client.
 func (c *TCPClient) CreateTopic(name string, partitions int) error {
+	if c.pipe != nil {
+		return c.createTopicPipe(name, partitions)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enc.reset(reqCreateTopic)
@@ -308,6 +579,9 @@ func (c *TCPClient) CreateTopic(name string, partitions int) error {
 
 // Produce implements Client.
 func (c *TCPClient) Produce(topicName string, partition int32, key, value []byte) (int32, int64, error) {
+	if c.pipe != nil {
+		return c.producePipe(topicName, partition, key, value)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enc.reset(reqProduce)
@@ -328,6 +602,9 @@ func (c *TCPClient) Produce(topicName string, partition int32, key, value []byte
 
 // Fetch implements Client.
 func (c *TCPClient) Fetch(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	if c.pipe != nil {
+		return c.fetchPipe(topicName, partition, offset, max)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enc.reset(reqFetch)
@@ -339,7 +616,7 @@ func (c *TCPClient) Fetch(topicName string, partition int32, offset int64, max i
 	if err != nil {
 		return nil, err
 	}
-	msgs := dec.messages()
+	msgs := dec.messages(topicName)
 	err = dec.err
 	dec.release()
 	return msgs, err
@@ -347,6 +624,9 @@ func (c *TCPClient) Fetch(topicName string, partition int32, offset int64, max i
 
 // ListTopics implements Client.
 func (c *TCPClient) ListTopics() ([]string, error) {
+	if c.pipe != nil {
+		return c.listTopicsPipe()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enc.reset(reqListTopics)
@@ -370,6 +650,9 @@ func (c *TCPClient) ListTopics() ([]string, error) {
 
 // PartitionCount implements Client.
 func (c *TCPClient) PartitionCount(topicName string) (int, error) {
+	if c.pipe != nil {
+		return c.partitionCountPipe(topicName)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enc.reset(reqPartitionCount)

@@ -9,10 +9,19 @@ import (
 
 // Wire protocol: every frame is a uint32 big-endian length followed by a
 // one-byte message type and a type-specific payload. Strings and byte
-// slices are length-prefixed with uint32. The protocol is synchronous:
-// one request, one response, per connection, in order.
+// slices are length-prefixed with uint32.
+//
+// Protocol v1 is synchronous: one request, one response, per connection,
+// in order. Protocol v2 is negotiated by a hello exchange as the
+// connection's first frames; every subsequent frame additionally carries
+// a uint32 correlation ID right after the type byte, decoupling request
+// issue from response read (windowed pipelining). Responses stay in
+// request order — the correlation ID indexes the client's in-flight ring
+// and doubles as an integrity check. See DESIGN.md §12.
 
-// Request / response type tags.
+// Request / response type tags. The v1 values are frozen — v2 additions
+// append with explicit values so an old peer and a new peer agree on the
+// meaning of every byte they both know.
 const (
 	reqCreateTopic byte = iota + 1
 	reqProduce
@@ -28,19 +37,104 @@ const (
 	respListTopics
 )
 
-// maxFrameSize bounds a single frame to defend against corrupt lengths.
-const maxFrameSize = 8 << 20
+const (
+	// reqHello opens version negotiation: the first frame a pipelining
+	// client sends. An old server answers respError (unknown type) and the
+	// client falls back to the synchronous v1 path.
+	reqHello byte = 20
+	// reqProduceBatch packs N records for one topic into a single frame.
+	reqProduceBatch byte = 21
+
+	// respHello carries the server's protocol version and frame limit.
+	respHello byte = 120
+	// respProduceBatch carries per-record results for a batch.
+	respProduceBatch byte = 121
+)
+
+// Protocol versions exchanged in the hello frame.
+const (
+	protocolV1 = 1 // synchronous request/response
+	protocolV2 = 2 // correlation IDs + pipelining + batched produce
+)
+
+// DefaultMaxFrameSize bounds a single frame to defend against corrupt
+// lengths. Both Server and Dial accept an override (ServerConfig /
+// DialConfig MaxFrameSize) — batch frames at large windows can outgrow
+// the default, and tests shrink it to exercise rejection.
+const DefaultMaxFrameSize = 8 << 20
+
+// Fixed v2 layout sizes, cross-checked against the encoders by
+// cad3-vet's wirelayout analyzer.
+const (
+	// helloBodySize is the fixed hello payload: version u32, max frame
+	// u32, window u32.
+	helloBodySize = 12
+	// corrSize is the width of the correlation ID that follows the type
+	// byte on every v2 frame.
+	corrSize = 4
+	// batchOKResultSize is one successful per-record result in a
+	// respProduceBatch: status byte, partition u32, offset u64.
+	batchOKResultSize = 13
+)
 
 // errFrameTooLarge is returned when a peer announces an oversized frame.
 var errFrameTooLarge = errors.New("stream: frame exceeds max size")
 
+// putHello writes the fixed hello body into b (len >= helloBodySize).
+func putHello(b []byte, version, maxFrame, window uint32) {
+	binary.BigEndian.PutUint32(b[0:], version)
+	binary.BigEndian.PutUint32(b[4:], maxFrame)
+	binary.BigEndian.PutUint32(b[8:], window)
+}
+
+// readHelloBody parses the fixed hello body written by putHello.
+func readHelloBody(b []byte) (version, maxFrame, window uint32) {
+	version = binary.BigEndian.Uint32(b[0:])
+	maxFrame = binary.BigEndian.Uint32(b[4:])
+	window = binary.BigEndian.Uint32(b[8:])
+	return
+}
+
+// putBatchOK writes one successful batch result into b
+// (len >= batchOKResultSize).
+func putBatchOK(b []byte, part int32, off int64) {
+	b[0] = batchStatusOK
+	binary.BigEndian.PutUint32(b[1:], uint32(part))
+	binary.BigEndian.PutUint64(b[5:], uint64(off))
+}
+
+// readBatchOK parses a successful batch result written by putBatchOK.
+func readBatchOK(b []byte) (part int32, off int64) {
+	part = int32(binary.BigEndian.Uint32(b[1:]))
+	off = int64(binary.BigEndian.Uint64(b[5:]))
+	return
+}
+
+// Per-record batch result status codes.
+const (
+	batchStatusOK           byte = 0 // followed by partition u32, offset u64
+	batchStatusBackpressure byte = 1 // followed by retry-after hint u64 (µs)
+	batchStatusError        byte = 2 // followed by an error string
+)
+
 type wireEncoder struct {
 	buf []byte
+	// v2 stamps the correlation ID after the type byte on reset. The
+	// server's pipelined loop sets corr per request; the client sets it
+	// per issue.
+	v2   bool
+	corr uint32
 }
 
 func (e *wireEncoder) reset(msgType byte) {
 	e.buf = append(e.buf[:0], 0, 0, 0, 0, msgType)
+	if e.v2 {
+		e.buf = binary.BigEndian.AppendUint32(e.buf, e.corr)
+	}
 }
+
+// byte1 appends a single raw byte.
+func (e *wireEncoder) byte1(v byte) { e.buf = append(e.buf, v) }
 
 func (e *wireEncoder) u32(v uint32) {
 	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
@@ -80,6 +174,20 @@ func (d *wireDecoder) u32() uint32 {
 	}
 	v := binary.BigEndian.Uint32(d.buf[d.pos:])
 	d.pos += 4
+	return v
+}
+
+// byte1 reads a single raw byte (e.g. a batch-result status).
+func (d *wireDecoder) byte1() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
 	return v
 }
 
@@ -135,8 +243,9 @@ func (d *wireDecoder) release() {
 }
 
 // readFrame reads one frame (type byte + payload) from r into a pooled
-// buffer. The payload is valid until the caller hands it to putFrame.
-func readFrame(r io.Reader) (byte, []byte, error) {
+// buffer, rejecting frames larger than maxFrame bytes. The payload is
+// valid until the caller hands it to putFrame.
+func readFrame(r io.Reader, maxFrame uint32) (byte, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return 0, nil, err
@@ -145,7 +254,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if n == 0 {
 		return 0, nil, io.ErrUnexpectedEOF
 	}
-	if n > maxFrameSize {
+	if n > maxFrame {
 		return 0, nil, errFrameTooLarge
 	}
 	body := getFrame(int(n))
@@ -154,6 +263,43 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	return body[0], body[1:], nil
+}
+
+// maxBatchRecords bounds one reqProduceBatch frame — a defense against
+// corrupt counts, far above what the frame-size bound already admits.
+const maxBatchRecords = 1 << 16
+
+// decodeBatchRequest parses a reqProduceBatch payload — topic, partition,
+// count, then count × (key, value) — invoking fn per record with
+// zero-copy views into the frame. It is the single decode path for the
+// server handler and the fuzz harness: whatever the bytes, it must
+// either error out or visit exactly n internally-consistent records
+// without reading past the buffer. Empty keys decode as nil (round-robin
+// partitioning).
+func decodeBatchRequest(dec *wireDecoder, fn func(i int, topic string, partition int32, key, value []byte)) (topic string, partition int32, n int, err error) {
+	topic = dec.str()
+	partition = int32(dec.u32())
+	n = int(dec.u32())
+	if dec.err != nil {
+		return "", 0, 0, dec.err
+	}
+	if n < 0 || n > maxBatchRecords {
+		return "", 0, 0, fmt.Errorf("stream: implausible batch record count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		key := dec.raw()
+		value := dec.raw()
+		if dec.err != nil {
+			return "", 0, 0, dec.err
+		}
+		if len(key) == 0 {
+			key = nil
+		}
+		if fn != nil {
+			fn(i, topic, partition, key, value)
+		}
+	}
+	return topic, partition, n, nil
 }
 
 // encodeMessages appends a message list to the encoder.
@@ -169,8 +315,11 @@ func (e *wireEncoder) messages(msgs []Message) {
 	}
 }
 
-// decodeMessages reads a message list.
-func (d *wireDecoder) messages() []Message {
+// decodeMessages reads a message list. topicHint, when non-empty, is the
+// topic the caller asked for: messages whose topic matches reuse the hint
+// string instead of allocating one per message — on the fetch hot path
+// every message in the frame matches.
+func (d *wireDecoder) messages(topicHint string) []Message {
 	n := int(d.u32())
 	if d.err != nil || n < 0 || n > 1<<20 {
 		if d.err == nil {
@@ -181,7 +330,11 @@ func (d *wireDecoder) messages() []Message {
 	out := make([]Message, 0, n)
 	for i := 0; i < n; i++ {
 		var m Message
-		m.Topic = d.str()
+		if raw := d.raw(); topicHint != "" && string(raw) == topicHint {
+			m.Topic = topicHint
+		} else {
+			m.Topic = string(raw)
+		}
 		m.Partition = int32(d.u32())
 		m.Offset = int64(d.u64())
 		nanos := int64(d.u64())

@@ -188,6 +188,15 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 			v.pacer.OnBackpressure()
 			return rec, nil
 		}
+		if v.pacer != nil && errors.Is(err, flow.ErrCircuitOpen) {
+			// Every pooled link's breaker is open: the RSU is not
+			// answering at all. Worse than backpressure — cut straight
+			// to the decimation floor and let the breaker's half-open
+			// probes discover recovery; the pacer then earns the rate
+			// back through its usual streaks.
+			v.pacer.Floor()
+			return rec, nil
+		}
 		return trace.Record{}, fmt.Errorf("vehicle %d: send: %w", v.cfg.ID, err)
 	}
 	if v.pacer != nil {
