@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos overload profile linkcheck docs clean
+.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos failover overload profile linkcheck docs clean
 
 all: build vet test
 
@@ -66,6 +66,11 @@ experiments:
 # Crash-safety study: partition + crash + recovery continuity table.
 chaos:
 	$(GO) run ./cmd/cad3-chaos
+
+# Replicated-broker failover study: leader kill + election + revive,
+# acks=all durability and consumer-group handoff accounting.
+failover:
+	$(GO) run ./cmd/cad3-chaos -failover
 
 # Overload study: goodput / warning-p99 / shed-fraction curves under
 # multiplied offered load (graceful degradation).

@@ -5,15 +5,22 @@
 // per-phase detection continuity table (live CAD3 vs the AD3 floor and
 // the fault-free CAD3 ceiling).
 //
+// With -failover it runs the replicated-broker failover study instead:
+// the corridor link replays through a CAD3 node on a three-broker
+// ReplicaSet, the IN-DATA partition leader is killed with zero warning
+// mid-run, and the study prints the per-phase warning-latency table plus
+// the acks=all durability and consumer-group handoff accounting.
+//
 // Usage:
 //
 //	cad3-chaos [-cars 500] [-seed 42] [-drop 0] [-dup 0] [-kill 0]
 //	           [-partition 0.35] [-crash 0.45] [-heal 0.70]
+//	           [-failover] [-kill-at 0.40] [-join-at 0.55] [-revive-at 0.70]
 //	           [-debug-addr 127.0.0.1:6060]
 //
-// With -debug-addr set, the link node's live registry is served on
-// /metrics (plus /debug/pprof/ for profiling the study) while the replay
-// runs — see OBSERVABILITY.md.
+// With -debug-addr set, the study's live registry is served on /metrics
+// (plus /debug/pprof/ for profiling the study) while the replay runs —
+// see OBSERVABILITY.md.
 package main
 
 import (
@@ -42,6 +49,10 @@ func run() error {
 	partition := flag.Float64("partition", 0.35, "timeline fraction where the inter-RSU link partitions")
 	crash := flag.Float64("crash", 0.45, "timeline fraction where the upstream RSU dies")
 	heal := flag.Float64("heal", 0.70, "timeline fraction where broker and node recover")
+	failover := flag.Bool("failover", false, "run the replicated-broker failover study instead of the crash-safety study")
+	killAt := flag.Float64("kill-at", 0.40, "failover: timeline fraction where the partition leader is killed")
+	joinAt := flag.Float64("join-at", 0.55, "failover: timeline fraction where a second group member joins")
+	reviveAt := flag.Float64("revive-at", 0.70, "failover: timeline fraction where the killed replica revives")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and pprof for the study on this address (empty: disabled)")
 	flag.Parse()
 
@@ -59,6 +70,24 @@ func run() error {
 		}
 		defer dbg.Close()
 		fmt.Printf("debug endpoint on http://%s (/metrics /debug/pprof/)\n", dbg.Addr())
+	}
+
+	if *failover {
+		fres, ferr := experiments.RunFailoverStudy(experiments.FailoverConfig{
+			Scenario:   sc,
+			Seed:       *seed,
+			KillFrac:   *killAt,
+			JoinFrac:   *joinAt,
+			ReviveFrac: *reviveAt,
+			Metrics:    reg,
+		})
+		if ferr != nil {
+			return ferr
+		}
+		fmt.Printf("\n=== Failover study: kill@%.0f%%, join@%.0f%%, revive@%.0f%% (%d link records) ===\n",
+			*killAt*100, *joinAt*100, *reviveAt*100, fres.LinkRecords)
+		fmt.Print(experiments.FormatFailoverResult(fres))
+		return nil
 	}
 
 	res, err := experiments.RunChaosStudy(experiments.ChaosConfig{

@@ -1,0 +1,523 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cad3/internal/chaos"
+	"cad3/internal/core"
+	"cad3/internal/obsv"
+	"cad3/internal/rsu"
+	"cad3/internal/stream"
+	"cad3/internal/trace"
+)
+
+// The failover study is the acceptance drill for the replicated broker
+// (DESIGN.md §13): it replays the corridor link through a live CAD3 node
+// whose stream substrate is a three-broker ReplicaSet, kills the
+// partition leader with zero warning mid-replay, and checks the
+// durability contract the replication layer sells:
+//
+//   - zero acked-record loss: every IN-DATA record acked at acks=all
+//     before, during, or after the failover is still readable — with the
+//     same content at the same offset — from whichever replica leads the
+//     partition at the end of the run;
+//   - bounded disruption: warning latency spikes only for records that
+//     hit the leaderless window, and the post-recovery p99 returns to
+//     within 2x the pre-kill baseline;
+//   - exact consumer handoff: the OUT-DATA consumer group, rebalanced
+//     mid-run by a joining member, delivers every warning offset exactly
+//     once — no duplicates, no skips — across the generation change.
+//
+// The study runs on a virtual clock driven by the replay's record
+// timestamps; the kill/join/revive sequence fires from a chaos.Schedule,
+// so a run is a pure function of (scenario, seed, fractions).
+
+// FailoverConfig configures the study.
+type FailoverConfig struct {
+	// Scenario supplies corridor records and the trained link model.
+	// Required.
+	Scenario *Scenario
+	// Seed names the run (recorded, and reserved for fault configs that
+	// draw randomness; the base study is fully deterministic).
+	Seed int64
+	// Replicas is the broker cluster size. Values <= 0 select 3.
+	Replicas int
+	// KillFrac is the point of the link timeline where the partition
+	// leader is killed with zero warning. Values <= 0 select 0.40.
+	KillFrac float64
+	// JoinFrac is where a second consumer-group member joins and forces a
+	// rebalance of the OUT-DATA group. Values <= 0 select 0.55.
+	JoinFrac float64
+	// ReviveFrac is where the killed replica is rebuilt from a live
+	// peer's snapshot and rejoins as a follower. Values <= 0 select 0.70.
+	ReviveFrac float64
+	// TickEvery is the control-plane cadence (election + follower resync)
+	// in virtual time. Values <= 0 select 30 s — deliberately coarse, so
+	// the kill opens a leaderless window spanning several replay records
+	// (the record cadence is the scenario's 5 s GPS sampling) before the
+	// next tick elects.
+	TickEvery time.Duration
+	// Metrics, when set, receives the study's live registry (repl.* /
+	// election.* / rebalance.* plus the node's pipeline metrics) —
+	// cad3-chaos serves it on its -debug-addr endpoint. Nil gives the
+	// study a private registry.
+	Metrics *obsv.Registry
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.KillFrac <= 0 {
+		c.KillFrac = 0.40
+	}
+	if c.JoinFrac <= 0 {
+		c.JoinFrac = 0.55
+	}
+	if c.ReviveFrac <= 0 {
+		c.ReviveFrac = 0.70
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 30 * time.Second
+	}
+	return c
+}
+
+// FailoverPhase aggregates one phase of the run (pre-kill, failover,
+// recovered), keyed by record timestamp.
+type FailoverPhase struct {
+	Name string
+	// Produced counts IN-DATA records whose timestamp falls in the phase.
+	Produced int
+	// Warnings counts warnings sourced from the phase's records.
+	Warnings int
+	// WarnP50/WarnP99/WarnMax are record-timestamp -> group-delivery
+	// latencies in virtual time; the max makes the outage visible even
+	// when few of the delayed records warn.
+	WarnP50, WarnP99, WarnMax time.Duration
+}
+
+// FailoverResult is the study outcome.
+type FailoverResult struct {
+	Phases []FailoverPhase // pre-kill, failover, recovered
+
+	// AckedRecords is the size of the acks=all ledger; LostAcked counts
+	// ledger entries the post-run sweep could not read back intact from
+	// the surviving leaders. The headline invariant is LostAcked == 0.
+	AckedRecords int
+	LostAcked    int
+	// FailedProduces counts produce attempts refused during leaderless
+	// windows; RetriedRecords counts distinct records that needed at
+	// least one retry before acking.
+	FailedProduces int
+	RetriedRecords int
+	// LeaderlessSteps counts node pipeline rounds that reported errors
+	// while the substrate had no leader.
+	LeaderlessSteps int
+
+	// Elections / Generations / Revoked / Assigned are the control-plane
+	// counters at the end of the run.
+	Elections   int64
+	Generations int64
+	Revoked     int
+	Assigned    int
+
+	// Delivered is the number of OUT-DATA messages the group handed out;
+	// DupDeliveries counts (partition, offset) pairs delivered twice and
+	// MissedDeliveries offsets below the final high watermarks never
+	// delivered. Exactly-once handoff means both are zero and Delivered
+	// equals OutHighWater.
+	Delivered        int
+	DupDeliveries    int
+	MissedDeliveries int64
+	OutHighWater     int64
+
+	// FinalISRSize is the smallest ISR at the end (full recovery returns
+	// it to Replicas); KilledReplica and NewLeader document the failover.
+	FinalISRSize  int64
+	Replicas      int
+	KilledReplica string
+	NewLeader     string
+	// Fired lists the schedule's events in firing order.
+	Fired []string
+	// LinkRecords is the number of replayed corridor link records.
+	LinkRecords int
+}
+
+// ackedEntry is one acks=all ledger row: where the record was acked and
+// what it contained.
+type ackedEntry struct {
+	part int32
+	off  int64
+	car  trace.CarID
+	ts   int64
+}
+
+// RunFailoverStudy executes the study.
+func RunFailoverStudy(cfg FailoverConfig) (*FailoverResult, error) {
+	cfg = cfg.withDefaults()
+	sc := cfg.Scenario
+	if sc == nil {
+		return nil, fmt.Errorf("experiments: failover study needs a scenario")
+	}
+	if !(cfg.KillFrac < cfg.JoinFrac && cfg.JoinFrac < cfg.ReviveFrac && cfg.ReviveFrac < 1) {
+		return nil, fmt.Errorf("experiments: failover fractions must satisfy kill < join < revive < 1")
+	}
+
+	// The replay is the corridor link stream only: the records the link
+	// RSU would ingest from its road. Time order, car order at ties.
+	var events []trace.Record
+	for _, r := range sc.Test {
+		if r.Road == CorridorLinkID {
+			events = append(events, r)
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("experiments: scenario has no corridor link records")
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TimestampMs != events[j].TimestampMs {
+			return events[i].TimestampMs < events[j].TimestampMs
+		}
+		return events[i].Car < events[j].Car
+	})
+	killAt := events[int(cfg.KillFrac*float64(len(events)))].TimestampMs
+	joinAt := events[int(cfg.JoinFrac*float64(len(events)))].TimestampMs
+	reviveAt := events[int(cfg.ReviveFrac*float64(len(events)))].TimestampMs
+
+	vnowMs := events[0].TimestampMs
+	now := func() time.Time { return time.UnixMilli(vnowMs) }
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+
+	// Three brokers on the virtual clock; the replica set is the control
+	// plane, the AckAll client the data plane every component shares.
+	replicas := make([]stream.Replica, cfg.Replicas)
+	for i := range replicas {
+		replicas[i] = stream.Replica{
+			ID:     fmt.Sprintf("r%d", i),
+			Broker: stream.NewBroker(stream.BrokerConfig{Now: now}),
+		}
+	}
+	rset, err := stream.NewReplicaSet(stream.ReplicaSetConfig{
+		Metrics: reg,
+		Rebuild: stream.BrokerConfig{Now: now},
+	}, replicas...)
+	if err != nil {
+		return nil, err
+	}
+	client := rset.Client(stream.AckAll)
+
+	node, err := rsu.New(rsu.Config{
+		Name: "Link", Road: CorridorLinkID,
+		Detector: sc.CAD3, Client: client, Now: now,
+		Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FailoverResult{
+		Phases:      []FailoverPhase{{Name: "pre-kill"}, {Name: "failover"}, {Name: "recovered"}},
+		Replicas:    cfg.Replicas,
+		LinkRecords: len(events),
+	}
+	phaseOf := func(ts int64) *FailoverPhase {
+		switch {
+		case ts < killAt:
+			return &res.Phases[0]
+		case ts < reviveAt:
+			return &res.Phases[1]
+		default:
+			return &res.Phases[2]
+		}
+	}
+
+	// The OUT-DATA consumer group. Member w1 carries rebalance hooks so
+	// the revoke/assign volley of the mid-run join is observable; w2
+	// joins from the schedule.
+	group, err := stream.NewGroupCfg(stream.GroupConfig{
+		Client: rset.Client(stream.AckLeader), Topic: stream.TopicOutData, Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hooks := stream.RebalanceHooks{
+		OnRevoke: func(gen int64, parts []int32) { res.Revoked += len(parts) },
+		OnAssign: func(gen int64, parts []int32) { res.Assigned += len(parts) },
+	}
+	w1, err := group.JoinWithHooks("w1", hooks)
+	if err != nil {
+		return nil, err
+	}
+	members := []*stream.GroupMember{w1}
+
+	// The fault script. The kill closure resolves the leader at fire
+	// time — elections before the kill (there are none in the base study)
+	// would otherwise stale the target. It also resets the control-plane
+	// cadence so the next scan is a full period away: the worst case for
+	// detection latency, which is the window under measurement — without
+	// it the kill could land a virtual millisecond before a scheduled
+	// tick and the study would show a zero-length outage.
+	nextTickMs := vnowMs + cfg.TickEvery.Milliseconds()
+	sched := chaos.NewSchedule()
+	sched.At(time.UnixMilli(killAt), "kill-leader", func() {
+		id, _, ok := rset.Leader(stream.TopicInData, 0)
+		if !ok {
+			return
+		}
+		res.KilledReplica = id
+		_ = rset.Kill(id)
+		nextTickMs = vnowMs + cfg.TickEvery.Milliseconds()
+	})
+	sched.At(time.UnixMilli(joinAt), "join-w2", func() {
+		w2, jerr := group.JoinWithHooks("w2", hooks)
+		if jerr == nil {
+			members = append(members, w2)
+		}
+	})
+	sched.At(time.UnixMilli(reviveAt), "revive", func() {
+		if res.KilledReplica != "" {
+			_, _ = rset.Revive(res.KilledReplica)
+		}
+	})
+
+	// Per-phase latency samples (virtual ms) and the exactly-once
+	// delivery book for OUT-DATA.
+	latMs := make([][]int64, len(res.Phases))
+	seen := make(map[int32]map[int64]bool)
+	drain := func() {
+		for _, m := range members {
+			for {
+				msgs, perr := m.Poll(512)
+				if len(msgs) == 0 {
+					// Leaderless-window fetch errors are the disruption under
+					// measurement, not a study failure.
+					_ = perr
+					break
+				}
+				for i := range msgs {
+					byOff := seen[msgs[i].Partition]
+					if byOff == nil {
+						byOff = make(map[int64]bool)
+						seen[msgs[i].Partition] = byOff
+					}
+					if byOff[msgs[i].Offset] {
+						res.DupDeliveries++
+					}
+					byOff[msgs[i].Offset] = true
+					res.Delivered++
+					w, derr := core.DecodeWarning(msgs[i].Value)
+					if derr != nil {
+						continue
+					}
+					ph := phaseOf(w.SourceTsMs)
+					ph.Warnings++
+					pi := 0
+					for j := range res.Phases {
+						if ph == &res.Phases[j] {
+							pi = j
+						}
+					}
+					latMs[pi] = append(latMs[pi], vnowMs-w.SourceTsMs)
+				}
+				stream.RecycleMessages(msgs)
+			}
+		}
+	}
+
+	// pending holds records the leaderless window refused; they retry in
+	// arrival order ahead of new traffic, like a producer's send queue.
+	// ledger is the acks=all book the durability sweep settles against.
+	type pendingRec struct {
+		car     trace.CarID
+		ts      int64
+		payload []byte
+		retried bool
+	}
+	var pending []pendingRec
+	var ledger []ackedEntry
+	produce := func(p *pendingRec) bool {
+		part, off, perr := rset.Produce(stream.TopicInData, stream.AutoPartition, nil, p.payload, stream.AckAll)
+		if perr != nil {
+			res.FailedProduces++
+			if !p.retried {
+				p.retried = true
+				res.RetriedRecords++
+			}
+			return false
+		}
+		ledger = append(ledger, ackedEntry{part: part, off: off, car: p.car, ts: p.ts})
+		return true
+	}
+
+	flush := func() {
+		for len(pending) > 0 {
+			if !produce(&pending[0]) {
+				break
+			}
+			pending = pending[1:]
+		}
+	}
+	// tick is one control-plane round at its own virtual time, followed
+	// by the data-plane work it may have unblocked (flushing the send
+	// queue, stepping the node, draining warnings).
+	tick := func() {
+		rset.Tick()
+		nextTickMs = vnowMs + cfg.TickEvery.Milliseconds()
+		sched.Advance(now())
+		flush()
+		if _, serr := node.Step(); serr != nil {
+			res.LeaderlessSteps++
+		}
+		drain()
+	}
+	for _, rec := range events {
+		// Fire the cadence points the replay skipped over — corridor
+		// traffic clusters by (day, hour), and a controller on a 30 s
+		// scan must elect during the quiet gaps, not at the next record.
+		target := rec.TimestampMs
+		for nextTickMs <= target {
+			vnowMs = nextTickMs
+			tick()
+		}
+		vnowMs = target
+		sched.Advance(now())
+
+		flush()
+		payload, perr := core.EncodeRecord(rec)
+		if perr != nil {
+			return nil, perr
+		}
+		phaseOf(rec.TimestampMs).Produced++
+		p := pendingRec{car: rec.Car, ts: rec.TimestampMs, payload: payload}
+		if len(pending) > 0 || !produce(&p) {
+			pending = append(pending, p)
+		}
+
+		if _, serr := node.Step(); serr != nil {
+			res.LeaderlessSteps++
+		}
+		drain()
+	}
+	// Settle: tick until the pending queue flushes and the revived
+	// follower is back in sync, then flush the node and drain the tail.
+	for i := 0; i < 4; i++ {
+		vnowMs += cfg.TickEvery.Milliseconds()
+		tick()
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("experiments: %d records still unacked after recovery", len(pending))
+	}
+
+	// Durability sweep: read every acked offset back from the current
+	// leaders and compare content. A lost or rewritten record is exactly
+	// the loss acks=all promises cannot happen.
+	byPart := make(map[int32]map[int64]ackedEntry)
+	for _, e := range ledger {
+		m := byPart[e.part]
+		if m == nil {
+			m = make(map[int64]ackedEntry)
+			byPart[e.part] = m
+		}
+		m[e.off] = e
+	}
+	parts, err := client.PartitionCount(stream.TopicInData)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < parts; p++ {
+		want := byPart[int32(p)]
+		got := make(map[int64]ackedEntry, len(want))
+		off := int64(0)
+		for {
+			msgs, ferr := rset.Fetch(stream.TopicInData, int32(p), off, 512)
+			if ferr != nil {
+				return nil, fmt.Errorf("durability sweep %d: %w", p, ferr)
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for i := range msgs {
+				if r, derr := core.DecodeRecord(msgs[i].Value); derr == nil {
+					got[msgs[i].Offset] = ackedEntry{car: r.Car, ts: r.TimestampMs}
+				}
+				off = msgs[i].Offset + 1
+			}
+			stream.RecycleMessages(msgs)
+		}
+		for o, e := range want {
+			g, ok := got[o]
+			if !ok || g.car != e.car || g.ts != e.ts {
+				res.LostAcked++
+			}
+		}
+	}
+	res.AckedRecords = len(ledger)
+
+	// Delivery completeness: every OUT-DATA offset below the final high
+	// watermarks must have been delivered exactly once.
+	outParts, err := client.PartitionCount(stream.TopicOutData)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < outParts; p++ {
+		id, _, _ := rset.Leader(stream.TopicOutData, int32(p))
+		b, _, berr := rset.BrokerFor(id)
+		if berr != nil {
+			return nil, berr
+		}
+		hwm, herr := b.HighWaterMark(stream.TopicOutData, int32(p))
+		if herr != nil {
+			return nil, herr
+		}
+		res.OutHighWater += hwm
+		res.MissedDeliveries += hwm - int64(len(seen[int32(p)]))
+	}
+
+	for i := range res.Phases {
+		sort.Slice(latMs[i], func(a, b int) bool { return latMs[i][a] < latMs[i][b] })
+		res.Phases[i].WarnP50 = pctOf(latMs[i], 0.50)
+		res.Phases[i].WarnP99 = pctOf(latMs[i], 0.99)
+		res.Phases[i].WarnMax = pctOf(latMs[i], 1.0)
+	}
+	snap := reg.Snapshot()
+	res.Elections = snap.Counters["election.count"]
+	res.Generations = snap.Counters["rebalance.generations"]
+	res.FinalISRSize = snap.Gauges["repl.isr_size"]
+	if id, _, ok := rset.Leader(stream.TopicInData, 0); ok {
+		res.NewLeader = id
+	}
+	res.Fired = sched.Fired()
+	return res, nil
+}
+
+// FormatFailoverResult renders the per-phase disruption table and the
+// durability/handoff accounting.
+func FormatFailoverResult(res *FailoverResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %9s %9s %10s %10s %10s\n",
+		"phase", "records", "warnings", "warn-p50", "warn-p99", "warn-max")
+	for _, ph := range res.Phases {
+		fmt.Fprintf(&sb, "%-10s %9d %9d %10s %10s %10s\n",
+			ph.Name, ph.Produced, ph.Warnings,
+			ph.WarnP50.Round(time.Millisecond), ph.WarnP99.Round(time.Millisecond),
+			ph.WarnMax.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&sb, "durability: %d acks=all records, %d lost (%d refused during leaderless windows, %d retried to ack)\n",
+		res.AckedRecords, res.LostAcked, res.FailedProduces, res.RetriedRecords)
+	fmt.Fprintf(&sb, "failover: killed %s -> elected %s (%d elections, final min ISR %d/%d replicas)\n",
+		res.KilledReplica, res.NewLeader, res.Elections, res.FinalISRSize, res.Replicas)
+	fmt.Fprintf(&sb, "group: %d delivered over %d offsets, %d duplicates, %d missed, %d generations (%d revoked / %d assigned)\n",
+		res.Delivered, res.OutHighWater, res.DupDeliveries, res.MissedDeliveries,
+		res.Generations, res.Revoked, res.Assigned)
+	fmt.Fprintf(&sb, "schedule: %s; %d node rounds erred while leaderless\n",
+		strings.Join(res.Fired, " -> "), res.LeaderlessSteps)
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFailoverStudy is the acceptance drill for the replicated broker:
+// kill the IN-DATA partition leader with zero warning mid-replay and
+// require (a) zero acks=all record loss, (b) warning p99 back within 2x
+// the pre-kill baseline after recovery, (c) exactly-once OUT-DATA
+// delivery across the mid-run consumer-group rebalance, and (d) the
+// revived replica back in every ISR.
+func TestFailoverStudy(t *testing.T) {
+	sc := testScenario(t)
+	res, err := RunFailoverStudy(FailoverConfig{Scenario: sc, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatFailoverResult(res))
+
+	// The failover actually happened: a leader died, a window opened,
+	// an election closed it.
+	if res.KilledReplica == "" {
+		t.Fatal("the schedule never killed a leader")
+	}
+	if res.Elections == 0 {
+		t.Error("no election ran after the leader kill")
+	}
+	if res.NewLeader == res.KilledReplica || res.NewLeader == "" {
+		t.Errorf("IN-DATA/0 leader is %q after killing %q — no failover", res.NewLeader, res.KilledReplica)
+	}
+	if res.FailedProduces == 0 {
+		t.Error("no produce was refused — the leaderless window never opened")
+	}
+
+	// (a) The headline invariant: nothing acked at acks=all is gone.
+	if res.AckedRecords == 0 {
+		t.Fatal("empty acks=all ledger")
+	}
+	if res.LostAcked != 0 {
+		t.Errorf("lost %d of %d acked records across the failover", res.LostAcked, res.AckedRecords)
+	}
+
+	// (b) Disruption is bounded to the failover window: the recovered
+	// phase's warning p99 is within 2x the pre-kill baseline (both are
+	// same-replay-step deliveries in the healthy steady state).
+	pre, rec := res.Phases[0], res.Phases[2]
+	if pre.Warnings == 0 || rec.Warnings == 0 {
+		t.Fatalf("phases produced no warnings: pre=%d recovered=%d", pre.Warnings, rec.Warnings)
+	}
+	if rec.WarnP99 > 2*pre.WarnP99 {
+		t.Errorf("recovered warning p99 %v exceeds 2x pre-kill baseline %v", rec.WarnP99, pre.WarnP99)
+	}
+
+	// (c) Exactly-once handoff across the rebalance.
+	if res.Generations < 2 {
+		t.Errorf("generations = %d, want >= 2 (w1 join, w2 join)", res.Generations)
+	}
+	if res.Revoked == 0 || res.Assigned == 0 {
+		t.Errorf("rebalance hooks observed revoked=%d assigned=%d, want both > 0", res.Revoked, res.Assigned)
+	}
+	if res.DupDeliveries != 0 {
+		t.Errorf("group delivered %d duplicate offsets", res.DupDeliveries)
+	}
+	if res.MissedDeliveries != 0 {
+		t.Errorf("group skipped %d offsets", res.MissedDeliveries)
+	}
+	if int64(res.Delivered) != res.OutHighWater {
+		t.Errorf("delivered %d != %d produced warnings", res.Delivered, res.OutHighWater)
+	}
+
+	// (d) Revive + resync closed the loop: every partition's ISR is back
+	// to full strength.
+	if res.FinalISRSize != int64(res.Replicas) {
+		t.Errorf("final min ISR = %d, want %d (revived replica never rejoined)",
+			res.FinalISRSize, res.Replicas)
+	}
+}
+
+// TestFailoverStudyDeterministic re-runs the study on the same inputs
+// and requires an identical outcome — the failover drill is a pure
+// function of (scenario, fractions).
+func TestFailoverStudyDeterministic(t *testing.T) {
+	sc := testScenario(t)
+	cfg := FailoverConfig{Scenario: sc, Seed: 7}
+	a, err := RunFailoverStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFailoverStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Phases {
+		if a.Phases[i] != b.Phases[i] {
+			t.Errorf("phase %s diverged: %+v vs %+v", a.Phases[i].Name, a.Phases[i], b.Phases[i])
+		}
+	}
+	if a.AckedRecords != b.AckedRecords || a.FailedProduces != b.FailedProduces ||
+		a.Delivered != b.Delivered || a.Elections != b.Elections {
+		t.Errorf("accounting diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFailoverStudyValidation(t *testing.T) {
+	if _, err := RunFailoverStudy(FailoverConfig{}); err == nil {
+		t.Error("want error without a scenario")
+	}
+	sc := testScenario(t)
+	if _, err := RunFailoverStudy(FailoverConfig{
+		Scenario: sc, KillFrac: 0.8, JoinFrac: 0.5, ReviveFrac: 0.9,
+	}); err == nil {
+		t.Error("want error for unordered fractions")
+	}
+}

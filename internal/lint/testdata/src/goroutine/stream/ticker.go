@@ -1,0 +1,39 @@
+// Ticker-goroutine fixtures: the replication controller's wall-clock
+// tick loop is the canonical shape — a named method handed stop/done
+// channels whose body selects on them. A ticker loop without that
+// evidence is a leak even though it "only wakes up periodically".
+package stream
+
+import "time"
+
+// StartTicker spawns the controller tick loop with stop/done channels:
+// legal (the spawned body waits on stop and closes done).
+func (s *Server) StartTicker(interval time.Duration) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go s.tickLoop(interval, stop, done)
+}
+
+func (s *Server) tickLoop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// StartFreeTicker spawns a ticker loop nothing can cancel: leak.
+func (s *Server) StartFreeTicker(interval time.Duration) {
+	go s.freeTickLoop(interval) // want "no lifecycle control"
+}
+
+func (s *Server) freeTickLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	for range t.C {
+	}
+}

@@ -170,11 +170,35 @@ func registerEverything(t *testing.T, reg *obsv.Registry) {
 		t.Fatal(err)
 	}
 
-	// Supervision events. A virtual clock steps past the restart backoff
-	// and a restart hook that fails once then succeeds covers the full
-	// counter family: heartbeat.{ok,fail}, checkpoints, restarts,
-	// restart.fail and the degraded.* deltas (published every healthy
-	// probe, delta or not).
+	// Replicated cluster control plane: the election.* / repl.catchups /
+	// repl.isr_drops / repl.isr_size / repl.lag family registers at
+	// ReplicaSet construction; the broker-side repl.records / repl.fenced
+	// pair registered with mwBroker above. One acks=all produce drives
+	// replication; rebalance.* registers with a metrics-carrying group.
+	rset, err := stream.NewReplicaSet(stream.ReplicaSetConfig{Metrics: reg},
+		stream.Replica{ID: "r1", Broker: stream.NewBroker(stream.BrokerConfig{})},
+		stream.Replica{ID: "r2", Broker: stream.NewBroker(stream.BrokerConfig{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rset.CreateTopic("repl-probe", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rset.Produce("repl-probe", 0, nil, []byte("x"), stream.AckAll); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.NewGroupCfg(stream.GroupConfig{
+		Client: rset.Client(stream.AckLeader), Topic: "repl-probe", Metrics: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Supervision events. A virtual clock steps past the restart backoff;
+	// a rewire hook that declines, then supplies a working client, then
+	// declines again, combined with a restart hook that fails once then
+	// succeeds, covers the full counter family: heartbeat.{ok,fail},
+	// checkpoints, rewired, restarts, restart.fail and the degraded.*
+	// deltas (published every healthy probe, delta or not).
 	now := time.Unix(0, 0)
 	failNext := true
 	restart := func(name string, cp *Checkpoint) (*Node, error) {
@@ -185,9 +209,25 @@ func registerEverything(t *testing.T, reg *obsv.Registry) {
 		b := stream.NewBroker(stream.BrokerConfig{})
 		return Recover(Config{Client: stream.NewInProcClient(b)}, cp)
 	}
+	var rewireBroker *stream.Broker
+	rewires := 0
+	rewire := func(name string) (stream.Client, bool) {
+		rewires++
+		if rewires != 2 {
+			return nil, false // no promoted replica available yet
+		}
+		rewireBroker = stream.NewBroker(stream.BrokerConfig{})
+		for _, topic := range []string{stream.TopicInData, stream.TopicOutData, stream.TopicCoData} {
+			if err := rewireBroker.CreateTopic(topic, stream.DefaultPartitions); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return stream.NewInProcClient(rewireBroker), true
+	}
 	sup, err := NewSupervisor(SupervisorConfig{
 		Cluster:       cluster,
 		Restart:       restart,
+		Rewire:        rewire,
 		FailThreshold: 1,
 		Seed:          7,
 		Metrics:       reg,
@@ -204,6 +244,12 @@ func registerEverything(t *testing.T, reg *obsv.Registry) {
 	}
 	if got := sup.CheckOnce(); got != 1 {
 		t.Fatalf("unhealthy = %d after failed restart, want 1", got)
+	}
+	if got := sup.CheckOnce(); got != 0 {
+		t.Fatalf("unhealthy = %d after rewire, want 0", got)
+	}
+	if err := rewireBroker.Close(); err != nil {
+		t.Fatal(err)
 	}
 	now = now.Add(time.Minute) // clear the restart backoff
 	if got := sup.CheckOnce(); got != 0 {

@@ -725,6 +725,31 @@ func (n *Node) Ping() error {
 	return err
 }
 
+// Rewire rebinds the node's own stream plumbing — IN-DATA and CO-DATA
+// consumers and the OUT-DATA producer — to a new broker client, the
+// failover path when this node's broker is replaced (e.g. a partition
+// leader died and a replica was promoted). Consumer offsets are
+// preserved, so the node resumes from its committed positions on the
+// replica's copy of the log. Neighbor producers are untouched: they
+// point at other RSUs' brokers. Like Checkpoint and Recover, Rewire must
+// not run concurrently with Step.
+func (n *Node) Rewire(client stream.Client) error {
+	if client == nil {
+		return ErrNoClient
+	}
+	if err := n.inConsumer.SwapClient(client); err != nil {
+		return fmt.Errorf("rsu %s: rewire in-consumer: %w", n.cfg.Name, err)
+	}
+	if err := n.coConsumer.SwapClient(client); err != nil {
+		return fmt.Errorf("rsu %s: rewire co-consumer: %w", n.cfg.Name, err)
+	}
+	if err := n.outProducer.SwapClient(client); err != nil {
+		return fmt.Errorf("rsu %s: rewire out-producer: %w", n.cfg.Name, err)
+	}
+	n.cfg.Client = client
+	return nil
+}
+
 // Detector returns the node's detector (checkpointing persists it).
 func (n *Node) Detector() core.Detector { return n.cfg.Detector }
 

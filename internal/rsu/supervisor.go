@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cad3/internal/obsv"
+	"cad3/internal/stream"
 )
 
 // Supervisor keeps a cluster alive: it heartbeats every node, checkpoints
@@ -63,6 +64,14 @@ type SupervisorConfig struct {
 	// when none was taken yet). Nil disables restarts: the supervisor
 	// only observes and accounts.
 	Restart func(name string, cp *Checkpoint) (*Node, error)
+	// Rewire, when set, is consulted once a node crosses the failure
+	// threshold, before any restart: it returns a replacement broker
+	// client (e.g. bound to a newly elected partition leader after the
+	// node's broker died), or ok=false when no replacement is available
+	// yet. A successful rewire (Node.Rewire plus a fresh heartbeat) keeps
+	// the node's in-memory state — summaries, priors, offsets — instead
+	// of paying a checkpoint restore.
+	Rewire func(name string) (stream.Client, bool)
 	// FailThreshold is the number of consecutive heartbeat failures
 	// before a restart is attempted. Values <= 0 select 2.
 	FailThreshold int
@@ -215,6 +224,35 @@ func (s *Supervisor) checkNode(n *Node) bool {
 	s.count(name, "heartbeat.fail", 1)
 	s.cfg.Logger.Warn("heartbeat failed",
 		"rsu", name, "fails", sv.health.ConsecutiveFails, "err", err)
+
+	// Broker failover first: if a replacement client exists (a replica
+	// was promoted), rewiring the live node is strictly cheaper than a
+	// checkpoint restart and loses none of its in-memory state.
+	if s.cfg.Rewire != nil && sv.health.ConsecutiveFails >= s.cfg.FailThreshold {
+		s.mu.Unlock()
+		client, ok := s.cfg.Rewire(name)
+		var rerr error
+		if ok {
+			if rerr = n.Rewire(client); rerr == nil {
+				rerr = n.Ping()
+			}
+		}
+		s.mu.Lock()
+		if ok && rerr == nil {
+			sv.health.Healthy = true
+			sv.health.ConsecutiveFails = 0
+			sv.health.LastError = ""
+			sv.backoff = s.cfg.BaseBackoff
+			sv.nextTry = time.Time{}
+			s.count(name, "rewired", 1)
+			s.cfg.Logger.Info("node rewired to replacement broker", "rsu", name)
+			return true
+		}
+		if ok {
+			sv.health.LastError = rerr.Error()
+			s.cfg.Logger.Warn("rewire failed", "rsu", name, "err", rerr)
+		}
+	}
 
 	if s.cfg.Restart == nil ||
 		sv.health.ConsecutiveFails < s.cfg.FailThreshold ||

@@ -263,6 +263,9 @@ type BatchProducerConfig struct {
 	// flushes before the cap is crossed. Values <= 0 select 256 KiB
 	// (clamped to the connection's negotiated frame limit by the client).
 	MaxBytes int
+	// Acks is the durability level flushes require. Any level other than
+	// AckLeader (the zero value) requires an AckBatchClient.
+	Acks AckLevel
 }
 
 func (cfg BatchProducerConfig) withDefaults() BatchProducerConfig {
@@ -304,6 +307,11 @@ func NewBatchProducer(client BatchClient, topicName string, partition int32, cfg
 		return nil, ErrEmptyTopicName
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Acks != AckLeader {
+		if _, ok := client.(AckBatchClient); !ok {
+			return nil, fmt.Errorf("stream: acks=%s requires an AckBatchClient, got %T", cfg.Acks, client)
+		}
+	}
 	return &BatchProducer{
 		client:    client,
 		topic:     topicName,
@@ -360,7 +368,12 @@ func (bp *BatchProducer) Flush() error {
 		bp.res = make([]BatchResult, len(bp.recs))
 	}
 	res := bp.res[:len(bp.recs)]
-	err := bp.client.ProduceBatchInto(bp.topic, bp.partition, bp.recs, res)
+	var err error
+	if ac, ok := bp.client.(AckBatchClient); ok && bp.cfg.Acks != AckLeader {
+		err = ac.ProduceBatchAcksInto(bp.topic, bp.partition, bp.recs, res, bp.cfg.Acks)
+	} else {
+		err = bp.client.ProduceBatchInto(bp.topic, bp.partition, bp.recs, res)
+	}
 	for i := range bp.recs {
 		PutPayload(bp.recs[i].Key)
 		PutPayload(bp.recs[i].Value)

@@ -92,6 +92,12 @@ type Broker struct {
 	downMu sync.RWMutex
 	down   map[string]map[int32]bool
 
+	// Replication role state per (topic, partition). Absent entries lead
+	// at epoch 0, so a broker nobody replicates stays oblivious. See
+	// replication.go.
+	roleMu sync.RWMutex
+	roles  map[string]map[int32]partRole
+
 	// Counters for bandwidth accounting.
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -100,6 +106,7 @@ type Broker struct {
 	// produce/fetch paths never take the registry lookup lock.
 	mProducedMsgs, mProducedBytes *obsv.Counter
 	mFetchedMsgs, mFetchedBytes   *obsv.Counter
+	mReplRecords, mReplFenced     *obsv.Counter
 }
 
 // NewBroker creates an empty broker.
@@ -108,12 +115,15 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		cfg:    cfg,
 		topics: make(map[string]*topic),
 		down:   make(map[string]map[int32]bool),
+		roles:  make(map[string]map[int32]partRole),
 	}
 	if cfg.Metrics != nil {
 		b.mProducedMsgs = cfg.Metrics.Counter("broker.produced.msgs")
 		b.mProducedBytes = cfg.Metrics.Counter("broker.produced.bytes")
 		b.mFetchedMsgs = cfg.Metrics.Counter("broker.fetched.msgs")
 		b.mFetchedBytes = cfg.Metrics.Counter("broker.fetched.bytes")
+		b.mReplRecords = cfg.Metrics.Counter("repl.records")
+		b.mReplFenced = cfg.Metrics.Counter("repl.fenced")
 	}
 	return b
 }
@@ -260,6 +270,11 @@ func (b *Broker) Produce(topicName string, partition int32, key, value []byte) (
 	if b.partitionDown(topicName, partition) {
 		return 0, 0, fmt.Errorf("%w: %q/%d", ErrPartitionDown, topicName, partition)
 	}
+	// Follower partitions refuse produces with the current leader hint;
+	// only replication (ReplicaAppend) may write them.
+	if err := b.leaderCheck(topicName, partition); err != nil {
+		return 0, 0, err
+	}
 
 	// Admission control: a flow-controlled partition takes a credit or
 	// refuses. The refusal returns the gate's preallocated backpressure
@@ -357,6 +372,11 @@ func (b *Broker) ProduceBatch(topicName string, partition int32, recs []BatchRec
 		if b.partitionDown(topicName, part) {
 			flush()
 			out(i, 0, 0, fmt.Errorf("%w: %q/%d", ErrPartitionDown, topicName, part))
+			continue
+		}
+		if lerr := b.leaderCheck(topicName, part); lerr != nil {
+			flush()
+			out(i, 0, 0, lerr)
 			continue
 		}
 		if gate := t.partitions[part].gate; gate != nil {

@@ -87,6 +87,34 @@ func (c *Consumer) PollInto(dst []Message, max int) ([]Message, error) {
 	return out, firstErr
 }
 
+// SwapClient rebinds the consumer to a new client — the failover path
+// after a broker is replaced. Offsets are preserved: the new broker must
+// serve the same topic with at least as many partitions (extra
+// partitions start from the earliest offset; fewer is an error, since
+// committed offsets would silently vanish). The swap serializes behind
+// the consumer mutex, so it never interleaves with a PollInto in flight.
+func (c *Consumer) SwapClient(client Client) error {
+	if client == nil {
+		return fmt.Errorf("stream: consumer requires a client")
+	}
+	n, err := client.PartitionCount(c.topic)
+	if err != nil {
+		return fmt.Errorf("swap consumer for %q: %w", c.topic, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < len(c.offsets) {
+		return fmt.Errorf("stream: swap would shrink %q from %d to %d partitions",
+			c.topic, len(c.offsets), n)
+	}
+	for len(c.offsets) < n {
+		c.offsets = append(c.offsets, 0)
+	}
+	c.client = client
+	c.next = 0
+	return nil
+}
+
 // SeekTo positions every partition offset.
 func (c *Consumer) SeekTo(offset int64) {
 	c.mu.Lock()

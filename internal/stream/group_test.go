@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -185,6 +186,144 @@ func TestGroupValidation(t *testing.T) {
 	m, _ := g.Join("y")
 	if msgs, err := m.Poll(0); err != nil || msgs != nil {
 		t.Errorf("Poll(0) = %v, %v", msgs, err)
+	}
+}
+
+// TestGroupRebalanceHookOrdering: rebalance callbacks report the new
+// generation, and within one rebalance every revocation fires before
+// any assignment — two members never believe they own the same
+// partition at once.
+func TestGroupRebalanceHookOrdering(t *testing.T) {
+	_, client, _ := groupFixture(t)
+	g, err := NewGroup(client, TopicInData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []string
+	hooks := func(id string) RebalanceHooks {
+		return RebalanceHooks{
+			OnRevoke: func(gen int64, parts []int32) {
+				calls = append(calls, fmt.Sprintf("revoke:%s:gen%d:%v", id, gen, parts))
+			},
+			OnAssign: func(gen int64, parts []int32) {
+				calls = append(calls, fmt.Sprintf("assign:%s:gen%d:%v", id, gen, parts))
+			},
+		}
+	}
+	if _, err := g.JoinWithHooks("a", hooks("a")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"assign:a:gen1:[0 1 2]"}
+	if fmt.Sprint(calls) != fmt.Sprint(want) {
+		t.Fatalf("after first join calls = %v, want %v", calls, want)
+	}
+	calls = nil
+	if _, err := g.JoinWithHooks("b", hooks("b")); err != nil {
+		t.Fatal(err)
+	}
+	// a loses partition 1 to b; the revoke precedes b's assign, both at
+	// generation 2.
+	want = []string{"revoke:a:gen2:[1]", "assign:b:gen2:[1]"}
+	if fmt.Sprint(calls) != fmt.Sprint(want) {
+		t.Fatalf("after second join calls = %v, want %v", calls, want)
+	}
+	calls = nil
+	if err := g.Leave("a"); err != nil {
+		t.Fatal(err)
+	}
+	// The leaver gets no callbacks; the survivor gains a's partitions.
+	want = []string{"assign:b:gen3:[0 2]"}
+	if fmt.Sprint(calls) != fmt.Sprint(want) {
+		t.Fatalf("after leave calls = %v, want %v", calls, want)
+	}
+}
+
+// tripClient interposes a Client and runs trip once, just before the
+// first Fetch — a deterministic way to land a rebalance in the middle
+// of an in-flight Poll.
+type tripClient struct {
+	Client
+	once sync.Once
+	trip func()
+}
+
+func (c *tripClient) Fetch(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	c.once.Do(c.trip)
+	return c.Client.Fetch(topicName, partition, offset, max)
+}
+
+// TestGroupRebalanceMidPollFencesGeneration lands a join in the middle
+// of another member's Poll: the poll must deliver only messages from
+// partitions its member still owns under the new generation, and the
+// new assignee must re-read the revoked partitions — every produced
+// message delivered exactly once across the pair.
+func TestGroupRebalanceMidPollFencesGeneration(t *testing.T) {
+	_, inner, p := groupFixture(t)
+	tc := &tripClient{Client: inner}
+	g, err := NewGroup(tc, TopicInData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := g.Join("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 30
+	for i := 0; i < total; i++ {
+		if _, _, err := p.Send([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var m2 *GroupMember
+	tc.trip = func() {
+		var jerr error
+		if m2, jerr = g.Join("w2"); jerr != nil {
+			t.Error(jerr)
+		}
+	}
+	first, err := m1.Poll(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 == nil {
+		t.Fatal("the mid-poll join never ran")
+	}
+	// The poll straddled the rebalance: nothing from w2's partition may
+	// have leaked through.
+	still := make(map[int32]bool)
+	for _, part := range m1.Assignment() {
+		still[part] = true
+	}
+	seen := make(map[string]string)
+	for _, msg := range first {
+		if !still[msg.Partition] {
+			t.Errorf("mid-poll delivery from revoked partition %d", msg.Partition)
+		}
+		seen[string(msg.Value)] = "w1"
+	}
+
+	// Drain both members: exactly-once across the pair.
+	for _, m := range []*GroupMember{m1, m2} {
+		for {
+			msgs, err := m.Poll(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, msg := range msgs {
+				v := string(msg.Value)
+				if owner, dup := seen[v]; dup {
+					t.Fatalf("message %q delivered to both %s and %s", v, owner, m.ID())
+				}
+				seen[v] = m.ID()
+			}
+		}
+	}
+	if len(seen) != total {
+		t.Errorf("group delivered %d unique messages, want %d", len(seen), total)
 	}
 }
 

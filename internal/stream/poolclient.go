@@ -200,6 +200,12 @@ func isRemoteAnswer(err error) bool {
 	if brokerError(err) {
 		return true
 	}
+	// A not-leader refusal is the broker answering (redirect), not the
+	// link failing: it must not open the breaker — the same link will
+	// carry the follow-up to the new leader's pool entry.
+	if errors.Is(err, ErrNotLeader) {
+		return true
+	}
 	var rf *remoteFailure
 	return errors.As(err, &rf)
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"cad3/internal/flow"
@@ -11,29 +12,83 @@ import (
 // Producer publishes messages to one topic through a Client. It is safe
 // for concurrent use. Each emulated vehicle runs one producer (the paper's
 // "Kafka Producers" on PC1).
+//
+// A producer carries an AckLevel. The default AckLeader sends through the
+// plain Client Produce path unchanged; AckNone and AckAll require a
+// client that understands durability levels (AckClient — the replicated
+// cluster's client). The bound client can be swapped at runtime
+// (SwapClient) so a supervisor can rewire a producer to a new partition
+// leader without rebuilding the pipeline around it.
 type Producer struct {
+	mu     sync.RWMutex
 	client Client
-	topic  string
-	sent   atomic.Int64
-	bytes  atomic.Int64
+	acks   AckLevel
+
+	topic string
+	sent  atomic.Int64
+	bytes atomic.Int64
 }
 
-// NewProducer binds a producer to a topic. The topic must already exist
-// (or be created by the caller); Send surfaces ErrUnknownTopic otherwise.
+// NewProducer binds a producer to a topic at AckLeader. The topic must
+// already exist (or be created by the caller); Send surfaces
+// ErrUnknownTopic otherwise.
 func NewProducer(client Client, topicName string) (*Producer, error) {
+	return NewProducerAcks(client, topicName, AckLeader)
+}
+
+// NewProducerAcks binds a producer at an explicit durability level. Any
+// level other than AckLeader requires an AckClient.
+func NewProducerAcks(client Client, topicName string, acks AckLevel) (*Producer, error) {
 	if client == nil {
 		return nil, fmt.Errorf("stream: producer requires a client")
 	}
 	if topicName == "" {
 		return nil, ErrEmptyTopicName
 	}
-	return &Producer{client: client, topic: topicName}, nil
+	if acks != AckLeader {
+		if _, ok := client.(AckClient); !ok {
+			return nil, fmt.Errorf("stream: acks=%s requires an AckClient, got %T", acks, client)
+		}
+	}
+	return &Producer{client: client, topic: topicName, acks: acks}, nil
+}
+
+// SwapClient rebinds the producer to a new client — the failover path
+// after a broker is replaced. In-flight Sends finish against the client
+// they started with.
+func (p *Producer) SwapClient(client Client) error {
+	if client == nil {
+		return fmt.Errorf("stream: producer requires a client")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.acks != AckLeader {
+		if _, ok := client.(AckClient); !ok {
+			return fmt.Errorf("stream: acks=%s requires an AckClient, got %T", p.acks, client)
+		}
+	}
+	p.client = client
+	return nil
+}
+
+// produce routes one record through the bound client at the producer's
+// ack level.
+func (p *Producer) produce(partition int32, key, value []byte) (int32, int64, error) {
+	p.mu.RLock()
+	client, acks := p.client, p.acks
+	p.mu.RUnlock()
+	if acks != AckLeader {
+		if ac, ok := client.(AckClient); ok {
+			return ac.ProduceAcks(p.topic, partition, key, value, acks)
+		}
+	}
+	return client.Produce(p.topic, partition, key, value)
 }
 
 // Send publishes value under key with automatic partitioning and returns
 // the (partition, offset) the broker assigned.
 func (p *Producer) Send(key, value []byte) (int32, int64, error) {
-	part, off, err := p.client.Produce(p.topic, AutoPartition, key, value)
+	part, off, err := p.produce(AutoPartition, key, value)
 	if err != nil {
 		// Backpressure and circuit-open pass through untouched: both are
 		// part of the allocation-free fast path (they fire exactly when
@@ -63,7 +118,7 @@ func (p *Producer) SendPooled(key []byte, encode func(dst []byte) []byte) (int32
 
 // SendToPartition publishes to an explicit partition.
 func (p *Producer) SendToPartition(partition int32, key, value []byte) (int64, error) {
-	_, off, err := p.client.Produce(p.topic, partition, key, value)
+	_, off, err := p.produce(partition, key, value)
 	if err != nil {
 		if errors.Is(err, flow.ErrBackpressure) || errors.Is(err, flow.ErrCircuitOpen) {
 			return 0, err
@@ -73,6 +128,13 @@ func (p *Producer) SendToPartition(partition int32, key, value []byte) (int64, e
 	p.sent.Add(1)
 	p.bytes.Add(int64(len(key) + len(value)))
 	return off, nil
+}
+
+// Acks returns the producer's durability level.
+func (p *Producer) Acks() AckLevel {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.acks
 }
 
 // Sent returns the number of successfully published messages.

@@ -1,0 +1,152 @@
+package stream
+
+// TCPClient half of the replication control plane: ReplicaAppend,
+// SetPartitionRole, HighWaterMark and FetchSnapshot over the wire, so a
+// replication controller can drive followers on other machines through
+// the same ReplicaLink interface the in-process path uses. These are
+// control-plane calls (cold relative to produce/fetch), so the pipelined
+// variants use the generic pipeDo closure path.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// encodeReplicate writes a reqReplicate body (after reset) into enc.
+func encodeReplicate(enc *wireEncoder, topicName string, partition int32, epoch, base int64, recs []ReplicaRecord) {
+	enc.str(topicName)
+	enc.u32(uint32(partition))
+	enc.u64(uint64(epoch))
+	enc.u64(uint64(base))
+	enc.u32(uint32(len(recs)))
+	for i := range recs {
+		enc.bytes(recs[i].Key)
+		enc.bytes(recs[i].Value)
+		enc.u64(uint64(recs[i].AppendedAtNs))
+	}
+}
+
+// ReplicaAppend implements ReplicaLink over the wire. It returns the
+// remote follower's new high watermark.
+func (c *TCPClient) ReplicaAppend(topicName string, partition int32, epoch, base int64, recs []ReplicaRecord) (int64, error) {
+	var msgType byte
+	var dec wireDecoder
+	var err error
+	if c.pipe != nil {
+		msgType, dec, err = c.pipeDo(reqReplicate, func(enc *wireEncoder) {
+			encodeReplicate(enc, topicName, partition, epoch, base, recs)
+		})
+	} else {
+		c.mu.Lock()
+		c.enc.reset(reqReplicate)
+		encodeReplicate(&c.enc, topicName, partition, epoch, base, recs)
+		msgType, dec, err = c.roundTrip()
+		c.mu.Unlock()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if msgType != respReplicate {
+		dec.release()
+		return 0, errUnexpectedResponse(msgType)
+	}
+	hwm := int64(dec.u64())
+	err = dec.err
+	dec.release()
+	return hwm, err
+}
+
+// SetPartitionRole implements ReplicaLink over the wire.
+func (c *TCPClient) SetPartitionRole(topicName string, partition int32, follower bool, epoch int64, leaderHint string) error {
+	encode := func(enc *wireEncoder) {
+		enc.str(topicName)
+		enc.u32(uint32(partition))
+		if follower {
+			enc.byte1(1)
+		} else {
+			enc.byte1(0)
+		}
+		enc.u64(uint64(epoch))
+		enc.str(leaderHint)
+	}
+	var dec wireDecoder
+	var err error
+	if c.pipe != nil {
+		_, dec, err = c.pipeDo(reqSetRole, encode)
+	} else {
+		c.mu.Lock()
+		c.enc.reset(reqSetRole)
+		encode(&c.enc)
+		_, dec, err = c.roundTrip()
+		c.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	dec.release()
+	return nil
+}
+
+// HighWaterMark asks the remote broker for a partition's next offset —
+// the replication-lag probe.
+func (c *TCPClient) HighWaterMark(topicName string, partition int32) (int64, error) {
+	encode := func(enc *wireEncoder) {
+		enc.str(topicName)
+		enc.u32(uint32(partition))
+	}
+	var msgType byte
+	var dec wireDecoder
+	var err error
+	if c.pipe != nil {
+		msgType, dec, err = c.pipeDo(reqHighWater, encode)
+	} else {
+		c.mu.Lock()
+		c.enc.reset(reqHighWater)
+		encode(&c.enc)
+		msgType, dec, err = c.roundTrip()
+		c.mu.Unlock()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if msgType != respHighWater {
+		dec.release()
+		return 0, errUnexpectedResponse(msgType)
+	}
+	hwm := int64(dec.u64())
+	err = dec.err
+	dec.release()
+	return hwm, err
+}
+
+// FetchSnapshot pulls the remote broker's full snapshot — the follower
+// bootstrap path when the replica lives on another machine. Large logs
+// may need a raised MaxFrameSize on both ends.
+func (c *TCPClient) FetchSnapshot() (*BrokerSnapshot, error) {
+	var msgType byte
+	var dec wireDecoder
+	var err error
+	if c.pipe != nil {
+		msgType, dec, err = c.pipeDo(reqSnapshot, nil)
+	} else {
+		c.mu.Lock()
+		c.enc.reset(reqSnapshot)
+		msgType, dec, err = c.roundTrip()
+		c.mu.Unlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if msgType != respSnapshot {
+		dec.release()
+		return nil, errUnexpectedResponse(msgType)
+	}
+	data := dec.raw()
+	var snap BrokerSnapshot
+	uerr := json.Unmarshal(data, &snap)
+	dec.release()
+	if uerr != nil {
+		return nil, fmt.Errorf("stream: decode snapshot: %w", uerr)
+	}
+	return &snap, nil
+}

@@ -161,6 +161,7 @@ func brokerError(err error) bool {
 	for _, sentinel := range []error{
 		ErrTopicExists, ErrUnknownTopic, ErrBadPartition,
 		ErrBrokerClosed, ErrPartitionDown, ErrValueTooLarge, ErrEmptyTopicName,
+		ErrFencedEpoch, ErrOffsetGap,
 		flow.ErrBackpressure,
 	} {
 		if errors.Is(err, sentinel) {
@@ -170,16 +171,33 @@ func brokerError(err error) bool {
 	return false
 }
 
-// do runs op, redialing on transport errors.
+// address returns the current dial target (it moves on leader failover).
+func (rc *RetryClient) address() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.addr
+}
+
+// Addr returns the address the client currently dials. It starts as the
+// DialRetry target and follows ErrNotLeader redirects.
+func (rc *RetryClient) Addr() string { return rc.address() }
+
+// do runs op, redialing on transport errors. An ErrNotLeader refusal is
+// a redirect, not a failure: the client waits out the broker's
+// retry-after hint (election settle time) instead of the exponential
+// schedule — still jittered, so a herd of failed-over producers does not
+// thunder at the freshly elected leader — then redials at the leader
+// address the refusal named, and retries there.
 func (rc *RetryClient) do(op func(c *TCPClient) error) error {
 	backoff := rc.baseBackoff
 	var lastErr error
+	notLeader := false
 	for attempt := 0; attempt < rc.maxAttempts; attempt++ {
 		if err := rc.ctx.Err(); err != nil {
 			if lastErr == nil {
 				lastErr = err
 			}
-			return fmt.Errorf("stream retry %s: %w", rc.addr, lastErr)
+			return fmt.Errorf("stream retry %s: %w", rc.address(), lastErr)
 		}
 		rc.mu.Lock()
 		if rc.closed {
@@ -191,7 +209,8 @@ func (rc *RetryClient) do(op func(c *TCPClient) error) error {
 
 		if c != nil {
 			err := op(c)
-			if err == nil || brokerError(err) {
+			notLeader = err != nil && errors.Is(err, ErrNotLeader)
+			if err == nil || (!notLeader && brokerError(err)) {
 				return err
 			}
 			lastErr = err
@@ -200,13 +219,26 @@ func (rc *RetryClient) do(op func(c *TCPClient) error) error {
 
 		// Redial.
 		if attempt < rc.maxAttempts-1 {
-			rc.sleep(rc.jittered(backoff))
+			delay := backoff
+			if notLeader {
+				if hint, ok := flow.RetryAfter(lastErr); ok && hint > 0 {
+					delay = hint
+				}
+			}
+			rc.sleep(rc.jittered(delay))
 			backoff *= 2
 			if backoff > rc.maxBackoff {
 				backoff = rc.maxBackoff
 			}
 		}
-		fresh, err := dialContext(rc.ctx, rc.addr)
+		if notLeader {
+			if leader, ok := LeaderHint(lastErr); ok {
+				rc.mu.Lock()
+				rc.addr = leader
+				rc.mu.Unlock()
+			}
+		}
+		fresh, err := dialContext(rc.ctx, rc.address())
 		rc.mu.Lock()
 		if rc.closed {
 			rc.mu.Unlock()
@@ -224,9 +256,9 @@ func (rc *RetryClient) do(op func(c *TCPClient) error) error {
 		rc.mu.Unlock()
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("stream: retry budget exhausted for %s", rc.addr)
+		lastErr = fmt.Errorf("stream: retry budget exhausted for %s", rc.address())
 	}
-	return fmt.Errorf("stream retry %s: %w", rc.addr, lastErr)
+	return fmt.Errorf("stream retry %s: %w", rc.address(), lastErr)
 }
 
 // CreateTopic implements Client.

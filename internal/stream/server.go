@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -371,6 +372,62 @@ func (s *Server) handle(enc *wireEncoder, msgType byte, payload []byte) ([]byte,
 		}
 		return enc.frame(), nil
 
+	case reqReplicate:
+		// Zero-copy record views into the frame; ReplicaAppend clones
+		// what it keeps.
+		var recs []ReplicaRecord
+		topicName, partition, epoch, base, _, err := decodeReplicateRequest(&dec, func(i int, rec ReplicaRecord) {
+			recs = append(recs, rec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		hwm, err := s.broker.ReplicaAppend(topicName, partition, epoch, base, recs)
+		if err != nil {
+			return nil, err
+		}
+		enc.reset(respReplicate)
+		enc.u64(uint64(hwm))
+		return enc.frame(), nil
+
+	case reqSetRole:
+		topicName := dec.str()
+		partition := int32(dec.u32())
+		follower := dec.byte1() != 0
+		epoch := int64(dec.u64())
+		leaderHint := dec.str()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if err := s.broker.SetPartitionRole(topicName, partition, follower, epoch, leaderHint); err != nil {
+			return nil, err
+		}
+		enc.reset(respOK)
+		return enc.frame(), nil
+
+	case reqHighWater:
+		topicName := dec.str()
+		partition := int32(dec.u32())
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		hwm, err := s.broker.HighWaterMark(topicName, partition)
+		if err != nil {
+			return nil, err
+		}
+		enc.reset(respHighWater)
+		enc.u64(uint64(hwm))
+		return enc.frame(), nil
+
+	case reqSnapshot:
+		data, err := json.Marshal(s.broker.Snapshot())
+		if err != nil {
+			return nil, fmt.Errorf("stream: encode snapshot: %w", err)
+		}
+		enc.reset(respSnapshot)
+		enc.bytes(data)
+		return enc.frame(), nil
+
 	default:
 		return nil, fmt.Errorf("stream: unknown request type %d", msgType)
 	}
@@ -518,6 +575,16 @@ func errorWireMessage(err error) string {
 			return fmt.Sprintf("%s retry-after-us=%d", flow.ErrBackpressure.Error(), hint.Microseconds())
 		}
 	}
+	// Not-leader refusals keep their leader hint (already rendered by
+	// Error) and gain the retry-after estimate, so a failed-over remote
+	// producer learns both where to go and how long to wait.
+	if errors.Is(err, ErrNotLeader) {
+		msg := err.Error()
+		if hint, ok := flow.RetryAfter(err); ok && hint > 0 {
+			msg = fmt.Sprintf("%s retry-after-us=%d", msg, hint.Microseconds())
+		}
+		return msg
+	}
 	return err.Error()
 }
 
@@ -551,9 +618,15 @@ func remoteError(msg string) error {
 		}
 		return e
 	}
+	if nl := ErrNotLeader.Error(); strings.HasPrefix(msg, nl) {
+		// Reconstruct the leader hint and retry-after estimate, so
+		// LeaderHint and flow.RetryAfter work on the client side too.
+		return parseNotLeader(msg)
+	}
 	for _, sentinel := range []error{
 		ErrTopicExists, ErrUnknownTopic, ErrBadPartition,
 		ErrBrokerClosed, ErrPartitionDown, ErrValueTooLarge,
+		ErrFencedEpoch, ErrOffsetGap,
 	} {
 		if len(msg) >= len(sentinel.Error()) && msg[:len(sentinel.Error())] == sentinel.Error() {
 			return fmt.Errorf("%w (remote: %s)", sentinel, msg)

@@ -220,6 +220,12 @@ func (g *Group) Member(id string) (*GroupMember, error) {
 
 // SetOffsets positions a consumer's per-partition offsets (checkpoint
 // restore). The length must match the partition count.
+//
+// The reposition serializes behind the consumer mutex — the same mutex
+// PollInto holds for its entire fetch loop — so a concurrent poll either
+// completes wholly before the restore or starts wholly after it; it can
+// never observe half-restored offsets. The round-robin cursor resets
+// with the offsets, keeping the first post-restore poll deterministic.
 func (c *Consumer) SetOffsets(offsets []int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -228,5 +234,6 @@ func (c *Consumer) SetOffsets(offsets []int64) error {
 			len(offsets), len(c.offsets), c.topic)
 	}
 	copy(c.offsets, offsets)
+	c.next = 0
 	return nil
 }

@@ -51,6 +51,32 @@ const (
 	respProduceBatch byte = 121
 )
 
+// Replication control plane (DESIGN.md §13). These frames carry the
+// fencing epoch so a deposed leader's buffered appends are rejected by
+// every follower.
+const (
+	// reqReplicate ships a leader's log suffix to a follower: topic,
+	// partition, epoch, base offset, then count × (key, value,
+	// appendedAtNs).
+	reqReplicate byte = 22
+	// reqSetRole installs a partition's replication role: topic,
+	// partition, follower flag, epoch, leader hint. Answered with respOK.
+	reqSetRole byte = 23
+	// reqHighWater asks for a partition's high watermark (replication lag
+	// probes).
+	reqHighWater byte = 24
+	// reqSnapshot asks for a full broker snapshot (JSON), the follower
+	// bootstrap path.
+	reqSnapshot byte = 25
+
+	// respReplicate carries the follower's new high watermark.
+	respReplicate byte = 122
+	// respHighWater carries the partition high watermark.
+	respHighWater byte = 123
+	// respSnapshot carries the JSON-serialized BrokerSnapshot.
+	respSnapshot byte = 124
+)
+
 // Protocol versions exchanged in the hello frame.
 const (
 	protocolV1 = 1 // synchronous request/response
@@ -300,6 +326,41 @@ func decodeBatchRequest(dec *wireDecoder, fn func(i int, topic string, partition
 		}
 	}
 	return topic, partition, n, nil
+}
+
+// decodeReplicateRequest parses a reqReplicate payload — topic,
+// partition, epoch, base, count, then count × (key, value, appendedAtNs)
+// — invoking fn per record with zero-copy views into the frame. Like
+// decodeBatchRequest it is shared between the server handler and the
+// fuzz harness: any input either errors out or visits exactly n
+// internally-consistent records.
+func decodeReplicateRequest(dec *wireDecoder, fn func(i int, rec ReplicaRecord)) (topic string, partition int32, epoch, base int64, n int, err error) {
+	topic = dec.str()
+	partition = int32(dec.u32())
+	epoch = int64(dec.u64())
+	base = int64(dec.u64())
+	n = int(dec.u32())
+	if dec.err != nil {
+		return "", 0, 0, 0, 0, dec.err
+	}
+	if n < 0 || n > maxBatchRecords {
+		return "", 0, 0, 0, 0, fmt.Errorf("stream: implausible replicate record count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		key := dec.raw()
+		value := dec.raw()
+		atNs := int64(dec.u64())
+		if dec.err != nil {
+			return "", 0, 0, 0, 0, dec.err
+		}
+		if len(key) == 0 {
+			key = nil
+		}
+		if fn != nil {
+			fn(i, ReplicaRecord{Key: key, Value: value, AppendedAtNs: atNs})
+		}
+	}
+	return topic, partition, epoch, base, n, nil
 }
 
 // encodeMessages appends a message list to the encoder.
