@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos failover overload profile linkcheck docs clean
+.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos failover overload scenarios profile linkcheck docs clean
 
 all: build vet test
 
@@ -48,7 +48,7 @@ test-checks:
 # Hermetic markdown cross-reference check (the CI docs job).
 linkcheck:
 	$(GO) run ./internal/tools/linkcheck \
-		README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md ROADMAP.md CHANGES.md
+		README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md SCENARIOS.md ROADMAP.md CHANGES.md
 
 docs: vet linkcheck
 	test -z "$$(gofmt -l .)"
@@ -76,6 +76,12 @@ failover:
 # multiplied offered load (graceful degradation).
 overload:
 	$(GO) run ./cmd/cad3-overload
+
+# Deterministic replay of the scenarios/ regression corpus, plus the
+# explorer selfcheck (find -> minimize -> archive on an injected
+# failure). See SCENARIOS.md for the spec grammar.
+scenarios:
+	$(GO) run ./cmd/cad3-scenario -selfcheck
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt cpu.prof mem.prof core.test

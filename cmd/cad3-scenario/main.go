@@ -1,0 +1,217 @@
+// Command cad3-scenario replays the declarative scenario corpus against
+// the full simulation stack and reports each spec's pass/fail verdict.
+// It is the regression gate `make scenarios` runs in CI, and the entry
+// point for authoring new scenarios (SCENARIOS.md documents the spec
+// grammar).
+//
+// Modes:
+//
+//	cad3-scenario                      replay every scenarios/*.json spec
+//	cad3-scenario -run failover        replay only specs whose name or
+//	                                   filename contains the substring
+//	cad3-scenario -spec path.json      replay one spec file (corpus or not)
+//	cad3-scenario -explore 5           after the replay, perturb each spec
+//	                                   N times hunting for new failures;
+//	                                   a find is minimized and (with
+//	                                   -archive) written into the corpus
+//	cad3-scenario -selfcheck           inject an impossible assertion and
+//	                                   verify the explorer finds, minimizes
+//	                                   and archives it — the meta-test that
+//	                                   the failure path works end to end
+//
+// Usage:
+//
+//	cad3-scenario [-corpus scenarios] [-run substr] [-spec file.json]
+//	              [-cars 400] [-seed 77] [-vehicles 24] [-replicas 3]
+//	              [-explore 0] [-explore-seed 1] [-archive] [-selfcheck] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cad3/internal/experiments"
+	"cad3/internal/obsv"
+	"cad3/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cad3-scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	corpusDir := flag.String("corpus", "scenarios", "corpus directory of *.json specs")
+	runFilter := flag.String("run", "", "replay only specs whose name or filename contains this substring")
+	specPath := flag.String("spec", "", "replay a single spec file instead of the corpus")
+	cars := flag.Int("cars", 400, "corridor/background fleet size for the scenario build")
+	seed := flag.Int64("seed", 77, "scenario build seed (spec seeds drive the runs)")
+	vehicles := flag.Int("vehicles", 24, "paced vehicles offering load")
+	replicas := flag.Int("replicas", 3, "broker cluster size")
+	explore := flag.Int("explore", 0, "perturbations per spec to hunt for new failures")
+	exploreSeed := flag.Int64("explore-seed", 1, "explorer PRNG seed")
+	archive := flag.Bool("archive", false, "archive minimized findings into the corpus directory")
+	selfcheck := flag.Bool("selfcheck", false, "verify the find->minimize->archive path with an injected failure")
+	verbose := flag.Bool("v", false, "print full run transcripts")
+	flag.Parse()
+
+	fmt.Printf("building scenario (cars=%d seed=%d)...\n", *cars, *seed)
+	sc, err := experiments.BuildScenario(experiments.ScenarioConfig{Cars: *cars, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	harness, err := experiments.NewScenarioHarness(experiments.ScenarioHarnessConfig{
+		Scenario: sc, Vehicles: *vehicles, Replicas: *replicas,
+	})
+	if err != nil {
+		return err
+	}
+	reg := obsv.NewRegistry()
+	engine := scenario.New(scenario.Config{Metrics: reg})
+
+	var specs []*scenario.Spec
+	var names []string
+	if *specPath != "" {
+		s, lerr := scenario.LoadSpec(*specPath)
+		if lerr != nil {
+			return lerr
+		}
+		specs, names = []*scenario.Spec{s}, []string{filepath.Base(*specPath)}
+	} else {
+		specs, names, err = scenario.LoadCorpus(*corpusDir)
+		if err != nil {
+			return err
+		}
+	}
+	if *runFilter != "" {
+		var fs []*scenario.Spec
+		var fn []string
+		for i, s := range specs {
+			if strings.Contains(s.Name, *runFilter) || strings.Contains(names[i], *runFilter) {
+				fs, fn = append(fs, s), append(fn, names[i])
+			}
+		}
+		if len(fs) == 0 {
+			return fmt.Errorf("no corpus spec matches -run %q", *runFilter)
+		}
+		specs, names = fs, fn
+	}
+
+	failures := 0
+	for i, s := range specs {
+		res, rerr := engine.Run(s, harness)
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", names[i], rerr)
+		}
+		verdict := "PASS"
+		if !res.Pass {
+			verdict = fmt.Sprintf("FAIL (%d assertions)", res.Failures)
+			failures++
+		}
+		fmt.Printf("%-32s %-24s seed=%-6d phases=%d  %s\n",
+			names[i], s.Name, s.Seed, len(s.Phases), verdict)
+		if *verbose || !res.Pass {
+			fmt.Print(indent(res.Transcript))
+		}
+	}
+
+	if *selfcheck {
+		if err := runSelfcheck(engine, harness, specs[0], *exploreSeed); err != nil {
+			return err
+		}
+	}
+
+	if *explore > 0 {
+		x := &scenario.Explorer{
+			Engine: engine, Harness: harness,
+			Rng: rand.New(rand.NewSource(*exploreSeed)),
+		}
+		for i, s := range specs {
+			fmt.Printf("exploring %s (%d perturbations)...\n", names[i], *explore)
+			finding, xerr := x.Explore(s, *explore)
+			if xerr != nil {
+				return xerr
+			}
+			if finding == nil {
+				continue
+			}
+			failures++
+			fmt.Printf("NEW FAILURE from %s, minimized in %d candidate runs:\n", finding.Origin, finding.Candidates)
+			fmt.Print(indent(finding.Result.Transcript))
+			if *archive {
+				path, aerr := x.Archive(finding.Spec, *corpusDir)
+				if aerr != nil {
+					return aerr
+				}
+				fmt.Printf("archived to %s — commit it to pin the regression\n", path)
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	fmt.Printf("engine: %d runs (%d failed), %d rounds, %d actions (%d errored), %d/%d assertions passed\n",
+		snap.Counters["scenario.runs"], snap.Counters["scenario.runs.failed"],
+		snap.Counters["scenario.rounds"], snap.Counters["scenario.actions"],
+		snap.Counters["scenario.action_errors"], snap.Counters["scenario.assert.pass"],
+		snap.Counters["scenario.assert.pass"]+snap.Counters["scenario.assert.fail"])
+	if failures > 0 {
+		return fmt.Errorf("%d scenario(s) failed", failures)
+	}
+	return nil
+}
+
+// runSelfcheck injects an unsatisfiable assertion into a copy of a known
+// spec and demands the explorer machinery find, minimize and archive it.
+// A selfcheck failure means the corpus gate could no longer catch a real
+// regression — the one failure mode a green gate cannot be trusted over.
+func runSelfcheck(engine *scenario.Engine, h scenario.Harness, base *scenario.Spec, seed int64) error {
+	fmt.Println("selfcheck: injecting an impossible assertion (acked_records < 0)...")
+	broken := base.Clone()
+	broken.Name = base.Name + "-selfcheck"
+	last := &broken.Phases[len(broken.Phases)-1]
+	last.Assertions = append(last.Assertions, scenario.AssertionSpec{
+		Metric: "acked_records", Op: "<", Value: 0,
+	})
+	x := &scenario.Explorer{Engine: engine, Harness: h, Rng: rand.New(rand.NewSource(seed))}
+	min, runs, err := x.Minimize(broken)
+	if err != nil {
+		return fmt.Errorf("selfcheck: minimizer did not confirm the failure: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "cad3-scenario-selfcheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path, err := x.Archive(min, dir)
+	if err != nil {
+		return fmt.Errorf("selfcheck: archive: %w", err)
+	}
+	rt, err := scenario.LoadSpec(path)
+	if err != nil {
+		return fmt.Errorf("selfcheck: archived spec does not re-load: %w", err)
+	}
+	res, err := engine.Run(rt, h)
+	if err != nil {
+		return fmt.Errorf("selfcheck: archived spec does not run: %w", err)
+	}
+	if res.Pass {
+		return fmt.Errorf("selfcheck: archived minimized spec no longer fails")
+	}
+	fmt.Printf("selfcheck: OK — minimized to %d phase(s) in %d runs, archived, replayed, still failing\n",
+		len(min.Phases), runs)
+	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

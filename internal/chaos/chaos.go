@@ -131,6 +131,34 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
+// Config returns the injector's current fault configuration.
+func (in *Injector) Config() Config {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cfg
+}
+
+// SetConfig replaces the fault probabilities mid-run — the primitive
+// behind loss/delay ramps in scripted scenarios. The PRNG keeps its
+// stream (cfg.Seed is ignored; the run stays a pure function of the
+// constructor's seed plus the operation and SetConfig sequence), and the
+// delay bounds are normalised exactly like NewInjector's.
+func (in *Injector) SetConfig(cfg Config) {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	if cfg.MinDelay < 0 {
+		cfg.MinDelay = 0
+	}
+	if cfg.MinDelay > cfg.MaxDelay {
+		cfg.MinDelay = cfg.MaxDelay
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	cfg.Seed = in.cfg.Seed
+	in.cfg = cfg
+}
+
 // decision is one operation's fault verdict, drawn under the injector
 // lock so the PRNG consumption order is well-defined.
 type decision struct {

@@ -1,0 +1,27 @@
+// Package scenario is a golden fixture: the declarative scenario engine
+// joined the virtualclock analyzer's simulation set when it landed, since
+// its byte-identical replay transcripts only hold if nothing in the
+// package reads the host clock.
+package scenario
+
+import "time"
+
+// Engine is a miniature stand-in for the real scenario engine.
+type Engine struct {
+	vnow time.Time
+}
+
+// Advance moves virtual time — pure arithmetic, legal.
+func (e *Engine) Advance(d time.Duration) {
+	e.vnow = e.vnow.Add(d)
+}
+
+// Stamp reads the wall clock into a transcript.
+func (e *Engine) Stamp() time.Time {
+	return time.Now() // want "wall-clock time.Now"
+}
+
+// Settle polls on the host scheduler instead of the virtual clock.
+func (e *Engine) Settle() {
+	<-time.After(time.Millisecond) // want "wall-clock time.After"
+}

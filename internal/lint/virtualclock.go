@@ -29,6 +29,7 @@ var virtualClockPkgs = map[string]bool{
 	"netem":       true,
 	"trace":       true,
 	"chaos":       true,
+	"scenario":    true,
 }
 
 // wallClockFuncs are the time-package functions that read or wait on the

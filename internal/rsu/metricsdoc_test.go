@@ -23,6 +23,7 @@ import (
 	"cad3/internal/geo"
 	"cad3/internal/netem"
 	"cad3/internal/obsv"
+	"cad3/internal/scenario"
 	"cad3/internal/stream"
 )
 
@@ -145,6 +146,9 @@ func registerEverything(t *testing.T, reg *obsv.Registry) {
 
 	// Vehicle-side pacer and the 802.11p channel model.
 	flow.NewPacer(flow.PacerConfig{Metrics: reg})
+	// The scenario engine registers its scenario.* family eagerly at
+	// construction.
+	scenario.New(scenario.Config{Metrics: reg})
 	if _, err := netem.NewMedium(netem.MediumConfig{Metrics: reg}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,44 @@
+package scenario
+
+// The assertion evaluator: a deliberately small grammar — one measurement
+// name, one comparison operator, one constant — because every scenario
+// failure must be explainable from the transcript alone. Compound
+// predicates are expressed as multiple assertions on the same phase.
+
+// opFns is the comparison vocabulary. Comparisons are exact float64
+// comparisons: thresholds in specs are authored against deterministic
+// replays, so boundary-equal cases are meaningful (asserted by tests),
+// not flaky.
+var opFns = map[string]func(got, want float64) bool{
+	"==": func(g, w float64) bool { return g == w },
+	"!=": func(g, w float64) bool { return g != w },
+	"<":  func(g, w float64) bool { return g < w },
+	"<=": func(g, w float64) bool { return g <= w },
+	">":  func(g, w float64) bool { return g > w },
+	">=": func(g, w float64) bool { return g >= w },
+}
+
+// AssertionResult is one evaluated assertion.
+type AssertionResult struct {
+	Spec AssertionSpec
+	// Got is the measured value (zero when Found is false).
+	Got float64
+	// Found reports whether the measurement existed. An assertion on an
+	// absent measurement fails: a misspelled metric, or a harness that
+	// stopped reporting one, must surface, not vacuously pass.
+	Found bool
+	Pass  bool
+}
+
+// Eval evaluates one assertion against a measurement set.
+func (a AssertionSpec) Eval(m Measurements) AssertionResult {
+	res := AssertionResult{Spec: a}
+	got, ok := m[a.Metric]
+	if !ok {
+		return res // Found=false, Pass=false
+	}
+	res.Got = got
+	res.Found = true
+	res.Pass = opFns[a.Op](got, a.Value)
+	return res
+}

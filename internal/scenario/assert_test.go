@@ -1,0 +1,66 @@
+package scenario
+
+import "testing"
+
+// TestAssertionOps sweeps every operator across below/equal/above
+// measurements, pinning the boundary-equal semantics the deterministic
+// replays make meaningful.
+func TestAssertionOps(t *testing.T) {
+	cases := []struct {
+		op   string
+		got  float64
+		want float64
+		pass bool
+	}{
+		{"==", 5, 5, true}, {"==", 5.0001, 5, false},
+		{"!=", 5, 5, false}, {"!=", 4, 5, true},
+		{"<", 4, 5, true}, {"<", 5, 5, false}, {"<", 6, 5, false},
+		{"<=", 4, 5, true}, {"<=", 5, 5, true}, {"<=", 6, 5, false},
+		{">", 6, 5, true}, {">", 5, 5, false}, {">", 4, 5, false},
+		{">=", 6, 5, true}, {">=", 5, 5, true}, {">=", 4, 5, false},
+		{"==", 0, 0, true}, {"<=", 0, 0, true}, {">=", 0, 0, true},
+	}
+	for _, c := range cases {
+		as := AssertionSpec{Metric: "m", Op: c.op, Value: c.want}
+		res := as.Eval(Measurements{"m": c.got})
+		if !res.Found {
+			t.Fatalf("%g %s %g: metric unexpectedly absent", c.got, c.op, c.want)
+		}
+		if res.Pass != c.pass {
+			t.Errorf("%g %s %g: pass=%v, want %v", c.got, c.op, c.want, res.Pass, c.pass)
+		}
+		if res.Got != c.got {
+			t.Errorf("%g %s %g: Got=%g", c.got, c.op, c.want, res.Got)
+		}
+	}
+}
+
+// TestAssertionAbsentMetric pins the absent-metric contract: an
+// assertion on a measurement the harness never reported fails with
+// Found=false — it must not vacuously pass, whatever the operator.
+func TestAssertionAbsentMetric(t *testing.T) {
+	for op := range opFns {
+		as := AssertionSpec{Metric: "nope", Op: op, Value: 0}
+		res := as.Eval(Measurements{"other": 1})
+		if res.Found {
+			t.Errorf("op %s: Found=true for absent metric", op)
+		}
+		if res.Pass {
+			t.Errorf("op %s: absent metric passed", op)
+		}
+	}
+}
+
+// TestAssertionEmptyMeasurements: an empty phase (harness measured
+// nothing) fails every assertion rather than crashing or passing.
+func TestAssertionEmptyMeasurements(t *testing.T) {
+	as := AssertionSpec{Metric: "lost_acked", Op: "==", Value: 0}
+	res := as.Eval(Measurements{})
+	if res.Found || res.Pass {
+		t.Fatalf("empty measurements: Found=%v Pass=%v, want false/false", res.Found, res.Pass)
+	}
+	res = as.Eval(nil)
+	if res.Found || res.Pass {
+		t.Fatalf("nil measurements: Found=%v Pass=%v, want false/false", res.Found, res.Pass)
+	}
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// triggerHarness is a minimal deterministic harness whose only failure
+// mode is firing a kill_leader: after one, every Measure reports lost
+// acked records. It gives the minimizer a single guilty action to find.
+type triggerHarness struct {
+	fired bool
+}
+
+func (h *triggerHarness) Reset(seed int64) error       { h.fired = false; return nil }
+func (h *triggerHarness) BeginPhase(name string) error { return nil }
+func (h *triggerHarness) Round(tr Traffic) error       { return nil }
+func (h *triggerHarness) Settle() error                { return nil }
+func (h *triggerHarness) Apply(a Action) error {
+	if a.Type == "kill_leader" {
+		h.fired = true
+	}
+	return nil
+}
+func (h *triggerHarness) Measure() (Measurements, error) {
+	lost := 0.0
+	if h.fired {
+		lost = 7
+	}
+	return Measurements{"lost_acked": lost}, nil
+}
+
+// guiltySpec builds a three-phase spec where only the middle phase's
+// kill_leader causes the failure; the decoy actions and phases are
+// minimizer chaff.
+func guiltySpec() *Spec {
+	p1 := steadyPhase("calm", 6)
+	p1.Actions = []ActionSpec{
+		{At: 1, Type: "link_loss", Prob: 0.1},
+		{At: 2, Type: "clock_skew", SkewMs: 10},
+	}
+	p1.Assertions = []AssertionSpec{{Metric: "lost_acked", Op: "==", Value: 0}}
+	p2 := steadyPhase("trouble", 8)
+	p2.Actions = []ActionSpec{
+		{At: 0, Type: "link_dup", Prob: 0.05},
+		{At: 2, Type: "kill_leader"},
+		{At: 4, Type: "reorder", Prob: 0.2},
+		{At: 5, Type: "heal_all"},
+	}
+	p2.Assertions = []AssertionSpec{{Metric: "lost_acked", Op: "==", Value: 0}}
+	p3 := steadyPhase("recover", 6)
+	p3.Assertions = []AssertionSpec{{Metric: "lost_acked", Op: "==", Value: 0}}
+	return steadySpec("guilty", 11, p1, p2, p3)
+}
+
+// TestMinimizeFindsGuiltyAction: the delta-debugger strips the chaff and
+// converges on a one-phase spec still holding the kill_leader, and the
+// minimized spec still fails.
+func TestMinimizeFindsGuiltyAction(t *testing.T) {
+	e := New(Config{})
+	h := &triggerHarness{}
+	x := &Explorer{Engine: e, Harness: h, Rng: rand.New(rand.NewSource(1)), MaxCandidates: 64}
+
+	min, runs, err := x.Minimize(guiltySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs < 2 {
+		t.Fatalf("minimizer spent only %d runs — it did not search", runs)
+	}
+	if len(min.Phases) != 1 {
+		t.Fatalf("minimized to %d phases, want 1: %+v", len(min.Phases), min.Phases)
+	}
+	var hasKill bool
+	total := 0
+	for _, a := range min.Phases[0].Actions {
+		total++
+		if a.Type == "kill_leader" {
+			hasKill = true
+		}
+	}
+	if !hasKill {
+		t.Fatalf("minimized spec lost the guilty kill_leader: %+v", min.Phases[0].Actions)
+	}
+	if total != 1 {
+		t.Errorf("minimized spec kept %d actions, want exactly the guilty one", total)
+	}
+	res, err := e.Run(min, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("minimized spec no longer fails")
+	}
+	if !strings.Contains(min.Notes, "minimized from") {
+		t.Errorf("minimized spec notes lack provenance: %q", min.Notes)
+	}
+}
+
+// TestMinimizeRejectsPassingSpec: the minimizer refuses a spec that does
+// not fail — minimizing a passing spec would be minimizing nothing.
+func TestMinimizeRejectsPassingSpec(t *testing.T) {
+	e := New(Config{})
+	x := &Explorer{Engine: e, Harness: &triggerHarness{}, Rng: rand.New(rand.NewSource(1))}
+	spec := steadySpec("fine", 1, steadyPhase("p", 2))
+	spec.Phases[0].Assertions = []AssertionSpec{{Metric: "lost_acked", Op: "==", Value: 0}}
+	if _, _, err := x.Minimize(spec); err == nil {
+		t.Fatal("want an error minimizing a passing spec")
+	}
+}
+
+// TestPerturbDeterministic: two explorers seeded identically derive the
+// same perturbed spec, and the perturbation never mutates the original.
+func TestPerturbDeterministic(t *testing.T) {
+	base, err := LoadSpec(filepath.Join("testdata", "specs", "ok-kitchen-sink.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := base.Marshal()
+	mk := func() *Spec {
+		x := &Explorer{Rng: rand.New(rand.NewSource(5))}
+		return x.Perturb(base)
+	}
+	a, b := mk(), mk()
+	da, _ := a.Marshal()
+	db, _ := b.Marshal()
+	if !bytes.Equal(da, db) {
+		t.Fatal("same explorer seed produced different perturbations")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("perturbed spec does not validate: %v", err)
+	}
+	after, _ := base.Marshal()
+	if !bytes.Equal(before, after) {
+		t.Fatal("Perturb mutated the base spec")
+	}
+}
+
+// TestArchiveIdempotent: archiving the same spec twice writes the same
+// content-addressed file, and the file round-trips through the parser.
+func TestArchiveIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	x := &Explorer{Engine: New(Config{})}
+	spec := steadySpec("archived", 3, steadyPhase("p", 2))
+	p1, err := x.Archive(spec, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := x.Archive(spec, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("same spec archived to two paths: %s vs %s", p1, p2)
+	}
+	if _, err := LoadSpec(p1); err != nil {
+		t.Fatalf("archived spec does not re-load: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("archive dir holds %d files, want 1", len(entries))
+	}
+}
+
+// TestLoadCorpusSorted: specs come back in filename order, non-JSON
+// files are ignored, and an empty directory is an error.
+func TestLoadCorpusSorted(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s *Spec) {
+		data, err := s.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("b-second.json", steadySpec("second", 2, steadyPhase("p", 1)))
+	write("a-first.json", steadySpec("first", 1, steadyPhase("p", 1)))
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("not a spec"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, names, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || names[0] != "a-first.json" || names[1] != "b-second.json" {
+		t.Fatalf("corpus order wrong: %v", names)
+	}
+	if specs[0].Name != "first" || specs[1].Name != "second" {
+		t.Fatalf("specs out of order: %s, %s", specs[0].Name, specs[1].Name)
+	}
+	if _, _, err := LoadCorpus(t.TempDir()); err == nil {
+		t.Fatal("want an error for an empty corpus directory")
+	}
+}
+
+// TestExploreFindsInjectedFailure: end-to-end explorer loop — perturbing
+// a spec whose harness always fails on kill_leader finds, minimizes and
+// reports a Finding.
+func TestExploreFindsInjectedFailure(t *testing.T) {
+	e := New(Config{})
+	x := &Explorer{Engine: e, Harness: &triggerHarness{}, Rng: rand.New(rand.NewSource(9)), MaxCandidates: 64}
+	f, err := x.Explore(guiltySpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("explorer found nothing; the injected failure fires on every run")
+	}
+	if f.Origin != "guilty" {
+		t.Errorf("finding origin %q, want guilty", f.Origin)
+	}
+	if f.Result.Pass {
+		t.Fatal("finding's result claims the minimized spec passes")
+	}
+	path, err := x.Archive(f.Spec, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(path); err != nil {
+		t.Fatalf("archived finding does not re-load: %v", err)
+	}
+}

@@ -1,0 +1,305 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"cad3/internal/obsv"
+)
+
+// fakeHarness is a scripted, fully deterministic Harness: it records
+// every call in order and synthesises measurements from a seed-keyed
+// counter, so engine behaviour can be asserted without the simulation
+// stack.
+type fakeHarness struct {
+	calls    []string
+	seed     int64
+	rounds   int
+	applyErr map[string]error
+	// measure overrides the synthesised measurements when set.
+	measure func(h *fakeHarness) Measurements
+}
+
+func (h *fakeHarness) Reset(seed int64) error {
+	h.seed, h.rounds = seed, 0
+	h.calls = append(h.calls, fmt.Sprintf("reset seed=%d", seed))
+	return nil
+}
+
+func (h *fakeHarness) BeginPhase(name string) error {
+	h.calls = append(h.calls, "begin "+name)
+	return nil
+}
+
+func (h *fakeHarness) Round(tr Traffic) error {
+	h.rounds++
+	h.calls = append(h.calls, fmt.Sprintf("round abs=%d rate=%s burst=%d fault=%s spoof=%s",
+		tr.Round, fnum(tr.Rate), tr.Burst, fnum(tr.FaultFrac), fnum(tr.SpoofFrac)))
+	return nil
+}
+
+func (h *fakeHarness) Apply(a Action) error {
+	h.calls = append(h.calls, "apply "+a.String())
+	if err := h.applyErr[a.Type]; err != nil {
+		return err
+	}
+	return nil
+}
+
+func (h *fakeHarness) Settle() error {
+	h.calls = append(h.calls, "settle")
+	return nil
+}
+
+func (h *fakeHarness) Measure() (Measurements, error) {
+	h.calls = append(h.calls, "measure")
+	if h.measure != nil {
+		return h.measure(h), nil
+	}
+	return Measurements{
+		"rounds":     float64(h.rounds),
+		"seed_echo":  float64(h.seed),
+		"lost_acked": 0,
+	}, nil
+}
+
+func steadySpec(name string, seed int64, phases ...PhaseSpec) *Spec {
+	return &Spec{Version: SpecVersion, Name: name, Seed: seed, Phases: phases}
+}
+
+func steadyPhase(name string, rounds int) PhaseSpec {
+	return PhaseSpec{Name: name, Rounds: rounds, Traffic: TrafficSpec{Shape: "steady", Rate: 1}}
+}
+
+// TestEngineCallOrder pins the executor's call discipline: reset once,
+// then per phase begin → (actions before traffic) per round → settle
+// (forced on the final phase) → measure.
+func TestEngineCallOrder(t *testing.T) {
+	ph := steadyPhase("warm", 2)
+	ph.Actions = []ActionSpec{{At: 1, Type: "kill_leader"}}
+	ph.Assertions = []AssertionSpec{{Metric: "rounds", Op: "==", Value: 2}}
+	spec := steadySpec("order", 7, ph)
+
+	h := &fakeHarness{}
+	res, err := New(Config{}).Run(spec, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"reset seed=7",
+		"begin warm",
+		"round abs=0 rate=1 burst=0 fault=0 spoof=0",
+		"apply kill_leader",
+		"round abs=1 rate=1 burst=0 fault=0 spoof=0",
+		"settle",
+		"measure",
+	}
+	if got := strings.Join(h.calls, "\n"); got != strings.Join(want, "\n") {
+		t.Fatalf("call order:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+	if !res.Pass || res.Failures != 0 {
+		t.Fatalf("expected passing run, got pass=%v failures=%d\n%s", res.Pass, res.Failures, res.Transcript)
+	}
+}
+
+// TestEngineAbsoluteRounds: Traffic.Round is the absolute round index,
+// continuous across phases — harnesses key virtual time off it.
+func TestEngineAbsoluteRounds(t *testing.T) {
+	spec := steadySpec("abs", 1, steadyPhase("a", 3), steadyPhase("b", 2))
+	h := &fakeHarness{}
+	if _, err := New(Config{}).Run(spec, h); err != nil {
+		t.Fatal(err)
+	}
+	var rounds []string
+	for _, c := range h.calls {
+		if strings.HasPrefix(c, "round ") {
+			rounds = append(rounds, strings.Fields(c)[1])
+		}
+	}
+	want := []string{"abs=0", "abs=1", "abs=2", "abs=3", "abs=4"}
+	if strings.Join(rounds, " ") != strings.Join(want, " ") {
+		t.Fatalf("absolute rounds %v, want %v", rounds, want)
+	}
+}
+
+// TestRampExpansion checks the loss_ramp macro lowers to one link_loss
+// per round with linearly interpolated probabilities, first and last
+// rounds landing exactly on from_prob/to_prob.
+func TestRampExpansion(t *testing.T) {
+	ph := steadyPhase("ramp", 10)
+	ph.Actions = []ActionSpec{{At: 2, Type: "loss_ramp", FromProb: 0.1, ToProb: 0.5, Rounds: 5}}
+	plan, err := Compile(steadySpec("ramps", 1, ph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := plan.Phases[0].Actions
+	if plan.Phases[0].ActionCount() != 5 {
+		t.Fatalf("want 5 expanded firings, got %d", plan.Phases[0].ActionCount())
+	}
+	wantProbs := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	for i, want := range wantProbs {
+		fired := acts[2+i]
+		if len(fired) != 1 || fired[0].Type != "link_loss" {
+			t.Fatalf("round %d: want one link_loss, got %v", 2+i, fired)
+		}
+		if math.Abs(fired[0].Prob-want) > 1e-9 {
+			t.Errorf("round %d: prob %g, want %g", 2+i, fired[0].Prob, want)
+		}
+	}
+}
+
+// TestFlapExpansion: rsu_flap lowers to a kill at At and a revive at
+// At+Rounds against the same replica.
+func TestFlapExpansion(t *testing.T) {
+	ph := steadyPhase("flap", 8)
+	ph.Actions = []ActionSpec{{At: 2, Type: "rsu_flap", Replica: "r1", Rounds: 3}}
+	plan, err := Compile(steadySpec("flaps", 1, ph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := plan.Phases[0].Actions
+	if len(acts[2]) != 1 || acts[2][0].Type != "kill" || acts[2][0].Replica != "r1" {
+		t.Fatalf("round 2: want kill r1, got %v", acts[2])
+	}
+	if len(acts[5]) != 1 || acts[5][0].Type != "revive" || acts[5][0].Replica != "r1" {
+		t.Fatalf("round 5: want revive r1, got %v", acts[5])
+	}
+}
+
+// TestTrafficShapes probes each compiled shape at characteristic rounds.
+func TestTrafficShapes(t *testing.T) {
+	probe := func(ts TrafficSpec, rounds, i int) Traffic {
+		return compileTraffic(ts, rounds)(i)
+	}
+	if got := probe(TrafficSpec{Shape: "steady", Rate: 2}, 10, 5); got.Rate != 2 {
+		t.Errorf("steady: rate %g, want 2", got.Rate)
+	}
+	// Surge climbs linearly: first round at rate, last at peak.
+	if got := probe(TrafficSpec{Shape: "surge", Rate: 1, Peak: 8}, 8, 0); got.Rate != 1 {
+		t.Errorf("surge first: rate %g, want 1", got.Rate)
+	}
+	if got := probe(TrafficSpec{Shape: "surge", Rate: 1, Peak: 8}, 8, 7); got.Rate != 8 {
+		t.Errorf("surge last: rate %g, want 8", got.Rate)
+	}
+	// Shockwave: peak+faults inside the window, base outside.
+	sw := TrafficSpec{Shape: "shockwave", Rate: 1, Peak: 4, AtFrac: 0.5, WidthFrac: 0.2, FaultFrac: 0.3}
+	if got := probe(sw, 20, 10); got.Rate != 4 || got.FaultFrac != 0.3 {
+		t.Errorf("shockwave centre: %+v", got)
+	}
+	if got := probe(sw, 20, 0); got.Rate != 1 || got.FaultFrac != 0 {
+		t.Errorf("shockwave edge: %+v", got)
+	}
+	// Platoon: burst every Every rounds, none between.
+	pl := TrafficSpec{Shape: "platoon", Rate: 1, Size: 25, Every: 4}
+	if got := probe(pl, 12, 4); got.Burst != 25 {
+		t.Errorf("platoon on-beat: burst %d, want 25", got.Burst)
+	}
+	if got := probe(pl, 12, 5); got.Burst != 0 {
+		t.Errorf("platoon off-beat: burst %d, want 0", got.Burst)
+	}
+	if got := probe(TrafficSpec{Shape: "storm", Rate: 1, FaultFrac: 0.4}, 5, 2); got.FaultFrac != 0.4 {
+		t.Errorf("storm: fault_frac %g, want 0.4", got.FaultFrac)
+	}
+	if got := probe(TrafficSpec{Shape: "spoof", Rate: 1, SpoofFrac: 0.2}, 5, 2); got.SpoofFrac != 0.2 {
+		t.Errorf("spoof: spoof_frac %g, want 0.2", got.SpoofFrac)
+	}
+}
+
+// TestApplyErrorSurvivable: a failing action is recorded in the
+// transcript and counted, but the run continues and assertions still
+// decide the verdict.
+func TestApplyErrorSurvivable(t *testing.T) {
+	ph := steadyPhase("p", 3)
+	ph.Actions = []ActionSpec{{At: 1, Type: "revive", Replica: "r9"}}
+	ph.Assertions = []AssertionSpec{{Metric: "rounds", Op: "==", Value: 3}}
+	spec := steadySpec("survive", 3, ph)
+
+	reg := obsv.NewRegistry()
+	e := New(Config{Metrics: reg})
+	h := &fakeHarness{applyErr: map[string]error{"revive": errors.New("nothing to revive")}}
+	res, err := e.Run(spec, h)
+	if err != nil {
+		t.Fatalf("apply error must not abort the run: %v", err)
+	}
+	if !res.Pass {
+		t.Fatalf("run should still pass its assertions:\n%s", res.Transcript)
+	}
+	if !strings.Contains(res.Transcript, "!error: nothing to revive") {
+		t.Fatalf("transcript does not record the action error:\n%s", res.Transcript)
+	}
+	if got := reg.Snapshot().Counters["scenario.action_errors"]; got != 1 {
+		t.Fatalf("scenario.action_errors = %d, want 1", got)
+	}
+}
+
+// TestTranscriptDeterminism is the engine-level determinism contract:
+// the same (spec, harness) run twice yields byte-identical transcripts,
+// and a different seed yields a different one.
+func TestTranscriptDeterminism(t *testing.T) {
+	ph := steadyPhase("p", 4)
+	ph.Actions = []ActionSpec{
+		{At: 0, Type: "loss_ramp", FromProb: 0, ToProb: 0.3, Rounds: 3},
+		{At: 2, Type: "clock_skew", SkewMs: 25},
+	}
+	ph.Assertions = []AssertionSpec{
+		{Metric: "rounds", Op: "==", Value: 4},
+		{Metric: "missing_metric", Op: "<", Value: 1},
+	}
+	spec := steadySpec("det", 99, ph)
+
+	e := New(Config{})
+	run := func(s *Spec) string {
+		res, err := e.Run(s, &fakeHarness{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Transcript
+	}
+	t1, t2 := run(spec), run(spec)
+	if t1 != t2 {
+		t.Fatalf("same spec, different transcripts:\n--- 1\n%s\n--- 2\n%s", t1, t2)
+	}
+	if !strings.Contains(t1, "assert missing_metric < 1 :: FAIL (metric absent)") {
+		t.Fatalf("absent-metric assertion not rendered as expected:\n%s", t1)
+	}
+	other := spec.Clone()
+	other.Seed = 100
+	if t3 := run(other); t3 == t1 {
+		t.Fatal("different seeds produced identical transcripts")
+	}
+}
+
+// TestEngineMetrics spot-checks the scenario.* counter family after a
+// mixed pass/fail run.
+func TestEngineMetrics(t *testing.T) {
+	ph := steadyPhase("p", 2)
+	ph.Assertions = []AssertionSpec{
+		{Metric: "rounds", Op: "==", Value: 2},
+		{Metric: "rounds", Op: "==", Value: 3},
+	}
+	spec := steadySpec("metrics", 1, ph)
+	reg := obsv.NewRegistry()
+	res, err := New(Config{Metrics: reg}).Run(spec, &fakeHarness{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass || res.Failures != 1 {
+		t.Fatalf("want one failure, got pass=%v failures=%d", res.Pass, res.Failures)
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"scenario.runs":        1,
+		"scenario.runs.failed": 1,
+		"scenario.phases":      1,
+		"scenario.rounds":      2,
+		"scenario.assert.pass": 1,
+		"scenario.assert.fail": 1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

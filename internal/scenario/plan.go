@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Compilation: spec → plan. Macros (ramps, flaps) expand into the
+// runtime action vocabulary pinned to concrete rounds, and each phase's
+// traffic shape becomes a pure round → Traffic function, so the executor
+// is a dumb loop and every scheduling decision is visible in the plan.
+
+// Plan is a compiled spec, ready for execution.
+type Plan struct {
+	Spec   *Spec
+	Phases []PlanPhase
+}
+
+// PlanPhase is one compiled phase.
+type PlanPhase struct {
+	Name   string
+	Rounds int
+	Settle bool
+	// Actions maps round-in-phase → actions fired before that round's
+	// traffic, in declaration order (macro expansions keep their
+	// declaration position at each expanded round).
+	Actions map[int][]Action
+	// Traffic computes round-in-phase → traffic order; pure.
+	Traffic    func(i int) Traffic
+	Assertions []AssertionSpec
+}
+
+// ActionCount returns the number of compiled action firings.
+func (p PlanPhase) ActionCount() int {
+	n := 0
+	for _, as := range p.Actions {
+		n += len(as)
+	}
+	return n
+}
+
+// Compile validates and compiles a spec.
+func Compile(s *Spec) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Spec: s}
+	for i, ph := range s.Phases {
+		pp := PlanPhase{
+			Name:       ph.Name,
+			Rounds:     ph.Rounds,
+			Settle:     ph.Settle || i == len(s.Phases)-1,
+			Actions:    map[int][]Action{},
+			Traffic:    compileTraffic(ph.Traffic, ph.Rounds),
+			Assertions: ph.Assertions,
+		}
+		for _, a := range ph.Actions {
+			for _, fired := range expandAction(a) {
+				pp.Actions[fired.at] = append(pp.Actions[fired.at], fired.action)
+			}
+		}
+		plan.Phases = append(plan.Phases, pp)
+	}
+	return plan, nil
+}
+
+// firedAction is one expanded (round, action) pair.
+type firedAction struct {
+	at     int
+	action Action
+}
+
+// expandAction lowers one declared action to its runtime firings.
+func expandAction(a ActionSpec) []firedAction {
+	base := Action{
+		Type: a.Type, Replica: a.Replica, From: a.From, To: a.To,
+		Both: a.Both, Prob: a.Prob, MinMs: a.MinMs, MaxMs: a.MaxMs,
+		SkewMs: a.SkewMs,
+	}
+	switch a.Type {
+	case "loss_ramp", "delay_ramp":
+		// One interpolated setting per round across the span; the last
+		// round lands exactly on to_prob.
+		typ := "link_loss"
+		if a.Type == "delay_ramp" {
+			typ = "link_delay"
+		}
+		out := make([]firedAction, 0, a.Rounds)
+		for i := 0; i < a.Rounds; i++ {
+			frac := float64(i) / float64(a.Rounds-1)
+			step := base
+			step.Type = typ
+			step.Prob = a.FromProb + (a.ToProb-a.FromProb)*frac
+			out = append(out, firedAction{at: a.At + i, action: step})
+		}
+		return out
+	case "rsu_flap":
+		kill := base
+		kill.Type = "kill"
+		revive := base
+		revive.Type = "revive"
+		return []firedAction{
+			{at: a.At, action: kill},
+			{at: a.At + a.Rounds, action: revive},
+		}
+	default:
+		return []firedAction{{at: a.At, action: base}}
+	}
+}
+
+// compileTraffic builds the pure per-round traffic function for a shape.
+func compileTraffic(t TrafficSpec, rounds int) func(i int) Traffic {
+	switch t.Shape {
+	case "steady":
+		return func(i int) Traffic { return Traffic{Rate: t.Rate} }
+	case "surge":
+		// Rush hour: linear climb from rate to peak across the phase.
+		return func(i int) Traffic {
+			frac := 0.0
+			if rounds > 1 {
+				frac = float64(i) / float64(rounds-1)
+			}
+			return Traffic{Rate: t.Rate + (t.Peak-t.Rate)*frac}
+		}
+	case "shockwave":
+		// Accident shockwave: inside the window centred at at_frac the
+		// load jumps to peak and a slab of records shows crash-braking
+		// kinematics (fault_frac); outside it the corridor is steady.
+		lo := int((t.AtFrac - t.WidthFrac/2) * float64(rounds))
+		hi := int((t.AtFrac + t.WidthFrac/2) * float64(rounds))
+		return func(i int) Traffic {
+			if i >= lo && i <= hi {
+				return Traffic{Rate: t.Peak, FaultFrac: t.FaultFrac}
+			}
+			return Traffic{Rate: t.Rate}
+		}
+	case "platoon":
+		// A platoon passes the RSU every Every rounds: Size extra
+		// ledgered records land in one window.
+		return func(i int) Traffic {
+			tr := Traffic{Rate: t.Rate}
+			if i%t.Every == 0 {
+				tr.Burst = t.Size
+			}
+			return tr
+		}
+	case "storm":
+		return func(i int) Traffic { return Traffic{Rate: t.Rate, FaultFrac: t.FaultFrac} }
+	case "spoof":
+		return func(i int) Traffic { return Traffic{Rate: t.Rate, SpoofFrac: t.SpoofFrac} }
+	default:
+		// Unreachable after Validate; a zero-traffic round is the safe
+		// failure mode.
+		return func(i int) Traffic { return Traffic{} }
+	}
+}
+
+// String renders an action deterministically for transcripts.
+func (a Action) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Type)
+	add := func(k, v string) { fmt.Fprintf(&sb, " %s=%s", k, v) }
+	if a.Replica != "" {
+		add("replica", a.Replica)
+	}
+	if a.From != "" {
+		add("from", a.From)
+	}
+	if a.To != "" {
+		add("to", a.To)
+	}
+	if a.Both {
+		add("both", "true")
+	}
+	switch a.Type {
+	case "link_loss", "link_dup", "reorder", "link_delay":
+		add("prob", fnum(a.Prob))
+	}
+	if a.Type == "link_delay" {
+		add("delay_ms", fmt.Sprintf("%d..%d", a.MinMs, a.MaxMs))
+	}
+	if a.Type == "clock_skew" {
+		add("skew_ms", fmt.Sprintf("%d", a.SkewMs))
+	}
+	return sb.String()
+}
+
+// sortedKeys returns a measurement set's names in stable order.
+func sortedKeys(m Measurements) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

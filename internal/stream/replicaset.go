@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -364,7 +365,13 @@ func (rs *ReplicaSet) Fetch(topicName string, partition int32, offset int64, max
 func (rs *ReplicaSet) Tick() {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	for name, t := range rs.topics {
+	// Topics are visited in sorted name order: role pushes and follower
+	// syncs go through replica links that may be fault-injection wrappers
+	// drawing from a seeded PRNG, so the control plane's call sequence
+	// must not inherit map iteration order or deterministic replays
+	// diverge run to run.
+	for _, name := range rs.sortedTopicsLocked() {
+		t := rs.topics[name]
 		for p := range t.parts {
 			ps := &t.parts[p]
 			if !rs.replicas[ps.leader].alive {
@@ -372,7 +379,8 @@ func (rs *ReplicaSet) Tick() {
 			}
 		}
 	}
-	for name, t := range rs.topics {
+	for _, name := range rs.sortedTopicsLocked() {
+		t := rs.topics[name]
 		for p := range t.parts {
 			ps := &t.parts[p]
 			if !rs.replicas[ps.leader].alive {
@@ -467,7 +475,8 @@ func (rs *ReplicaSet) Revive(id string) (*Broker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: revive %q: %w", id, err)
 	}
-	for name, t := range rs.topics {
+	for _, name := range rs.sortedTopicsLocked() {
+		t := rs.topics[name]
 		for p := range t.parts {
 			ps := &t.parts[p]
 			stillLeader := ps.leader == ri && !rs.replicas[ps.leader].alive
@@ -489,6 +498,18 @@ func (rs *ReplicaSet) Revive(id string) (*Broker, error) {
 		rs.mCatchups.Inc()
 	}
 	return nb, nil
+}
+
+// sortedTopicsLocked returns the topic names in sorted order, for
+// control-plane sweeps whose per-topic work has side effects (role
+// pushes, follower syncs through possibly fault-injected links).
+func (rs *ReplicaSet) sortedTopicsLocked() []string {
+	names := make([]string, 0, len(rs.topics))
+	for name := range rs.topics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // findLocked resolves a replica ID.
