@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos failover overload scenarios profile linkcheck docs clean
+.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos failover overload scenarios city profile linkcheck docs clean
 
 all: build vet test
 
@@ -82,6 +82,13 @@ overload:
 # failure). See SCENARIOS.md for the spec grammar.
 scenarios:
 	$(GO) run ./cmd/cad3-scenario -selfcheck
+
+# City-scale acceptance: 100k vehicles over a sharded synthetic city
+# (replicated brokers per shard, one virtual clock, replica faults
+# mid-run). Exits nonzero unless the settlement ledger is clean and the
+# per-shard load skew stays within 1.5x the median. See DESIGN.md §15.
+city:
+	$(GO) run ./cmd/cad3-city -faults
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt cpu.prof mem.prof core.test

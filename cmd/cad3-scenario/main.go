@@ -14,6 +14,12 @@
 //	                                   N times hunting for new failures;
 //	                                   a find is minimized and (with
 //	                                   -archive) written into the corpus
+//	cad3-scenario -explore 5 -budget 2m
+//	                                   keep repeating the exploration
+//	                                   sweep (fresh perturbations each
+//	                                   pass) until the wall-clock budget
+//	                                   runs out — the scheduled CI fuzz
+//	                                   job's mode
 //	cad3-scenario -selfcheck           inject an impossible assertion and
 //	                                   verify the explorer finds, minimizes
 //	                                   and archives it — the meta-test that
@@ -23,7 +29,8 @@
 //
 //	cad3-scenario [-corpus scenarios] [-run substr] [-spec file.json]
 //	              [-cars 400] [-seed 77] [-vehicles 24] [-replicas 3]
-//	              [-explore 0] [-explore-seed 1] [-archive] [-selfcheck] [-v]
+//	              [-explore 0] [-explore-seed 1] [-budget 0]
+//	              [-archive] [-archive-dir dir] [-selfcheck] [-v]
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cad3/internal/experiments"
 	"cad3/internal/obsv"
@@ -56,7 +64,9 @@ func run() error {
 	replicas := flag.Int("replicas", 3, "broker cluster size")
 	explore := flag.Int("explore", 0, "perturbations per spec to hunt for new failures")
 	exploreSeed := flag.Int64("explore-seed", 1, "explorer PRNG seed")
-	archive := flag.Bool("archive", false, "archive minimized findings into the corpus directory")
+	budget := flag.Duration("budget", 0, "with -explore, repeat the exploration sweep until this wall-clock budget expires")
+	archive := flag.Bool("archive", false, "archive minimized findings (implied by -archive-dir)")
+	archiveDir := flag.String("archive-dir", "", "directory for archived findings (default: the corpus directory)")
 	selfcheck := flag.Bool("selfcheck", false, "verify the find->minimize->archive path with an injected failure")
 	verbose := flag.Bool("v", false, "print full run transcripts")
 	flag.Parse()
@@ -74,6 +84,24 @@ func run() error {
 	}
 	reg := obsv.NewRegistry()
 	engine := scenario.New(scenario.Config{Metrics: reg})
+
+	// Specs named city-* replay against the sharded city harness
+	// (shard-boundary handover under chaos) instead of the corridor
+	// stack; the city is built lazily on first use.
+	var cityHarness *experiments.CityScenarioHarness
+	harnessFor := func(s *scenario.Spec) (scenario.Harness, error) {
+		if !strings.HasPrefix(s.Name, "city-") {
+			return harness, nil
+		}
+		if cityHarness == nil {
+			var herr error
+			cityHarness, herr = experiments.NewCityScenarioHarness(experiments.CityHarnessConfig{})
+			if herr != nil {
+				return nil, herr
+			}
+		}
+		return cityHarness, nil
+	}
 
 	var specs []*scenario.Spec
 	var names []string
@@ -105,7 +133,11 @@ func run() error {
 
 	failures := 0
 	for i, s := range specs {
-		res, rerr := engine.Run(s, harness)
+		h, herr := harnessFor(s)
+		if herr != nil {
+			return herr
+		}
+		res, rerr := engine.Run(s, h)
 		if rerr != nil {
 			return fmt.Errorf("%s: %w", names[i], rerr)
 		}
@@ -122,7 +154,11 @@ func run() error {
 	}
 
 	if *selfcheck {
-		if err := runSelfcheck(engine, harness, specs[0], *exploreSeed); err != nil {
+		h, herr := harnessFor(specs[0])
+		if herr != nil {
+			return herr
+		}
+		if err := runSelfcheck(engine, h, specs[0], *exploreSeed); err != nil {
 			return err
 		}
 	}
@@ -132,24 +168,55 @@ func run() error {
 			Engine: engine, Harness: harness,
 			Rng: rand.New(rand.NewSource(*exploreSeed)),
 		}
-		for i, s := range specs {
-			fmt.Printf("exploring %s (%d perturbations)...\n", names[i], *explore)
-			finding, xerr := x.Explore(s, *explore)
-			if xerr != nil {
-				return xerr
+		dir := *corpusDir
+		if *archiveDir != "" {
+			dir = *archiveDir
+			*archive = true
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
 			}
-			if finding == nil {
-				continue
-			}
-			failures++
-			fmt.Printf("NEW FAILURE from %s, minimized in %d candidate runs:\n", finding.Origin, finding.Candidates)
-			fmt.Print(indent(finding.Result.Transcript))
-			if *archive {
-				path, aerr := x.Archive(finding.Spec, *corpusDir)
-				if aerr != nil {
-					return aerr
+		}
+		// With a -budget, the sweep repeats until the wall-clock deadline
+		// passes; the explorer's PRNG persists across sweeps, so every
+		// pass draws fresh perturbations. Budget checks sit between
+		// specs: a sweep in progress finishes its current Explore call,
+		// so a short budget still covers at least one spec.
+		var deadline time.Time
+		if *budget > 0 {
+			deadline = time.Now().Add(*budget)
+			fmt.Printf("exploring with a %v budget...\n", *budget)
+		}
+		for sweep := 1; ; sweep++ {
+			for i, s := range specs {
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					break
 				}
-				fmt.Printf("archived to %s — commit it to pin the regression\n", path)
+				h, herr := harnessFor(s)
+				if herr != nil {
+					return herr
+				}
+				x.Harness = h
+				fmt.Printf("exploring %s (sweep %d, %d perturbations)...\n", names[i], sweep, *explore)
+				finding, xerr := x.Explore(s, *explore)
+				if xerr != nil {
+					return xerr
+				}
+				if finding == nil {
+					continue
+				}
+				failures++
+				fmt.Printf("NEW FAILURE from %s, minimized in %d candidate runs:\n", finding.Origin, finding.Candidates)
+				fmt.Print(indent(finding.Result.Transcript))
+				if *archive {
+					path, aerr := x.Archive(finding.Spec, dir)
+					if aerr != nil {
+						return aerr
+					}
+					fmt.Printf("archived to %s — commit it to pin the regression\n", path)
+				}
+			}
+			if deadline.IsZero() || !time.Now().Before(deadline) {
+				break
 			}
 		}
 	}

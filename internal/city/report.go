@@ -1,0 +1,119 @@
+package city
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a completed city run's accounting: the settlement verdict
+// plus the load and traffic numbers the acceptance gates check.
+type Report struct {
+	Vehicles, Shards, Sites int
+	SimEvents               int64
+
+	// Telemetry path.
+	Telemetry, Abnormal, Probes int64
+	TelemetryUnacked            int64
+	Warnings                    int64
+	WarningsDelivered           int64
+	WarningsLost, WarningsDup   int64
+	FalseWarnings               int64
+
+	// Handover protocol.
+	Handovers, HandoverSummaries, HandoverEmpty int64
+	HandoverApplied, HandoverDups, HandoverLost int64
+	HandoverMisrouted                           int64
+	SiteHandovers                               int64
+
+	// Collaboration + machinery.
+	PriorHits, PriorFallbacks   int64
+	ProduceRetries, RouteResets int64
+	Elections                   int64
+
+	// Per-shard load.
+	ShardDwellMs              []int64
+	ShardRecords              []int64
+	DwellMaxMs, DwellMedianMs int64
+	SkewX1000                 int64
+}
+
+// report snapshots the metric family into a Report.
+func (d *Driver) report(simEvents int64) *Report {
+	m := d.m
+	r := &Report{
+		Vehicles:          d.cfg.Vehicles,
+		Shards:            d.cfg.Shards,
+		Sites:             len(d.part.Sites),
+		SimEvents:         simEvents,
+		Telemetry:         m.telemetry.Value(),
+		Abnormal:          m.abnormal.Value(),
+		Probes:            m.probes.Value(),
+		TelemetryUnacked:  m.telemetryUnacked.Value(),
+		Warnings:          m.warnings.Value(),
+		WarningsDelivered: m.warningsDelivered.Value(),
+		WarningsLost:      m.warningsLost.Value(),
+		WarningsDup:       m.warningsDup.Value(),
+		FalseWarnings:     m.falseWarnings.Value(),
+		Handovers:         m.handovers.Value(),
+		HandoverSummaries: m.handoverSummaries.Value(),
+		HandoverEmpty:     m.handoverEmpty.Value(),
+		HandoverApplied:   m.handoverApplied.Value(),
+		HandoverDups:      m.handoverDups.Value(),
+		HandoverLost:      m.handoverLost.Value(),
+		HandoverMisrouted: m.handoverMisrouted.Value(),
+		SiteHandovers:     m.siteHandovers.Value(),
+		PriorHits:         m.priorHits.Value(),
+		PriorFallbacks:    m.priorFallbacks.Value(),
+		ProduceRetries:    m.produceRetries.Value(),
+		RouteResets:       m.routeResets.Value(),
+		Elections:         m.reg.Counter("election.count").Value(),
+		DwellMaxMs:        m.dwellMax.Value(),
+		DwellMedianMs:     m.dwellMedian.Value(),
+		SkewX1000:         m.skewX1000.Value(),
+	}
+	for _, s := range d.shards {
+		r.ShardDwellMs = append(r.ShardDwellMs, s.dwellMs)
+		r.ShardRecords = append(r.ShardRecords, s.records)
+	}
+	return r
+}
+
+// SettlementClean reports the headline invariant: every acked abnormal
+// record produced exactly one delivered warning, and every ledgered
+// handover summary was applied exactly once at its destination shard.
+func (r *Report) SettlementClean() bool {
+	return r.WarningsLost == 0 && r.WarningsDup == 0 && r.FalseWarnings == 0 &&
+		r.HandoverLost == 0 && r.HandoverDups == 0 && r.HandoverMisrouted == 0
+}
+
+// Skew returns max/median shard dwell as a ratio (1.0 = perfectly even).
+func (r *Report) Skew() float64 {
+	if r.DwellMedianMs == 0 {
+		return 0
+	}
+	return float64(r.DwellMaxMs) / float64(r.DwellMedianMs)
+}
+
+// String renders the report as the city study's summary block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "city: %d vehicles, %d RSU sites, %d shards, %d sim events\n",
+		r.Vehicles, r.Sites, r.Shards, r.SimEvents)
+	fmt.Fprintf(&b, "telemetry: %d produced (%d abnormal, %d probes), %d unacked\n",
+		r.Telemetry, r.Abnormal, r.Probes, r.TelemetryUnacked)
+	fmt.Fprintf(&b, "warnings: %d raised, %d delivered, %d lost, %d dup, %d false\n",
+		r.Warnings, r.WarningsDelivered, r.WarningsLost, r.WarningsDup, r.FalseWarnings)
+	fmt.Fprintf(&b, "handovers: %d shard (%d summaries, %d empty), %d applied, %d lost, %d dup, %d misrouted, %d site-local\n",
+		r.Handovers, r.HandoverSummaries, r.HandoverEmpty,
+		r.HandoverApplied, r.HandoverLost, r.HandoverDups, r.HandoverMisrouted, r.SiteHandovers)
+	fmt.Fprintf(&b, "collab: %d prior hits, %d fallbacks; %d elections, %d produce retries, %d route resets\n",
+		r.PriorHits, r.PriorFallbacks, r.Elections, r.ProduceRetries, r.RouteResets)
+	fmt.Fprintf(&b, "load: dwell max/median %dms/%dms (skew %.2fx)\n",
+		r.DwellMaxMs, r.DwellMedianMs, r.Skew())
+	verdict := "CLEAN"
+	if !r.SettlementClean() {
+		verdict = "DIRTY"
+	}
+	fmt.Fprintf(&b, "settlement: %s\n", verdict)
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCityStudyAcceptance is the CI acceptance gate for the sharded
+// city driver, scaled down to stay fast: 4 shards x 10k vehicles on
+// one virtual clock, with replica faults injected mid-run. The gates
+// mirror `make city`: settlement CLEAN (zero warnings or handover
+// summaries lost, duplicated or misrouted) and per-shard dwell load
+// within 1.5x of the median.
+func TestCityStudyAcceptance(t *testing.T) {
+	s, err := RunCityStudy(CityStudyConfig{
+		Vehicles: 10_000,
+		Shards:   4,
+		Duration: 10 * time.Minute,
+		Seed:     42,
+		Faults:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Report
+	if r.Sites < 100 {
+		t.Fatalf("city placed %d RSU sites, want >= 100", r.Sites)
+	}
+	if r.Telemetry == 0 || r.HandoverSummaries == 0 {
+		t.Fatalf("city run produced no traffic:\n%s", FormatCityStudy(s))
+	}
+	if r.Elections == 0 {
+		t.Fatal("fault plan killed replicas but no elections ran")
+	}
+	if !r.SettlementClean() {
+		t.Fatalf("settlement dirty:\n%s", FormatCityStudy(s))
+	}
+	if r.TelemetryUnacked != 0 {
+		t.Fatalf("%d telemetry records never acked after revival", r.TelemetryUnacked)
+	}
+	if skew := r.Skew(); skew > 1.5 {
+		t.Fatalf("shard dwell skew %.2fx > 1.5x: %v", skew, r.ShardDwellMs)
+	}
+}
+
+// TestFormatCityStudy locks the table shape EXPERIMENTS.md documents.
+func TestFormatCityStudy(t *testing.T) {
+	s, err := RunCityStudy(CityStudyConfig{
+		Vehicles: 500,
+		Shards:   2,
+		Duration: 2 * time.Minute,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCityStudy(s)
+	for _, want := range []string{
+		"City study:", "| metric | value |", "warnings lost",
+		"handover summaries applied", "shard dwell skew", "Settlement:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("study output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cad3/internal/scenario"
@@ -31,8 +32,21 @@ func TestScenarioCorpusPasses(t *testing.T) {
 	}
 	h := testHarness(t)
 	e := scenario.New(scenario.Config{})
+	var cityH *CityScenarioHarness
 	for i, s := range specs {
-		res, err := e.Run(s, h)
+		var target scenario.Harness = h
+		if strings.HasPrefix(s.Name, "city-") {
+			// city-* specs replay against the sharded city harness,
+			// same selection rule cmd/cad3-scenario applies.
+			if cityH == nil {
+				cityH, err = NewCityScenarioHarness(CityHarnessConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			target = cityH
+		}
+		res, err := e.Run(s, target)
 		if err != nil {
 			t.Fatalf("%s: %v", names[i], err)
 		}

@@ -30,6 +30,7 @@ var virtualClockPkgs = map[string]bool{
 	"trace":       true,
 	"chaos":       true,
 	"scenario":    true,
+	"city":        true,
 }
 
 // wallClockFuncs are the time-package functions that read or wait on the

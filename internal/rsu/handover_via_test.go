@@ -1,0 +1,89 @@
+package rsu
+
+import (
+	"errors"
+	"testing"
+
+	"cad3/internal/geo"
+	"cad3/internal/stream"
+)
+
+// TestHandoverViaRouter routes a shard-boundary handover through a
+// stream.SummaryRouter instead of a named neighbor: the summary crosses
+// into the destination node's broker and lands in its store, and the
+// source forgets the local history exactly as the neighbor path does.
+func TestHandoverViaRouter(t *testing.T) {
+	cluster, _, mwClient, lkClient := clusterFixture(t)
+
+	for i := 0; i < 4; i++ {
+		sendRecord(t, mwClient, mkRec(9, geo.Motorway, 140, 14))
+	}
+	if _, err := cluster.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	router := stream.NewSummaryRouter(stream.RouterConfig{})
+	if err := router.Register("shard-link", lkClient); err != nil {
+		t.Fatal(err)
+	}
+	mw, _ := cluster.NodeByName("Mw")
+	if err := mw.HandoverVia(9, func(key, value []byte) error {
+		return router.Forward("shard-link", key, value)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if mw.TrackedCars() != 0 {
+		t.Fatalf("source still tracks %d cars after handover", mw.TrackedCars())
+	}
+	if sent, err := router.Flush(); err != nil || sent != 1 {
+		t.Fatalf("router flush = (%d, %v), want (1, nil)", sent, err)
+	}
+	if _, err := cluster.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	link, _ := cluster.NodeByName("Link")
+	if link.StoredSummaries() != 1 {
+		t.Fatalf("destination stored %d summaries, want 1", link.StoredSummaries())
+	}
+	if got := cluster.Stats()["Mw"].SummariesSent; got != 1 {
+		t.Fatalf("SummariesSent = %d, want 1", got)
+	}
+
+	// Unknown cars are a no-op, nil forwarders an error.
+	if err := mw.HandoverVia(4242, func(key, value []byte) error { return nil }); err != nil {
+		t.Fatalf("unknown car: %v", err)
+	}
+	if err := mw.HandoverVia(9, nil); err == nil {
+		t.Fatal("nil forwarder accepted")
+	}
+}
+
+// TestHandoverViaKeepsHistoryOnFailure: a failed forward keeps the local
+// history (a later crossing can deliver it) and counts the drop.
+func TestHandoverViaKeepsHistoryOnFailure(t *testing.T) {
+	cluster, _, mwClient, _ := clusterFixture(t)
+	for i := 0; i < 4; i++ {
+		sendRecord(t, mwClient, mkRec(9, geo.Motorway, 140, 14))
+	}
+	if _, err := cluster.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	mw, _ := cluster.NodeByName("Mw")
+	boom := errors.New("link down")
+	if err := mw.HandoverVia(9, func(key, value []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the forwarder's", err)
+	}
+	if mw.TrackedCars() != 1 {
+		t.Fatalf("history lost on failed handover: tracked = %d", mw.TrackedCars())
+	}
+	if got := mw.Stats().DroppedHandovers; got != 1 {
+		t.Fatalf("DroppedHandovers = %d, want 1", got)
+	}
+	// The retry delivers.
+	if err := mw.HandoverVia(9, func(key, value []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if mw.TrackedCars() != 0 {
+		t.Fatalf("tracked = %d after successful retry", mw.TrackedCars())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"cad3/internal/city"
 	"cad3/internal/flow"
 	"cad3/internal/geo"
 	"cad3/internal/netem"
@@ -193,6 +194,16 @@ func registerEverything(t *testing.T, reg *obsv.Registry) {
 	}
 	if _, err := stream.NewGroupCfg(stream.GroupConfig{
 		Client: rset.Client(stream.AckLeader), Topic: "repl-probe", Metrics: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded city driver: construction registers the whole city.* /
+	// shard.* family — settlement counters, fleet gauges, the dwell/skew
+	// load gauges — plus the cross-shard router's shard.router.* family.
+	// The road network is shared with the cluster above (read-only).
+	if _, err := city.NewDriver(city.Config{
+		Network: net, Shards: 2, Vehicles: 4, Replicas: 2, Metrics: reg,
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -674,6 +674,44 @@ func (n *Node) Handover(car trace.CarID, neighbor string) error {
 	return nil
 }
 
+// HandoverVia is Handover routed through an arbitrary forwarder instead
+// of a named neighbor producer — the shard-boundary hook: the city
+// driver passes a closure over a stream.SummaryRouter destination so
+// the summary reaches another shard's broker rather than a neighbor on
+// this one. The forwarder must not retain key or value past its return
+// (the router copies; both buffers are recycled here). As with
+// Handover, a forward failure keeps the local history so a later
+// crossing can still deliver it, and unknown cars are a no-op.
+func (n *Node) HandoverVia(car trace.CarID, forward func(key, value []byte) error) error {
+	if forward == nil {
+		return fmt.Errorf("rsu %s: HandoverVia needs a forwarder", n.cfg.Name)
+	}
+	sum, found := n.builder.Summarize(car)
+	if !found {
+		return nil
+	}
+	payload, err := core.EncodeSummary(sum)
+	if err != nil {
+		return fmt.Errorf("rsu %s: encode summary: %w", n.cfg.Name, err)
+	}
+	key := appendCarKey(stream.GetPayload(), car)
+	err = forward(key, payload)
+	stream.PutPayload(key)
+	stream.PutPayload(payload)
+	if err != nil {
+		n.dropped.Add(1)
+		n.cfg.Logger.Warn("handover dropped",
+			"rsu", n.cfg.Name, "car", int64(car), "err", err)
+		return fmt.Errorf("rsu %s: handover car %d: %w", n.cfg.Name, car, err)
+	}
+	n.builder.Forget(car)
+	n.sentSumm.Add(1)
+	n.cfg.Logger.Info("handover",
+		"rsu", n.cfg.Name, "car", int64(car),
+		"meanPNormal", sum.MeanPNormal, "count", sum.Count)
+	return nil
+}
+
 // discardHandler drops all records (the nil-logger default).
 type discardHandler struct{}
 

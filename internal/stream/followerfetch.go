@@ -1,0 +1,137 @@
+package stream
+
+// Follower reads: replica-aware consumer fetch. The leader broker is
+// the only member that accepts produces, but any in-sync replica holds
+// every committed record, so consumers can fan their fetches out across
+// the ISR instead of all hammering the leader — Kafka's KIP-392. The
+// correctness rule is the high-watermark clamp: a follower may hold
+// records the leader has appended but not yet fully replicated (or,
+// during an AckLeader window, the reverse — the leader holds records no
+// follower has), and none of those are committed. A follower read must
+// never return a record past the committed offset, defined here as the
+// minimum high watermark across live ISR members; otherwise a consumer
+// could observe a record that a subsequent clean election erases.
+
+import (
+	"fmt"
+)
+
+// CommittedOffset reports a partition's committed offset: the minimum
+// high watermark across live in-sync members. Records below it survive
+// any clean election; follower reads are clamped to it.
+func (rs *ReplicaSet) CommittedOffset(topicName string, partition int32) (int64, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ps, err := rs.partLocked(topicName, partition)
+	if err != nil {
+		return 0, err
+	}
+	return rs.committedLocked(topicName, partition, ps)
+}
+
+// partLocked resolves a (topic, partition) to its control-plane state.
+func (rs *ReplicaSet) partLocked(topicName string, partition int32) (*partState, error) {
+	t, ok := rs.topics[topicName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTopic, topicName)
+	}
+	if partition < 0 || int(partition) >= len(t.parts) {
+		return nil, fmt.Errorf("%w: %q/%d", ErrBadPartition, topicName, partition)
+	}
+	return &t.parts[partition], nil
+}
+
+// committedLocked computes the min HWM over live ISR members. A member
+// whose broker cannot answer (closed under us) is skipped; a partition
+// with no live in-sync member has nothing committed to serve.
+func (rs *ReplicaSet) committedLocked(topicName string, partition int32, ps *partState) (int64, error) {
+	committed, seen := int64(0), false
+	for i, r := range rs.replicas {
+		if !r.alive || !ps.isr[i] {
+			continue
+		}
+		hwm, err := r.Broker.HighWaterMark(topicName, partition)
+		if err != nil {
+			continue
+		}
+		if !seen || hwm < committed {
+			committed, seen = hwm, true
+		}
+	}
+	if !seen {
+		return 0, &notLeaderError{hint: DefaultLeaderRetryHint}
+	}
+	return committed, nil
+}
+
+// FetchCommitted reads from a live in-sync replica, preferring
+// followers over the leader (round-robin across the eligible members),
+// clamped so no returned record's offset reaches the committed offset
+// boundary's far side: offset+count <= committed, always. During an
+// AckLeader window the leader is ahead of the committed offset and a
+// follower read simply does not see the uncommitted suffix yet; the
+// next Tick (or an AckAll produce) advances the committed offset and
+// the records appear. Because every ISR member holds all committed
+// records, the clamped read is identical no matter which member serves
+// it.
+func (rs *ReplicaSet) FetchCommitted(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ps, err := rs.partLocked(topicName, partition)
+	if err != nil {
+		return nil, err
+	}
+	committed, err := rs.committedLocked(topicName, partition, ps)
+	if err != nil {
+		return nil, err
+	}
+	if offset >= committed {
+		return nil, nil // nothing committed past the consumer's position
+	}
+	if span := committed - offset; int64(max) > span {
+		max = int(span)
+		if rs.mFollowerClamped != nil {
+			rs.mFollowerClamped.Inc()
+		}
+	}
+	server := rs.pickReaderLocked(ps)
+	if rs.mFollowerFetches != nil && server != ps.leader {
+		rs.mFollowerFetches.Inc()
+	}
+	return rs.replicas[server].Broker.Fetch(topicName, partition, offset, max)
+}
+
+// pickReaderLocked rotates over live in-sync followers; only an ISR of
+// one (the leader alone) falls back to the leader.
+func (rs *ReplicaSet) pickReaderLocked(ps *partState) int {
+	var eligible []int
+	for i, r := range rs.replicas {
+		if r.alive && ps.isr[i] && i != ps.leader {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return ps.leader
+	}
+	rs.readRR++
+	return eligible[rs.readRR%uint64(len(eligible))]
+}
+
+// followerReadClient is a ReplicatedClient whose fetches go to in-sync
+// followers with the HWM clamp instead of the partition leader.
+type followerReadClient struct {
+	ReplicatedClient
+}
+
+// ReadClient returns a Client view of the set whose fetches are served
+// by in-sync followers (committed records only), spreading consumer
+// read load off the partition leaders. Produces still route to leaders
+// at the given ack level.
+func (rs *ReplicaSet) ReadClient(acks AckLevel) Client {
+	return &followerReadClient{ReplicatedClient{rs: rs, acks: acks}}
+}
+
+// Fetch implements Client via FetchCommitted.
+func (c *followerReadClient) Fetch(topicName string, partition int32, offset int64, max int) ([]Message, error) {
+	return c.rs.FetchCommitted(topicName, partition, offset, max)
+}

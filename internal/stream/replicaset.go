@@ -103,11 +103,13 @@ type ReplicaSet struct {
 	replicas []*replicaState
 	topics   map[string]*replTopic
 	rr       uint64 // nil-key AutoPartition rotor (under mu)
+	readRR   uint64 // follower-read rotor (under mu)
 
 	tickStop chan struct{}
 	tickDone chan struct{}
 
-	mElections, mCatchups, mISRDrops *obsv.Counter
+	mElections, mCatchups, mISRDrops   *obsv.Counter
+	mFollowerFetches, mFollowerClamped *obsv.Counter
 }
 
 // NewReplicaSet builds a controller over the given replicas. Replica IDs
@@ -141,6 +143,8 @@ func NewReplicaSet(cfg ReplicaSetConfig, replicas ...Replica) (*ReplicaSet, erro
 		rs.mElections = cfg.Metrics.Counter("election.count")
 		rs.mCatchups = cfg.Metrics.Counter("repl.catchups")
 		rs.mISRDrops = cfg.Metrics.Counter("repl.isr_drops")
+		rs.mFollowerFetches = cfg.Metrics.Counter("repl.follower_fetches")
+		rs.mFollowerClamped = cfg.Metrics.Counter("repl.follower_clamped")
 		cfg.Metrics.RegisterGaugeFunc("repl.isr_size", rs.minISRSize)
 		cfg.Metrics.RegisterGaugeFunc("repl.lag", rs.maxLag)
 		cfg.Metrics.RegisterGaugeFunc("election.epoch", rs.maxEpoch)

@@ -1,0 +1,238 @@
+package stream
+
+// SummaryRouter is the cross-shard CO-DATA path of the sharded city
+// driver: when a vehicle's journey crosses a shard boundary, the source
+// shard forwards the vehicle's prediction summary to the destination
+// shard's broker so collaborative detection survives the crossing. The
+// router owns one registered Client per destination shard — any Client
+// works, including the pooled v2 wire clients (PoolClient), so shards
+// can live in other processes — and drains per-destination FIFO queues
+// with at-least-once delivery: an entry that fails to produce stays at
+// the head of its queue and is retried on the next flush. Exactly-once
+// is the receiver's job (the city driver dedups on the entry key), the
+// same split the rest of the pipeline uses.
+//
+// Flushing is explicit (Flush, typically scheduled on the virtual
+// clock) or periodic (Run/Stop, a wall-clock goroutine with the stop/
+// done lifecycle the repo's goroutine-hygiene analyzer expects).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cad3/internal/obsv"
+)
+
+// ErrUnknownDest reports a Forward to a destination no Register named.
+var ErrUnknownDest = errors.New("stream: unknown router destination")
+
+// RouterConfig configures a SummaryRouter.
+type RouterConfig struct {
+	// Topic is the destination topic; empty selects TopicCoData.
+	Topic string
+	// MaxQueue bounds each destination's outstanding queue; a Forward
+	// past the bound fails rather than grow without limit. <= 0 selects
+	// 65536 entries.
+	MaxQueue int
+	// Metrics, when set, receives the shard.router.* family.
+	Metrics *obsv.Registry
+}
+
+// routerDest is one destination shard's client and FIFO backlog.
+type routerDest struct {
+	client Client
+	queue  []routedEntry
+}
+
+// routedEntry is one queued summary.
+type routedEntry struct {
+	key, value []byte
+}
+
+// SummaryRouter forwards summaries between shard brokers.
+type SummaryRouter struct {
+	cfg RouterConfig
+
+	mu    sync.Mutex
+	dests map[string]*routerDest
+	names []string // sorted registration order for deterministic flushes
+
+	stop chan struct{}
+	done chan struct{}
+
+	mForwards, mSent, mRetries, mDropped *obsv.Counter
+}
+
+// NewSummaryRouter builds an empty router.
+func NewSummaryRouter(cfg RouterConfig) *SummaryRouter {
+	if cfg.Topic == "" {
+		cfg.Topic = TopicCoData
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 65536
+	}
+	r := &SummaryRouter{cfg: cfg, dests: make(map[string]*routerDest)}
+	if cfg.Metrics != nil {
+		r.mForwards = cfg.Metrics.Counter("shard.router.forwards")
+		r.mSent = cfg.Metrics.Counter("shard.router.sent")
+		r.mRetries = cfg.Metrics.Counter("shard.router.retries")
+		r.mDropped = cfg.Metrics.Counter("shard.router.dropped")
+		cfg.Metrics.RegisterGaugeFunc("shard.router.pending", func() int64 {
+			return int64(r.Pending())
+		})
+	}
+	return r
+}
+
+// Register names a destination shard and the client that reaches its
+// broker. Re-registering a name swaps the client (shard failover) and
+// keeps the queued backlog.
+func (r *SummaryRouter) Register(dest string, client Client) error {
+	if dest == "" || client == nil {
+		return fmt.Errorf("stream: router destination needs a name and a client")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.dests[dest]; ok {
+		d.client = client
+		return nil
+	}
+	r.dests[dest] = &routerDest{client: client}
+	// Insertion sort keeps names ordered without re-sorting on Flush.
+	i := len(r.names)
+	for i > 0 && r.names[i-1] > dest {
+		i--
+	}
+	r.names = append(r.names, "")
+	copy(r.names[i+1:], r.names[i:])
+	r.names[i] = dest
+	return nil
+}
+
+// Forward enqueues one summary for a destination shard. The key and
+// value are copied — callers are free to reuse their buffers.
+func (r *SummaryRouter) Forward(dest string, key, value []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.dests[dest]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDest, dest)
+	}
+	if len(d.queue) >= r.cfg.MaxQueue {
+		if r.mDropped != nil {
+			r.mDropped.Inc()
+		}
+		return fmt.Errorf("stream: router queue for %q full (%d entries)", dest, len(d.queue))
+	}
+	e := routedEntry{}
+	if key != nil {
+		e.key = append([]byte(nil), key...)
+	}
+	e.value = append([]byte(nil), value...)
+	d.queue = append(d.queue, e)
+	if r.mForwards != nil {
+		r.mForwards.Inc()
+	}
+	return nil
+}
+
+// Flush drains every destination queue in name order, preserving each
+// queue's FIFO order. A produce failure leaves the failed entry (and
+// everything behind it) queued for the next flush, so delivery is
+// at-least-once across transient broker outages — e.g. a destination
+// shard's leaderless window between a leader kill and the next
+// election. Returns the number of entries delivered and the last error.
+func (r *SummaryRouter) Flush() (sent int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names {
+		d := r.dests[name]
+		i := 0
+		for ; i < len(d.queue); i++ {
+			e := d.queue[i]
+			if _, _, perr := d.client.Produce(r.cfg.Topic, AutoPartition, e.key, e.value); perr != nil {
+				err = fmt.Errorf("router flush to %q: %w", name, perr)
+				if r.mRetries != nil {
+					r.mRetries.Add(int64(len(d.queue) - i))
+				}
+				break
+			}
+			sent++
+			if r.mSent != nil {
+				r.mSent.Inc()
+			}
+		}
+		if i > 0 {
+			d.queue = append(d.queue[:0], d.queue[i:]...)
+		}
+	}
+	return sent, err
+}
+
+// Pending returns the total queued entries across destinations.
+func (r *SummaryRouter) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, d := range r.dests {
+		n += len(d.queue)
+	}
+	return n
+}
+
+// Run flushes on a wall-clock interval until Stop. Virtual-clock
+// drivers schedule Flush themselves instead.
+func (r *SummaryRouter) Run(interval time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.flushLoop(interval, r.stop, r.done)
+}
+
+// flushLoop is the periodic flusher; it exits when stop closes.
+func (r *SummaryRouter) flushLoop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_, _ = r.Flush()
+		}
+	}
+}
+
+// Stop halts the periodic flusher and waits for it to exit. Queued
+// entries stay queued.
+func (r *SummaryRouter) Stop() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Close stops the flusher and closes every registered client.
+func (r *SummaryRouter) Close() error {
+	r.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var err error
+	for _, name := range r.names {
+		if cerr := r.dests[name].client.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cad3/internal/obsv"
+)
+
+func routerBroker(t *testing.T) *Broker {
+	t.Helper()
+	b := NewBroker(BrokerConfig{})
+	if err := b.CreateTopic(TopicCoData, 2); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func drainTopic(t *testing.T, b *Broker, topic string) []Message {
+	t.Helper()
+	var all []Message
+	parts, err := b.PartitionCount(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < parts; p++ {
+		msgs, err := b.Fetch(topic, int32(p), 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, msgs...)
+	}
+	return all
+}
+
+func TestRouterForwardsInOrderPerDest(t *testing.T) {
+	reg := obsv.NewRegistry()
+	r := NewSummaryRouter(RouterConfig{Metrics: reg})
+	b1, b2 := routerBroker(t), routerBroker(t)
+	if err := r.Register("shard-1", NewInProcClient(b1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("shard-2", NewInProcClient(b2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		dest := "shard-1"
+		if i%2 == 1 {
+			dest = "shard-2"
+		}
+		key := []byte(fmt.Sprintf("car-%d", i))
+		if err := r.Forward(dest, key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Pending(); got != 10 {
+		t.Fatalf("pending = %d, want 10", got)
+	}
+	sent, err := r.Flush()
+	if err != nil || sent != 10 {
+		t.Fatalf("flush = (%d, %v), want (10, nil)", sent, err)
+	}
+	if got := r.Pending(); got != 0 {
+		t.Fatalf("pending after flush = %d", got)
+	}
+	// Keyed produce lands each car on a stable partition; per-partition
+	// order must match forward order (FIFO within the queue).
+	for bi, b := range []*Broker{b1, b2} {
+		msgs := drainTopic(t, b, TopicCoData)
+		if len(msgs) != 5 {
+			t.Fatalf("broker %d holds %d messages, want 5", bi+1, len(msgs))
+		}
+		RecycleMessages(msgs)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["shard.router.forwards"] != 10 || snap.Counters["shard.router.sent"] != 10 {
+		t.Fatalf("router counters off: %+v", snap.Counters)
+	}
+}
+
+func TestRouterUnknownDest(t *testing.T) {
+	r := NewSummaryRouter(RouterConfig{})
+	if err := r.Forward("nowhere", nil, []byte("x")); !errors.Is(err, ErrUnknownDest) {
+		t.Fatalf("err = %v, want ErrUnknownDest", err)
+	}
+}
+
+// TestRouterRetriesAcrossOutage: a destination whose broker is down
+// keeps its backlog queued in order and delivers it once the broker
+// heals — at-least-once across the outage, other destinations
+// unaffected.
+func TestRouterRetriesAcrossOutage(t *testing.T) {
+	reg := obsv.NewRegistry()
+	r := NewSummaryRouter(RouterConfig{Metrics: reg})
+	down, up := routerBroker(t), routerBroker(t)
+	if err := r.Register("down", NewInProcClient(down)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("up", NewInProcClient(up)); err != nil {
+		t.Fatal(err)
+	}
+	down.SetPartitionDown(TopicCoData, 0, true)
+	down.SetPartitionDown(TopicCoData, 1, true)
+	for i := 0; i < 4; i++ {
+		if err := r.Forward("down", []byte("k"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Forward("up", []byte("k"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := r.Flush()
+	if err == nil {
+		t.Fatal("flush against a down partition reported no error")
+	}
+	if sent != 1 {
+		t.Fatalf("flush delivered %d, want 1 (the healthy destination)", sent)
+	}
+	if got := r.Pending(); got != 4 {
+		t.Fatalf("pending = %d, want the 4 queued for the down shard", got)
+	}
+	down.SetPartitionDown(TopicCoData, 0, false)
+	down.SetPartitionDown(TopicCoData, 1, false)
+	if sent, err := r.Flush(); err != nil || sent != 4 {
+		t.Fatalf("post-heal flush = (%d, %v), want (4, nil)", sent, err)
+	}
+	msgs := drainTopic(t, down, TopicCoData)
+	if len(msgs) != 4 {
+		t.Fatalf("healed broker holds %d messages, want 4", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Value[0] != byte(i) {
+			t.Fatalf("message %d out of order: value %v", i, m.Value)
+		}
+	}
+	RecycleMessages(msgs)
+	if reg.Snapshot().Counters["shard.router.retries"] == 0 {
+		t.Fatal("no retry was counted across the outage")
+	}
+}
+
+// TestRouterOverWireClient runs a destination over the real v2 wire
+// protocol (pooled pipelined TCP client), the deployment shape for
+// cross-process shards.
+func TestRouterOverWireClient(t *testing.T) {
+	b := routerBroker(t)
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool, err := DialPool(srv.Addr(), PoolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewSummaryRouter(RouterConfig{})
+	if err := r.Register("remote", pool); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() // closes the pool
+	for i := 0; i < 8; i++ {
+		if err := r.Forward("remote", []byte(fmt.Sprintf("car-%d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent, err := r.Flush(); err != nil || sent != 8 {
+		t.Fatalf("wire flush = (%d, %v), want (8, nil)", sent, err)
+	}
+	msgs := drainTopic(t, b, TopicCoData)
+	if len(msgs) != 8 {
+		t.Fatalf("wire destination holds %d messages, want 8", len(msgs))
+	}
+	RecycleMessages(msgs)
+}
+
+// TestRouterRunStop covers the periodic wall-clock flusher's lifecycle.
+func TestRouterRunStop(t *testing.T) {
+	r := NewSummaryRouter(RouterConfig{})
+	b := routerBroker(t)
+	if err := r.Register("s", NewInProcClient(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Forward("s", nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	r.Run(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Pending() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	if got := r.Pending(); got != 0 {
+		t.Fatalf("periodic flusher left %d pending", got)
+	}
+}

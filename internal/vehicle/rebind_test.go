@@ -1,0 +1,61 @@
+package vehicle
+
+import (
+	"testing"
+
+	"cad3/internal/stream"
+)
+
+func countTopic(t *testing.T, b *stream.Broker, topic string) int {
+	t.Helper()
+	parts, err := b.PartitionCount(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for p := 0; p < parts; p++ {
+		msgs, err := b.Fetch(topic, int32(p), 0, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(msgs)
+		stream.RecycleMessages(msgs)
+	}
+	return n
+}
+
+// TestVehicleRebind moves a vehicle's stream affinity between brokers
+// mid-replay — the shard-handover hook: records sent after Rebind land
+// on the destination broker, and warning polls follow too.
+func TestVehicleRebind(t *testing.T) {
+	src, srcClient := testBrokerClient(t)
+	dst, dstClient := testBrokerClient(t)
+	v, err := New(Config{ID: 9, Client: srcClient, Records: testRecords(4), Loop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.SendNext(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Rebind(dstClient); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.SendNext(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.SendNext(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := countTopic(t, src, stream.TopicInData); got != 1 {
+		t.Fatalf("source broker holds %d telemetry records, want 1", got)
+	}
+	if got := countTopic(t, dst, stream.TopicInData); got != 2 {
+		t.Fatalf("destination broker holds %d telemetry records, want 2", got)
+	}
+	if _, err := v.PollWarnings(); err != nil {
+		t.Fatalf("warning poll against the destination: %v", err)
+	}
+	if err := v.Rebind(nil); err == nil {
+		t.Fatal("nil rebind accepted")
+	}
+}
