@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-checks bench bench-json race vet fmt cover experiments chaos failover overload scenarios city profile linkcheck docs clean
+.PHONY: all build test test-short test-checks bench bench-json race vet vet-json fmt cover experiments chaos failover overload scenarios city profile linkcheck docs clean
 
 all: build vet test
 
@@ -35,10 +35,18 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof ./internal/core
 
 # go vet plus the repo-aware analyzers (determinism, pool safety, wire
-# layout, zero-alloc, goroutine hygiene) — see DESIGN.md §11.
+# layout, zero-alloc, goroutine hygiene, deterministic ordering, lock
+# discipline, atomic/plain mixing, wire error exhaustiveness) — see
+# DESIGN.md §11 and §16. Results are memoized in .cad3vetcache.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/cad3-vet ./...
+
+# Machine-readable vet: findings, the //cad3:allow suppression census,
+# and cache stats as one JSON object. CI runs this with -max-allows to
+# keep the suppression count from growing unnoticed.
+vet-json:
+	$(GO) run ./cmd/cad3-vet -json ./...
 
 # Debug build with the runtime pool guard: double-recycles of pooled
 # buffers panic with both offending call sites.

@@ -88,11 +88,18 @@ func run() error {
 	poll := time.NewTicker(10 * time.Millisecond)
 	defer poll.Stop()
 
-	var sent, warnings int
+	var sent, warnings, pollErrs int
+	var lastPollErr error
 	var latencySum time.Duration
 	live := metrics.NewBreakdownAccumulator()
 	drain := func() {
-		msgs, _ := consumer.Poll(256)
+		// A transient poll failure (broker failover, redial in flight)
+		// must not kill the replay; it is counted and reported at exit.
+		msgs, perr := consumer.Poll(256)
+		if perr != nil {
+			pollErrs++
+			lastPollErr = perr
+		}
 		nowT := time.Now()
 		now := nowT.UnixMilli()
 		for _, m := range msgs {
@@ -138,6 +145,9 @@ func run() error {
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	if pollErrs > 0 {
+		fmt.Printf("warning: %d poll error(s) during replay (last: %v)\n", pollErrs, lastPollErr)
+	}
 	fmt.Printf("sent %d records, received %d warnings", sent, warnings)
 	if warnings > 0 {
 		fmt.Printf(", mean end-to-end latency %v", (latencySum / time.Duration(warnings)).Round(time.Millisecond))

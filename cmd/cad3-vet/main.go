@@ -8,24 +8,37 @@
 // (virtualclock), pooled buffers are not touched after recycling
 // (poolsafety), the wire-format constants match the bytes the codec
 // actually moves (wirelayout), //cad3:noalloc functions stay off the
-// allocator (noalloc), and long-running packages spawn no fire-and-forget
-// goroutines (goroutinehygiene). See DESIGN.md §11 for the rationale and
-// the //cad3:allow escape hatch.
+// allocator (noalloc), long-running packages spawn no fire-and-forget
+// goroutines (goroutinehygiene), determinism-critical packages leak no
+// runtime-randomized orders (detorder), mutexes follow the lock
+// discipline (lockdiscipline), no variable lives under two sync regimes
+// (atomicmix), and the v2 wire error contract holds at every client
+// call site (wireerrexhaustive). See DESIGN.md §11 and §16 for the
+// rationale and the //cad3:allow escape hatch.
 //
 // Usage:
 //
-//	cad3-vet [-list] [-only analyzer,analyzer] [dir]
+//	cad3-vet [-list] [-only analyzer,...] [-json] [-allows] [-max-allows n] [-cache dir] [dir]
 //
 // With no directory, the module containing the current directory is
-// analyzed.
+// analyzed. Results are memoized in a content-hashed cache (default
+// <module>/.cad3vetcache, disable with -cache ""), so an unchanged
+// package costs a hash instead of a re-analysis. -json emits the
+// findings, the suppression census, and cache statistics as one JSON
+// object for CI. -allows prints the census human-readably; -max-allows
+// fails the run when the census exceeds n, which is how CI keeps the
+// suppression count from growing unnoticed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"cad3/internal/lint"
 )
@@ -37,9 +50,25 @@ func main() {
 	}
 }
 
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Findings []lint.Finding `json:"findings"`
+	Allows   []lint.Allow   `json:"allows"`
+	Packages int            `json:"packages"`
+	Cache    struct {
+		Hits   int `json:"hits"`
+		Misses int `json:"misses"`
+	} `json:"cache"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
 func run() error {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings, allow census, and cache stats as JSON")
+	allowsFlag := flag.Bool("allows", false, "print the //cad3:allow suppression census")
+	maxAllows := flag.Int("max-allows", -1, "fail if the suppression census exceeds this count (-1: no limit)")
+	cacheDir := flag.String("cache", defaultCacheDir, "result cache directory (empty: disable caching)")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -77,6 +106,7 @@ func run() error {
 		}
 	}
 
+	start := time.Now()
 	root, module, err := lint.FindModuleRoot(dir)
 	if err != nil {
 		return err
@@ -103,13 +133,84 @@ func run() error {
 		return fmt.Errorf("%d type error(s) while loading — fix the build first", len(typeErrs))
 	}
 
-	findings := lint.Run(prog, analyzers)
-	for _, f := range findings {
-		fmt.Println(f.String())
+	var cache *lint.Cache
+	if *cacheDir != "" {
+		cdir := *cacheDir
+		if cdir == defaultCacheDir {
+			cdir = filepath.Join(root, ".cad3vetcache")
+		}
+		cache, err = lint.NewCache(cdir, prog)
+		if err != nil {
+			// A broken cache dir must not block the analysis.
+			fmt.Fprintln(os.Stderr, "cad3-vet: cache disabled:", err)
+			cache = nil
+		}
+	}
+
+	findings, allows := lint.RunCensusCached(prog, analyzers, cache)
+	elapsed := time.Since(start)
+
+	overLimit := *maxAllows >= 0 && len(allows) > *maxAllows
+
+	if *asJSON {
+		var rep jsonReport
+		rep.Findings = findings
+		if rep.Findings == nil {
+			rep.Findings = []lint.Finding{}
+		}
+		rep.Allows = allows
+		if rep.Allows == nil {
+			rep.Allows = []lint.Allow{}
+		}
+		rep.Packages = len(prog.Pkgs)
+		if cache != nil {
+			rep.Cache.Hits, rep.Cache.Misses = cache.Stats()
+		}
+		rep.ElapsedMS = elapsed.Milliseconds()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+		if *allowsFlag {
+			printCensus(root, allows)
+		}
+	}
+
+	if overLimit {
+		fmt.Fprintf(os.Stderr, "cad3-vet: suppression census has %d allows, limit is %d — "+
+			"remove a //cad3:allow (or consciously raise the limit in CI)\n", len(allows), *maxAllows)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "cad3-vet: %d finding(s)\n", len(findings))
+	}
+	if len(findings) > 0 || overLimit {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// defaultCacheDir is a sentinel: the real default is resolved against
+// the module root once it is known.
+const defaultCacheDir = "<module>/.cad3vetcache"
+
+// printCensus renders the suppression census, flagging stale allows
+// (ones that no longer suppress anything).
+func printCensus(root string, allows []lint.Allow) {
+	fmt.Printf("suppression census: %d //cad3:allow annotation(s)\n", len(allows))
+	for _, al := range allows {
+		file := al.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = rel
+		}
+		state := "used"
+		if !al.Used {
+			state = "STALE"
+		}
+		fmt.Printf("  %s:%d: [%s] (%s) %s\n", file, al.Pos.Line, al.Analyzer, state, al.Reason)
+	}
 }

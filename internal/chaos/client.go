@@ -109,6 +109,7 @@ func (c *Client) Produce(topicName string, partition int32, key, value []byte) (
 		return part, off, err
 	}
 	if dup {
+		//cad3:allow wireerrexhaustive duplicate-delivery injection: the duplicate's outcome must stay invisible to the caller, exactly like a retransmit the sender never learns about
 		_, _, _ = c.inner.Produce(topicName, partition, key, value)
 	}
 	return part, off, nil

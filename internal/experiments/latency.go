@@ -239,7 +239,9 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 		sim.After(offset, tick)
 	}
 
-	// RSU micro-batch loop.
+	// RSU micro-batch loop. Poll failures cannot abort a sim callback
+	// mid-flight; the first one is kept and fails the run afterwards.
+	var pollErr error
 	var batch func()
 	var inMsgs []stream.Message
 	var batchID uint64
@@ -248,7 +250,11 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 		if now.After(end) {
 			return
 		}
-		inMsgs, _ = inConsumer.PollInto(inMsgs[:0], 1<<16)
+		var perr error
+		inMsgs, perr = inConsumer.PollInto(inMsgs[:0], 1<<16)
+		if perr != nil && pollErr == nil {
+			pollErr = fmt.Errorf("latency: rsu poll: %w", perr)
+		}
 		msgs := inMsgs
 		if len(msgs) > 0 {
 			batchID++
@@ -322,7 +328,11 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 		if now.After(end.Add(200 * time.Millisecond)) { // drain tail
 			return
 		}
-		outMsgs, _ = outConsumer.PollInto(outMsgs[:0], 1<<14)
+		var perr error
+		outMsgs, perr = outConsumer.PollInto(outMsgs[:0], 1<<14)
+		if perr != nil && pollErr == nil {
+			pollErr = fmt.Errorf("latency: dissemination poll: %w", perr)
+		}
 		msgs := outMsgs
 		for _, m := range msgs {
 			w, derr := core.DecodeWarning(m.Value)
@@ -356,6 +366,9 @@ func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	sim.After(cfg.PollInterval, poll)
 
 	sim.RunUntil(end.Add(300 * time.Millisecond))
+	if pollErr != nil {
+		return nil, pollErr
+	}
 
 	st := medium.Stats()
 	dur := cfg.Duration.Seconds()

@@ -80,16 +80,22 @@ func RunMobileHandover(sc *Scenario, cfg MobilityConfig) (*MobilityResult, error
 	if err != nil {
 		return nil, err
 	}
+	// Fixed road order: error surfacing and drain order below must not
+	// depend on map iteration (the run transcript is seed-compared).
+	roadBrokers := []struct {
+		road   geo.SegmentID
+		broker *stream.Broker
+	}{
+		{CorridorMotorwayID, mwBroker},
+		{CorridorLinkID, lkBroker},
+	}
 	producers := map[geo.SegmentID]*stream.Producer{}
-	for road, broker := range map[geo.SegmentID]*stream.Broker{
-		CorridorMotorwayID: mwBroker,
-		CorridorLinkID:     lkBroker,
-	} {
-		p, err := stream.NewProducer(stream.NewInProcClient(broker), stream.TopicInData)
+	for _, rb := range roadBrokers {
+		p, err := stream.NewProducer(stream.NewInProcClient(rb.broker), stream.TopicInData)
 		if err != nil {
 			return nil, err
 		}
-		producers[road] = p
+		producers[rb.road] = p
 	}
 
 	type car struct {
@@ -124,16 +130,13 @@ func RunMobileHandover(sc *Scenario, cfg MobilityConfig) (*MobilityResult, error
 	res := &MobilityResult{Vehicles: cfg.Vehicles}
 	warnCount := make(map[trace.CarID]int)
 	recCount := make(map[trace.CarID]int)
-	consumers := map[geo.SegmentID]*stream.Consumer{}
-	for road, broker := range map[geo.SegmentID]*stream.Broker{
-		CorridorMotorwayID: mwBroker,
-		CorridorLinkID:     lkBroker,
-	} {
-		c, err := stream.NewConsumer(stream.NewInProcClient(broker), stream.TopicOutData, 0)
+	consumers := make([]*stream.Consumer, 0, len(roadBrokers))
+	for _, rb := range roadBrokers {
+		c, err := stream.NewConsumer(stream.NewInProcClient(rb.broker), stream.TopicOutData, 0)
 		if err != nil {
 			return nil, err
 		}
-		consumers[road] = c
+		consumers = append(consumers, c)
 	}
 
 	dt := cfg.StepInterval

@@ -119,6 +119,9 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 
 	n := cfg.MotorwayRSUs + 1
 	states := make([]*rsuState, 0, n)
+	// Broker errors cannot abort a sim callback mid-flight; the first
+	// one is kept and fails the run after the clock drains.
+	var simErr error
 	for i := 0; i < n; i++ {
 		isLink := i == 0
 		name := "Mw Link"
@@ -182,7 +185,9 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 				payload := core.AppendRecord(stream.GetPayload(), rec)
 				if delivered, terr := st.medium.Transmit(class, len(payload), now); terr == nil {
 					sim.At(delivered, func() {
-						_, _, _ = st.broker.Produce(stream.TopicInData, stream.AutoPartition, nil, payload)
+						if _, _, perr := st.broker.Produce(stream.TopicInData, stream.AutoPartition, nil, payload); perr != nil && simErr == nil {
+							simErr = fmt.Errorf("multirsu: %s produce: %w", st.name, perr)
+						}
 						stream.PutPayload(payload)
 					})
 				} else {
@@ -201,7 +206,11 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 			if now.After(end) {
 				return
 			}
-			inMsgs, _ = st.in.PollInto(inMsgs[:0], 1<<16)
+			var perr error
+			inMsgs, perr = st.in.PollInto(inMsgs[:0], 1<<16)
+			if perr != nil && simErr == nil {
+				simErr = fmt.Errorf("multirsu: %s batch poll: %w", st.name, perr)
+			}
 			msgs := inMsgs
 			if len(msgs) > 0 {
 				cost := cfg.Proc.Cost(len(msgs))
@@ -239,7 +248,11 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 			if now.After(end.Add(200 * time.Millisecond)) {
 				return
 			}
-			outMsgs, _ = st.outCons.PollInto(outMsgs[:0], 1<<14)
+			var perr error
+			outMsgs, perr = st.outCons.PollInto(outMsgs[:0], 1<<14)
+			if perr != nil && simErr == nil {
+				simErr = fmt.Errorf("multirsu: %s dissemination poll: %w", st.name, perr)
+			}
 			msgs := outMsgs
 			for _, m := range msgs {
 				w, derr := core.DecodeWarning(m.Value)
@@ -299,6 +312,9 @@ func RunMultiRSU(cfg MultiRSUConfig) ([]RSUResult, error) {
 	}
 
 	sim.RunUntil(end.Add(300 * time.Millisecond))
+	if simErr != nil {
+		return nil, simErr
+	}
 
 	dur := cfg.Duration.Seconds()
 	out := make([]RSUResult, 0, len(states))

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRepoVet measures one full cad3-vet pass — load (parallel
+// parse + wave type-check) plus the whole analyzer suite, no result
+// cache — over the real module.
+func BenchmarkRepoVet(b *testing.B) {
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, lerr := NewLoader(root, module).LoadRepo()
+		if lerr != nil {
+			b.Fatal(lerr)
+		}
+		Run(prog, Analyzers())
+	}
+}
+
+// TestRepoVetUnderBudget pins the full uncached vet pass to the wall-
+// clock budget the workflow depends on (~10s target; asserted at 3x to
+// absorb slow CI machines). If this fails, the loader's parallelism or
+// an analyzer's complexity regressed — see BenchmarkRepoVet to profile.
+func TestRepoVetUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module vet is not a -short test")
+	}
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	prog, err := NewLoader(root, module).LoadRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(prog, Analyzers())
+	elapsed := time.Since(start)
+	t.Logf("full-repo vet (uncached): %v", elapsed)
+	if elapsed > 30*time.Second {
+		t.Fatalf("full-repo vet took %v, budget is 30s (target ~10s)", elapsed)
+	}
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cacheSchema versions the on-disk entry format; bump it when Finding's
+// JSON shape or the key derivation changes.
+const cacheSchema = "1"
+
+// Cache memoizes raw analyzer findings on disk, keyed by content: a
+// per-package analyzer's key covers the package's files plus every
+// module-internal package it transitively imports, and a whole-program
+// analyzer's key covers the packages named by its KeyPkgs (or the whole
+// module when nil). The analyzer suite's own sources are folded into
+// every key, so editing an analyzer invalidates everything it produced
+// — no manual version bump to forget.
+//
+// Entries hold pre-suppression findings: //cad3:allow filtering runs on
+// every invocation (the annotations live in the hashed files, so edits
+// invalidate the right entries anyway, and the census must always see
+// current allows).
+type Cache struct {
+	dir     string
+	version string
+
+	mu      sync.Mutex
+	ownHash map[string]string // import path -> hash of the package's own files
+	keyHash map[string]string // import path -> hash incl. transitive internal deps
+	hits    int
+	misses  int
+}
+
+// NewCache opens (creating if needed) a result cache in dir for the
+// loaded program. The suite version component is the hash of the lint
+// package's own sources when the module carries them, else the schema
+// constant alone.
+func NewCache(dir string, prog *Program) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lint: cache dir: %w", err)
+	}
+	c := &Cache{
+		dir:     dir,
+		ownHash: map[string]string{},
+		keyHash: map[string]string{},
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, "schema", cacheSchema)
+	lintDir := filepath.Join(prog.Root, "internal", "lint")
+	if names, err := sortedGoFiles(lintDir); err == nil {
+		for _, n := range names {
+			data, rerr := os.ReadFile(filepath.Join(lintDir, n))
+			if rerr != nil {
+				return nil, rerr
+			}
+			fmt.Fprintln(h, n)
+			h.Write(data)
+		}
+	}
+	c.version = hex.EncodeToString(h.Sum(nil))
+	return c, nil
+}
+
+// Stats reports cache hits and misses accumulated so far.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// sortedGoFiles lists the non-test .go files of dir in name order.
+func sortedGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// pkgOwnHash hashes the package's buildable files (names + contents).
+func (c *Cache) pkgOwnHash(prog *Program, pkg *Package) (string, error) {
+	c.mu.Lock()
+	if h, ok := c.ownHash[pkg.Path]; ok {
+		c.mu.Unlock()
+		return h, nil
+	}
+	c.mu.Unlock()
+	var files []string
+	for _, f := range pkg.Files {
+		files = append(files, prog.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, filepath.Base(path))
+		h.Write(data)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.mu.Lock()
+	c.ownHash[pkg.Path] = sum
+	c.mu.Unlock()
+	return sum, nil
+}
+
+// pkgKeyHash hashes the package plus its module-internal transitive
+// imports: any edit below the package in the dependency tree changes
+// the key, because analyzers consult imported type information.
+func (c *Cache) pkgKeyHash(prog *Program, pkg *Package) (string, error) {
+	c.mu.Lock()
+	if h, ok := c.keyHash[pkg.Path]; ok {
+		c.mu.Unlock()
+		return h, nil
+	}
+	c.mu.Unlock()
+	own, err := c.pkgOwnHash(prog, pkg)
+	if err != nil {
+		return "", err
+	}
+	byPath := map[string]*Package{}
+	for _, p := range prog.Pkgs {
+		byPath[p.Path] = p
+	}
+	var depPaths []string
+	for _, imp := range pkg.Types.Imports() {
+		p := imp.Path()
+		if p == prog.Module || strings.HasPrefix(p, prog.Module+"/") {
+			depPaths = append(depPaths, p)
+		}
+	}
+	sort.Strings(depPaths)
+	h := sha256.New()
+	fmt.Fprintln(h, pkg.Path, own)
+	for _, p := range depPaths {
+		dep := byPath[p]
+		if dep == nil {
+			// An internal import outside the loaded set (shouldn't happen
+			// for LoadRepo); fold the path in so the key is still distinct.
+			fmt.Fprintln(h, p, "unloaded")
+			continue
+		}
+		dh, derr := c.pkgKeyHash(prog, dep)
+		if derr != nil {
+			return "", derr
+		}
+		fmt.Fprintln(h, p, dh)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.mu.Lock()
+	c.keyHash[pkg.Path] = sum
+	c.mu.Unlock()
+	return sum, nil
+}
+
+// jobKey derives the cache key for one (analyzer, package) job; pkg is
+// nil for whole-program analyzers, whose key covers KeyPkgs (or every
+// loaded package when KeyPkgs is nil).
+func (c *Cache) jobKey(prog *Program, a *Analyzer, pkg *Package) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, "suite", c.version)
+	fmt.Fprintln(h, "analyzer", a.Name)
+	if pkg != nil {
+		kh, err := c.pkgKeyHash(prog, pkg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, pkg.Path, kh)
+		return hex.EncodeToString(h.Sum(nil)), nil
+	}
+	want := map[string]bool{}
+	for _, base := range a.KeyPkgs {
+		want[base] = true
+	}
+	for _, p := range prog.Pkgs {
+		if a.KeyPkgs != nil && !want[pkgBase(p.Path)] {
+			continue
+		}
+		kh, err := c.pkgKeyHash(prog, p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, p.Path, kh)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheEntry is the on-disk record: the job's raw (pre-suppression)
+// findings.
+type cacheEntry struct {
+	Findings []Finding `json:"findings"`
+}
+
+// get loads the entry for key; ok reports a hit.
+func (c *Cache) get(key string) ([]Finding, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil {
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+// put stores findings under key; a failed write only costs the next
+// run a recompute, so errors are dropped.
+func (c *Cache) put(key string, findings []Finding) {
+	data, err := json.Marshal(cacheEntry{Findings: findings})
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(c.dir, key+".tmp")
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(c.dir, key+".json"))
+}
+
+// wrap memoizes one job through the cache; on any key or decode
+// trouble it falls back to running the job directly.
+func (c *Cache) wrap(prog *Program, a *Analyzer, pkg *Package, job func() []Finding) []Finding {
+	key, err := c.jobKey(prog, a, pkg)
+	if err != nil {
+		return job()
+	}
+	if findings, ok := c.get(key); ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return findings
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	findings := job()
+	c.put(key, findings)
+	return findings
+}

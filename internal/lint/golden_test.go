@@ -103,14 +103,24 @@ func TestGoldenWireLayout(t *testing.T)       { runGolden(t, "wirelayout", WireL
 func TestGoldenNoAlloc(t *testing.T)          { runGolden(t, "noalloc", NoAlloc) }
 func TestGoldenGoroutineHygiene(t *testing.T) { runGolden(t, "goroutine", GoroutineHygiene) }
 
+func TestGoldenDetOrder(t *testing.T)          { runGolden(t, "detorder", DetOrder) }
+func TestGoldenLockDiscipline(t *testing.T)    { runGolden(t, "lockdiscipline", LockDiscipline) }
+func TestGoldenAtomicMix(t *testing.T)         { runGolden(t, "atomicmix", AtomicMix) }
+func TestGoldenWireErrExhaustive(t *testing.T) { runGolden(t, "wireerrexhaustive", WireErrExhaustive) }
+
 // TestGoldenSuiteTogether runs the full suite over every fixture at once
 // to prove analyzers do not interfere (each fixture's wants are scoped to
 // the analyzers that fire there, so the union must still line up).
 func TestGoldenSuiteTogether(t *testing.T) {
-	for _, dir := range []string{"virtualclock", "poolsafety", "noalloc", "goroutine"} {
+	for _, dir := range []string{
+		"virtualclock", "poolsafety", "noalloc", "goroutine",
+		"detorder", "lockdiscipline", "atomicmix",
+	} {
 		// wirelayout is excluded: its fixture deliberately seeds layout
 		// drift that the dedicated test covers, and the noalloc/poolsafety
-		// fixtures define no codec for it to cross-check.
+		// fixtures define no codec for it to cross-check. wireerrexhaustive
+		// is excluded for the same reason: its decoder deliberately drifts
+		// from the wire table, which its dedicated test pins.
 		t.Run(dir, func(t *testing.T) { runGolden(t, dir, Analyzers()...) })
 	}
 }

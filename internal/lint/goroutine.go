@@ -13,9 +13,9 @@ import (
 // sync.WaitGroup the owner waits on. A bare `go func` in these packages
 // is how shutdown leaks connections and tests leak background work.
 var GoroutineHygiene = &Analyzer{
-	Name: "goroutinehygiene",
-	Doc:  "long-running packages must not spawn goroutines without lifecycle control",
-	Run:  runGoroutineHygiene,
+	Name:   "goroutinehygiene",
+	Doc:    "long-running packages must not spawn goroutines without lifecycle control",
+	RunPkg: runGoroutineHygiene,
 }
 
 // goroutinePkgs are the long-running packages (matched on the final
@@ -32,38 +32,36 @@ var stopChanNames = map[string]bool{
 	"closing": true, "shutdown": true, "stopCh": true, "doneCh": true,
 }
 
-func runGoroutineHygiene(prog *Program) []Finding {
+func runGoroutineHygiene(prog *Program, pkg *Package) []Finding {
 	var out []Finding
-	for _, pkg := range prog.Pkgs {
-		if !goroutinePkgs[pkgBase(pkg.Path)] {
-			continue
-		}
-		for _, file := range pkg.Files {
-			// Track the enclosing function body for each go statement so
-			// named-function spawns can look for a surrounding WaitGroup.
-			var stack []ast.Node
-			ast.Inspect(file, func(n ast.Node) bool {
-				if n == nil {
-					stack = stack[:len(stack)-1]
-					return true
-				}
-				stack = append(stack, n)
-				g, ok := n.(*ast.GoStmt)
-				if !ok {
-					return true
-				}
-				if goHasLifecycle(pkg, g, stack) {
-					return true
-				}
-				out = append(out, Finding{
-					Pos:      prog.Fset.Position(g.Pos()),
-					Analyzer: "goroutinehygiene",
-					Message: "goroutine in long-running package " + strings.Trim(pkgBase(pkg.Path), "/") +
-						" has no lifecycle control; tie it to a context, stop channel, or sync.WaitGroup",
-				})
+	if !goroutinePkgs[pkgBase(pkg.Path)] {
+		return nil
+	}
+	for _, file := range pkg.Files {
+		// Track the enclosing function body for each go statement so
+		// named-function spawns can look for a surrounding WaitGroup.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
 				return true
+			}
+			stack = append(stack, n)
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goHasLifecycle(pkg, g, stack) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      prog.Fset.Position(g.Pos()),
+				Analyzer: "goroutinehygiene",
+				Message: "goroutine in long-running package " + strings.Trim(pkgBase(pkg.Path), "/") +
+					" has no lifecycle control; tie it to a context, stop channel, or sync.WaitGroup",
 			})
-		}
+			return true
+		})
 	}
 	return out
 }

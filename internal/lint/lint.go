@@ -18,6 +18,18 @@
 //   - goroutinehygiene: long-running packages must not spawn bare
 //     goroutines without lifecycle control (context, stop channel, or
 //     WaitGroup).
+//   - detorder: determinism-critical packages must not let runtime-
+//     randomized orders (map iteration, multi-ready select, global
+//     math/rand) leak into transcripts, ledgers, or replicated state.
+//   - lockdiscipline: intraprocedural mutex-state tracking — no blocking
+//     operation while a lock is held, no double lock on a path, every
+//     path to return releases, no copy-by-value of lock-bearing structs.
+//   - atomicmix: a field accessed through sync/atomic anywhere must be
+//     accessed through sync/atomic everywhere.
+//   - wireerrexhaustive: wire client call sites must not discard the v2
+//     broker error codes, must not test for codes the called method
+//     cannot return, and the analyzer's code table is cross-checked
+//     against the sentinels the broker actually encodes.
 //
 // Findings print as "file:line: [analyzer] message"; a finding can be
 // suppressed with an annotation on the same line or the line above:
@@ -25,22 +37,24 @@
 //	//cad3:allow <analyzer> <reason>
 //
 // The reason is mandatory — an allow without one is itself a finding.
-// See DESIGN.md §11 for each analyzer's rationale.
+// See DESIGN.md §11 and §16 for each analyzer's rationale.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer hit.
 type Finding struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos      token.Position `json:"pos"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
 }
 
 // String formats the finding the way cad3-vet prints it.
@@ -54,8 +68,19 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for cad3-vet -list.
 	Doc string
-	// Run reports the analyzer's findings over the whole program.
+	// Run reports the analyzer's findings over the whole program. Only
+	// whole-program analyzers (cross-package state) set it; everything
+	// else sets RunPkg instead.
 	Run func(prog *Program) []Finding
+	// RunPkg reports the analyzer's findings for one package. Per-package
+	// analyzers are fanned out across workers and their results are
+	// cacheable per package (see Cache).
+	RunPkg func(prog *Program, pkg *Package) []Finding
+	// KeyPkgs scopes a whole-program analyzer's cache key to the packages
+	// with these base names — the ones it actually reads. Per-package
+	// analyzers leave it nil (their key is the package plus its
+	// module-internal transitive dependencies).
+	KeyPkgs []string
 }
 
 // Analyzers returns the full suite in stable order.
@@ -66,29 +91,118 @@ func Analyzers() []*Analyzer {
 		WireLayout,
 		NoAlloc,
 		GoroutineHygiene,
+		DetOrder,
+		LockDiscipline,
+		AtomicMix,
+		WireErrExhaustive,
 	}
 }
 
 // AllowTag is the annotation prefix that suppresses a finding.
 const AllowTag = "//cad3:allow"
 
-// allow is one parsed //cad3:allow annotation.
-type allow struct {
-	pos      token.Position
-	analyzer string
-	reason   string
+// Allow is one parsed, well-formed //cad3:allow annotation. The census
+// (cad3-vet -allows) prints every Allow with its reason and whether it
+// suppressed anything, so suppressions cannot silently accumulate or go
+// stale.
+type Allow struct {
+	Pos      token.Position `json:"pos"`
+	Analyzer string         `json:"analyzer"`
+	Reason   string         `json:"reason"`
+	// Used reports whether the allow matched at least one raw finding in
+	// the run that produced it (set by Run/RepoVet, false for an allow
+	// that no longer suppresses anything).
+	Used bool `json:"used"`
 }
 
 // Run executes the analyzers over the program, applies //cad3:allow
 // suppressions, and appends a finding for every malformed allow (missing
 // analyzer name or reason). Findings come back sorted by position.
+// Per-package analyzers are fanned out over GOMAXPROCS workers.
 func Run(prog *Program, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, a := range analyzers {
-		out = append(out, a.Run(prog)...)
+	findings, _ := RunCensus(prog, analyzers)
+	return findings
+}
+
+// RunCensus is Run plus the suppression census: every well-formed allow
+// annotation in the program, marked Used if it suppressed a finding.
+func RunCensus(prog *Program, analyzers []*Analyzer) ([]Finding, []Allow) {
+	return RunCensusCached(prog, analyzers, nil)
+}
+
+// RunCensusCached is RunCensus through a content-hashed result cache
+// (nil disables caching): per-(analyzer, package) jobs whose inputs are
+// byte-identical to a previous run return their stored raw findings
+// without re-analysis. Suppression filtering and the census always run
+// fresh, so allows can never be served stale.
+func RunCensusCached(prog *Program, analyzers []*Analyzer, c *Cache) ([]Finding, []Allow) {
+	raw := runParallel(prog, analyzers, c)
+	allows, bad := prog.Allows()
+	out := append(filterAllowed(raw, allows), bad...)
+	sortFindings(out)
+	return out, allows
+}
+
+// runParallel fans the analyzer suite out over the program: one job per
+// (per-package analyzer, package) pair plus one per whole-program
+// analyzer, bounded by GOMAXPROCS workers. Output order is made
+// deterministic by the caller's sort.
+func runParallel(prog *Program, analyzers []*Analyzer, c *Cache) []Finding {
+	type job func() []Finding
+	cached := func(a *Analyzer, pkg *Package, run func() []Finding) job {
+		if c == nil {
+			return run
+		}
+		return func() []Finding { return c.wrap(prog, a, pkg, run) }
 	}
-	allows, bad := prog.allows()
-	out = append(filterAllowed(out, allows), bad...)
+	var jobs []job
+	for _, a := range analyzers {
+		a := a
+		if a.RunPkg != nil {
+			for _, pkg := range prog.Pkgs {
+				pkg := pkg
+				jobs = append(jobs, cached(a, pkg, func() []Finding { return a.RunPkg(prog, pkg) }))
+			}
+			continue
+		}
+		jobs = append(jobs, cached(a, nil, func() []Finding { return a.Run(prog) }))
+	}
+	results := make([][]Finding, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			results[i] = j()
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = jobs[i]()
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var out []Finding
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// sortFindings orders findings by file, line, analyzer, message.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -96,28 +210,35 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		if out[i].Pos.Line != out[j].Pos.Line {
 			return out[i].Pos.Line < out[j].Pos.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
-	return out
 }
 
 // filterAllowed drops findings covered by a well-formed allow annotation
-// for the same analyzer on the finding's line or the line directly above.
-func filterAllowed(findings []Finding, allows []allow) []Finding {
+// for the same analyzer on the finding's line or the line directly
+// above, marking each matching allow as used.
+func filterAllowed(findings []Finding, allows []Allow) []Finding {
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	idx := make(map[key]bool, len(allows))
-	for _, al := range allows {
-		idx[key{al.pos.Filename, al.pos.Line, al.analyzer}] = true
+	idx := make(map[key]*Allow, len(allows))
+	for i := range allows {
+		al := &allows[i]
+		idx[key{al.Pos.Filename, al.Pos.Line, al.Analyzer}] = al
 	}
 	kept := findings[:0]
 	for _, f := range findings {
-		k := key{f.Pos.Filename, f.Pos.Line, f.Analyzer}
-		kAbove := key{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}
-		if idx[k] || idx[kAbove] {
+		if al := idx[key{f.Pos.Filename, f.Pos.Line, f.Analyzer}]; al != nil {
+			al.Used = true
+			continue
+		}
+		if al := idx[key{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]; al != nil {
+			al.Used = true
 			continue
 		}
 		kept = append(kept, f)
@@ -125,10 +246,10 @@ func filterAllowed(findings []Finding, allows []allow) []Finding {
 	return kept
 }
 
-// allows scans every file's comments for //cad3:allow annotations,
+// Allows scans every file's comments for //cad3:allow annotations,
 // returning the well-formed ones and a finding per malformed one.
-func (prog *Program) allows() ([]allow, []Finding) {
-	var ok []allow
+func (prog *Program) Allows() ([]Allow, []Finding) {
+	var ok []Allow
 	var bad []Finding
 	for _, pkg := range prog.Pkgs {
 		for _, file := range pkg.Files {
@@ -151,15 +272,21 @@ func (prog *Program) allows() ([]allow, []Finding) {
 						})
 						continue
 					}
-					ok = append(ok, allow{
-						pos:      pos,
-						analyzer: fields[0],
-						reason:   strings.Join(fields[1:], " "),
+					ok = append(ok, Allow{
+						Pos:      pos,
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
 					})
 				}
 			}
 		}
 	}
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].Pos.Filename != ok[j].Pos.Filename {
+			return ok[i].Pos.Filename < ok[j].Pos.Filename
+		}
+		return ok[i].Pos.Line < ok[j].Pos.Line
+	})
 	return ok, bad
 }
 

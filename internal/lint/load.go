@@ -12,7 +12,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, type-checked package.
@@ -33,18 +35,37 @@ type Package struct {
 	// as a load failure; the golden harness asserts there are none so a
 	// broken testdata package cannot silently produce zero findings.
 	TypeErrors []error
+
+	// checking/checked guard the type-check phase (loader.mu): a package
+	// whose check is in flight answers imports with its incomplete Types,
+	// which is how an import cycle surfaces as a type error instead of
+	// infinite recursion.
+	checking bool
+	checked  bool
 }
 
 // Program is the full set of packages one analysis run sees.
 type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+	// Root and Module identify the loaded module (set by LoadRepo); the
+	// result cache keys package hashes under them.
+	Root   string
+	Module string
 }
 
 // Loader loads repo packages with the standard library only: files are
 // parsed with go/parser, repo-internal imports are resolved recursively
 // from source, and standard-library imports go through go/importer's
 // source importer ($GOROOT/src). No go/packages, no subprocesses.
+//
+// LoadRepo parallelizes the two phases that dominate wall time: every
+// package's files are parsed concurrently (token.FileSet is safe for
+// concurrent use), and type-checking proceeds in dependency waves —
+// packages whose module-internal imports are all checked run together.
+// The stdlib source importer is not documented as concurrency-safe, so
+// its calls serialize behind stdMu; it caches internally, making each
+// distinct stdlib package a one-time cost.
 type Loader struct {
 	// Root is the module root directory.
 	Root string
@@ -56,7 +77,10 @@ type Loader struct {
 
 	fset *token.FileSet
 	std  types.Importer
-	pkgs map[string]*Package
+
+	mu    sync.Mutex // guards pkgs and the per-package checking/checked flags
+	stdMu sync.Mutex // serializes the stdlib source importer
+	pkgs  map[string]*Package
 }
 
 // NewLoader returns a loader rooted at the module directory.
@@ -77,7 +101,8 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 
 // Import implements types.Importer so the type checker can pull in
 // dependencies: module-internal paths load (and cache) from source,
-// everything else is delegated to the stdlib source importer.
+// everything else is delegated to the stdlib source importer. Safe for
+// concurrent use by wave-parallel type checks.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
@@ -87,15 +112,33 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
 // LoadDir parses and type-checks the package in dir under the given
 // import path, reusing the cache on repeat calls.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	pkg, err := l.parseDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.check(pkg)
+	return pkg, nil
+}
+
+// parseDir parses the package's buildable files and registers the
+// (unchecked) package, reusing an existing registration. Concurrent
+// callers may both parse; the first registration wins and the loser's
+// work is discarded.
+func (l *Loader) parseDir(dir, path string) (*Package, error) {
+	l.mu.Lock()
 	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
 		return p, nil
 	}
+	l.mu.Unlock()
 	names, err := l.goFiles(dir)
 	if err != nil {
 		return nil, err
@@ -113,9 +156,31 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		files = append(files, f)
 	}
 	pkg := &Package{Path: path, Dir: dir, Files: files}
-	// Register before type-checking: import cycles would otherwise
-	// recurse forever (the type checker reports the cycle as an error).
+	l.mu.Lock()
+	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
 	l.pkgs[path] = pkg
+	l.mu.Unlock()
+	return pkg, nil
+}
+
+// check type-checks a parsed package once. A package already being
+// checked answers immediately with whatever Types it has so far — that
+// is how an import cycle surfaces as the type checker's cycle error
+// instead of infinite recursion. LoadRepo's dependency waves guarantee
+// that in the acyclic (i.e. every real) case, a package's imports are
+// fully checked before any concurrent importer can reach it.
+func (l *Loader) check(pkg *Package) {
+	l.mu.Lock()
+	if pkg.checked || pkg.checking {
+		l.mu.Unlock()
+		return
+	}
+	pkg.checking = true
+	l.mu.Unlock()
+
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -127,13 +192,17 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		Importer: l,
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
-	tpkg, _ := conf.Check(path, l.fset, files, info) // errors land in TypeErrors
+	tpkg, _ := conf.Check(pkg.Path, l.fset, pkg.Files, info) // errors land in TypeErrors
 	if tpkg == nil {
-		tpkg = types.NewPackage(path, files[0].Name.Name)
+		tpkg = types.NewPackage(pkg.Path, pkg.Files[0].Name.Name)
 	}
 	pkg.Types = tpkg
 	pkg.Info = info
-	return pkg, nil
+
+	l.mu.Lock()
+	pkg.checking = false
+	pkg.checked = true
+	l.mu.Unlock()
 }
 
 // goFiles lists the buildable non-test Go files of dir, honoring
@@ -228,6 +297,9 @@ func releaseTagActive(tag string) bool {
 
 // LoadRepo loads every package in the module (skipping testdata, hidden
 // directories, and directories with no buildable files) into a Program.
+// Parsing runs fully parallel; type-checking runs in dependency waves
+// so that independent packages check concurrently while every package
+// still sees its module-internal imports fully checked.
 func (l *Loader) LoadRepo() (*Program, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
@@ -251,8 +323,14 @@ func (l *Loader) LoadRepo() (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog := &Program{Fset: l.fset}
-	for _, dir := range dirs {
+
+	// Phase 1: parse every package concurrently.
+	paths := make([]string, len(dirs))
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, dir := range dirs {
 		rel, rerr := filepath.Rel(l.Root, dir)
 		if rerr != nil {
 			return nil, rerr
@@ -261,12 +339,90 @@ func (l *Loader) LoadRepo() (*Program, error) {
 		if rel != "." {
 			path = l.Module + "/" + filepath.ToSlash(rel)
 		}
-		pkg, lerr := l.LoadDir(dir, path)
-		if lerr != nil {
-			return nil, fmt.Errorf("lint: load %s: %w", path, lerr)
-		}
-		prog.Pkgs = append(prog.Pkgs, pkg)
+		paths[i] = path
+		wg.Add(1)
+		go func(i int, dir, path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = l.parseDir(dir, path)
+		}(i, dir, path)
 	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", paths[i], e)
+		}
+	}
+
+	// Phase 2: type-check in dependency waves. The wave graph comes from
+	// the parsed import declarations, so it covers exactly what the type
+	// checker will ask the importer for.
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	pending := make(map[string]int, len(pkgs)) // path -> unchecked internal deps
+	dependents := make(map[string][]string)    // path -> packages importing it
+	for _, p := range pkgs {
+		deps := map[string]bool{}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				ip, ierr := strconv.Unquote(imp.Path.Value)
+				if ierr != nil {
+					continue
+				}
+				if (ip == l.Module || strings.HasPrefix(ip, l.Module+"/")) && byPath[ip] != nil && ip != p.Path {
+					deps[ip] = true
+				}
+			}
+		}
+		pending[p.Path] = len(deps)
+		for d := range deps {
+			dependents[d] = append(dependents[d], p.Path)
+		}
+	}
+	wave := []string{}
+	for _, p := range pkgs {
+		if pending[p.Path] == 0 {
+			wave = append(wave, p.Path)
+		}
+	}
+	checked := 0
+	for len(wave) > 0 {
+		sort.Strings(wave) // deterministic scheduling order
+		var cwg sync.WaitGroup
+		for _, path := range wave {
+			cwg.Add(1)
+			go func(pkg *Package) {
+				defer cwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				l.check(pkg)
+			}(byPath[path])
+		}
+		cwg.Wait()
+		checked += len(wave)
+		var next []string
+		for _, path := range wave {
+			for _, dep := range dependents[path] {
+				pending[dep]--
+				if pending[dep] == 0 {
+					next = append(next, dep)
+				}
+			}
+		}
+		wave = next
+	}
+	// An import cycle leaves packages with pending deps; check them
+	// sequentially so the type checker reports the cycle as an error.
+	if checked < len(pkgs) {
+		for _, p := range pkgs {
+			l.check(p)
+		}
+	}
+
+	prog := &Program{Fset: l.fset, Root: l.Root, Module: l.Module, Pkgs: pkgs}
 	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
 	return prog, nil
 }

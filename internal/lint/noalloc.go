@@ -32,30 +32,28 @@ import (
 // telemetry fast path stays allocation-free, and a capturing closure
 // silently reintroduces one heap allocation per message sent.
 var NoAlloc = &Analyzer{
-	Name: "noalloc",
-	Doc:  "//cad3:noalloc functions must not contain allocating constructs",
-	Run:  runNoAlloc,
+	Name:   "noalloc",
+	Doc:    "//cad3:noalloc functions must not contain allocating constructs",
+	RunPkg: runNoAlloc,
 }
 
 // NoAllocTag marks a function as allocation-free in its doc comment.
 const NoAllocTag = "//cad3:noalloc"
 
-func runNoAlloc(prog *Program) []Finding {
+func runNoAlloc(prog *Program, pkg *Package) []Finding {
 	var out []Finding
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil {
-					continue
-				}
-				if hasNoAllocTag(fn.Doc) {
-					c := &allocChecker{prog: prog, pkg: pkg, fn: fn, out: &out}
-					c.check()
-				}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
 			}
-			checkSendPooledClosures(prog, pkg, file, &out)
+			if hasNoAllocTag(fn.Doc) {
+				c := &allocChecker{prog: prog, pkg: pkg, fn: fn, out: &out}
+				c.check()
+			}
 		}
+		checkSendPooledClosures(prog, pkg, file, &out)
 	}
 	return out
 }

@@ -25,9 +25,9 @@ import (
 // message value taken before the recycle escapes it. The debug build
 // (-tags cad3_checks) closes that gap at runtime.
 var PoolSafety = &Analyzer{
-	Name: "poolsafety",
-	Doc:  "no use of pooled buffers after PutPayload/RecycleMessages, no double-recycle",
-	Run:  runPoolSafety,
+	Name:   "poolsafety",
+	Doc:    "no use of pooled buffers after PutPayload/RecycleMessages, no double-recycle",
+	RunPkg: runPoolSafety,
 }
 
 // recycle kinds: what the kill call said about the variable.
@@ -86,29 +86,27 @@ type poolChecker struct {
 	seen map[token.Pos]bool // dedupe across the double loop pass
 }
 
-func runPoolSafety(prog *Program) []Finding {
+func runPoolSafety(prog *Program, pkg *Package) []Finding {
 	var out []Finding
-	for _, pkg := range prog.Pkgs {
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch fn := n.(type) {
-				case *ast.FuncDecl:
-					if fn.Body != nil {
-						c := &poolChecker{prog: prog, pkg: pkg, out: &out, seen: map[token.Pos]bool{}}
-						c.block(fn.Body, poolState{})
-					}
-				case *ast.FuncLit:
-					// Function literals are separate scopes with their own
-					// execution time (often deferred callbacks); they are
-					// scanned independently, and kills inside them do not
-					// leak into the enclosing flow.
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
 					c := &poolChecker{prog: prog, pkg: pkg, out: &out, seen: map[token.Pos]bool{}}
 					c.block(fn.Body, poolState{})
-					return false
 				}
-				return true
-			})
-		}
+			case *ast.FuncLit:
+				// Function literals are separate scopes with their own
+				// execution time (often deferred callbacks); they are
+				// scanned independently, and kills inside them do not
+				// leak into the enclosing flow.
+				c := &poolChecker{prog: prog, pkg: pkg, out: &out, seen: map[token.Pos]bool{}}
+				c.block(fn.Body, poolState{})
+				return false
+			}
+			return true
+		})
 	}
 	return out
 }

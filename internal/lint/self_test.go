@@ -33,3 +33,26 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", rel.String())
 	}
 }
+
+// TestWireDecoderPresent pins the repo to carrying the remoteError
+// decoder: wireerrexhaustive silently audits nothing when the decoder is
+// absent (so miniature fixtures without a protocol stay loadable), and
+// that escape hatch must never swallow the real module.
+func TestWireDecoderPresent(t *testing.T) {
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, module)
+	pkg, err := loader.LoadDir(filepath.Join(root, "internal", "stream"), module+"/internal/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, pos := wireDecodeSet(pkg)
+	if !pos.IsValid() {
+		t.Fatalf("internal/stream no longer declares %s; wireerrexhaustive is auditing nothing", wireDecoderFunc)
+	}
+	if len(set) == 0 {
+		t.Fatalf("%s reconstructs no sentinels; the decoder moved or was gutted", wireDecoderFunc)
+	}
+}

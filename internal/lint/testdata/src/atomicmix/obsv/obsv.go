@@ -1,0 +1,58 @@
+// Package obsv is a golden fixture for atomicmix: one counter updated
+// through sync/atomic and then touched as a plain variable (the tear),
+// next to an all-atomic counter and an all-mutex field that are each
+// under exactly one regime and must not be flagged.
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge mixes three synchronization regimes across its fields.
+type Gauge struct {
+	mu     sync.Mutex
+	hits   int64
+	misses int64
+	level  int64
+}
+
+// Inc is the atomic half of hits.
+func (g *Gauge) Inc() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+// Read tears the promise: lock-free readers of hits can observe a torn
+// or stale value once a plain access exists.
+func (g *Gauge) Read() int64 {
+	return g.hits // want "hits is accessed non-atomically here"
+}
+
+// Reset is the same tear on the write side.
+func (g *Gauge) Reset() {
+	g.hits = 0 // want "hits is accessed non-atomically here"
+}
+
+// Misses is all-atomic — one regime, no finding.
+func (g *Gauge) Misses() int64 {
+	return atomic.LoadInt64(&g.misses)
+}
+
+// Miss is the matching all-atomic update.
+func (g *Gauge) Miss() {
+	atomic.AddInt64(&g.misses, 1)
+}
+
+// Level is all-mutex — one regime, no finding.
+func (g *Gauge) Level() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.level
+}
+
+// SetLevel is the matching all-mutex update.
+func (g *Gauge) SetLevel(v int64) {
+	g.mu.Lock()
+	g.level = v
+	g.mu.Unlock()
+}

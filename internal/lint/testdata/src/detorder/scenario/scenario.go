@@ -1,0 +1,117 @@
+// Package scenario is a golden fixture for detorder: a miniature
+// transcript recorder exercising every order-insensitivity rule — the
+// legal idioms (commutative accumulation, sorted-key emission, keyed
+// permutation, guarded extrema, seeded rand) and the three leaks the
+// analyzer exists to catch (order-dependent map ranges, multi-ready
+// selects, the global math/rand state).
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Transcript is a stand-in for the replayed scenario transcript.
+type Transcript struct {
+	counts map[string]int
+	lines  []string
+}
+
+// Total is commutative accumulation: any visit order sums the same.
+func (t *Transcript) Total() int {
+	sum := 0
+	for _, n := range t.counts {
+		sum += n
+	}
+	return sum
+}
+
+// Emit uses the sorted-key idiom: append the keys, sort after the loop.
+func (t *Transcript) Emit() []string {
+	var keys []string
+	for k := range t.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Mirror rewrites into a map keyed by the loop key — a permutation of
+// the same writes, not an order.
+func (t *Transcript) Mirror() map[string]int {
+	m := make(map[string]int, len(t.counts))
+	for k, v := range t.counts {
+		m[k] = v
+	}
+	return m
+}
+
+// Max tracks a guarded extremum: the comparison on best makes the
+// assignment order-insensitive.
+func (t *Transcript) Max() int {
+	best := 0
+	for _, n := range t.counts {
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// AppendAll leaks map order straight into a struct field: writes through
+// a non-local target cannot be proven order-free.
+func (t *Transcript) AppendAll() {
+	for k := range t.counts {
+		t.lines = append(t.lines, k) // want "assigns through a non-local target"
+	}
+}
+
+// Keys collects into a local slice but never sorts it, so the emission
+// order is the runtime's visit order.
+func (t *Transcript) Keys() []string {
+	var keys []string
+	for k := range t.counts { // want "appended to keys but never sorted after the loop"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// First returns whichever key the runtime happens to visit first.
+func (t *Transcript) First() string {
+	for k := range t.counts {
+		return k // want "returns a value chosen by iteration order"
+	}
+	return ""
+}
+
+// Race drains two channels through a multi-ready select: the runtime
+// picks among ready cases pseudo-randomly.
+func (t *Transcript) Race(a, b chan string) string {
+	select { // want "select with 2 comm cases races channels"
+	case s := <-a:
+		return s
+	case s := <-b:
+		return s
+	}
+}
+
+// Drain is a single-comm select with a default: no race to pick.
+func (t *Transcript) Drain(a chan string) string {
+	select {
+	case s := <-a:
+		return s
+	default:
+		return ""
+	}
+}
+
+// Jitter draws from the process-global generator, seeded outside the
+// experiment.
+func (t *Transcript) Jitter() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+// Seeded threads a seeded *rand.Rand through — the approved path.
+func (t *Transcript) Seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}

@@ -1,0 +1,111 @@
+// Package rsu is a golden fixture for lockdiscipline: a miniature
+// uplink exercising the four misuse shapes (blocking op under a lock,
+// double-lock, leaked lock on a return path, copied lock-bearing value)
+// next to the legal idioms the analyzer must not flag (snapshot-then-
+// produce, deferred unlock, the caller-held drop-and-retake contract).
+package rsu
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var errAlreadyClosed = errors.New("already closed")
+
+// Client is the blocking round-trip surface; an interface receiver may
+// be a TCP-backed client, so calls through it count as network waits.
+type Client interface {
+	Produce(topic string, partition int32, key, value []byte) (int32, int64, error)
+}
+
+// Uplink batches messages toward a broker.
+type Uplink struct {
+	mu     sync.Mutex
+	client Client
+	queue  [][]byte
+	closed bool
+}
+
+// Flush snapshots the queue under the lock and produces outside it —
+// the pattern the analyzer wants to see.
+func (u *Uplink) Flush() error {
+	u.mu.Lock()
+	batch := u.queue
+	u.queue = nil
+	u.mu.Unlock()
+	for _, msg := range batch {
+		if _, _, err := u.client.Produce("t", 0, nil, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushHolding performs the round trip with the lock still held: every
+// Forward and gauge read stalls for the full network wait.
+func (u *Uplink) FlushHolding() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, msg := range u.queue {
+		if _, _, err := u.client.Produce("t", 0, nil, msg); err != nil { // want "blocking client round trip.*while holding u.mu"
+			return err
+		}
+	}
+	u.queue = nil
+	return nil
+}
+
+// Enqueue re-acquires the lock it already holds.
+func (u *Uplink) Enqueue(msg []byte) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.mu.Lock() // want "already held on this path .self-deadlock."
+	u.queue = append(u.queue, msg)
+	u.mu.Unlock()
+}
+
+// Close leaks the lock on the early-return path.
+func (u *Uplink) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		return errAlreadyClosed // want "returns with u.mu held and no unlock on this path"
+	}
+	u.closed = true
+	u.mu.Unlock()
+	return nil
+}
+
+// Sweep parks the scheduler with the lock held.
+func (u *Uplink) Sweep() {
+	u.mu.Lock()
+	time.Sleep(time.Millisecond) // want "sleeps while holding u.mu"
+	u.mu.Unlock()
+}
+
+// reconcile is called with u.mu held: it drops the lock around the slow
+// produce and retakes it before returning — the caller-held contract,
+// not a leak.
+func (u *Uplink) reconcile(msg []byte) {
+	u.mu.Unlock()
+	u.client.Produce("t", 0, nil, msg)
+	u.mu.Lock()
+}
+
+// Registry holds a mutex by value, so the type must move by pointer.
+type Registry struct {
+	mu    sync.Mutex
+	sites map[string]int
+}
+
+// Snapshot copies the registry (and its lock state) into the receiver.
+func (r Registry) Snapshot() int { // want "receiver of Snapshot copies .* which contains a mutex"
+	return len(r.sites)
+}
+
+// Sites reads through a pointer receiver — no copy.
+func (r *Registry) Sites() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sites)
+}

@@ -1,0 +1,12 @@
+// Package flow is the pacing half of the wireerrexhaustive fixture.
+package flow
+
+import "errors"
+
+// ErrBackpressure crosses the wire as a pacing refusal and is also
+// raised locally by client-side pacers.
+var ErrBackpressure = errors.New("backpressure")
+
+// ErrCircuitOpen is client-local circuit state, never decoded from the
+// wire.
+var ErrCircuitOpen = errors.New("circuit open")

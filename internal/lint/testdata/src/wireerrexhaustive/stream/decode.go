@@ -1,0 +1,39 @@
+package stream
+
+import "golden/flow"
+
+// remoteError reconstructs wire error codes into errors.Is-able
+// sentinels. Two seeded defects anchor the decoder checks on the line
+// below: the table's ErrValueTooLarge is never reconstructed (check 1a)
+// and the off-table ErrGhost is (check 1b).
+func remoteError(code string) error { // want "ErrValueTooLarge over the wire but remoteError does not reconstruct it" "reconstructs stream.ErrGhost which is not in the analyzer's wire table"
+	switch code {
+	case "not_leader":
+		return ErrNotLeader
+	case "fenced_epoch":
+		return ErrFencedEpoch
+	case "offset_gap":
+		return ErrOffsetGap
+	case "topic_exists":
+		return ErrTopicExists
+	case "unknown_topic":
+		return ErrUnknownTopic
+	case "bad_partition":
+		return ErrBadPartition
+	case "broker_closed":
+		return ErrBrokerClosed
+	case "partition_down":
+		return ErrPartitionDown
+	case "empty_topic_name":
+		return ErrEmptyTopicName
+	case "backpressure":
+		return flow.ErrBackpressure
+	case "ghost":
+		return ErrGhost
+	}
+	return nil
+}
+
+// decode keeps remoteError referenced so the fixture compiles the way
+// the real client does.
+var decode = remoteError

@@ -1,0 +1,30 @@
+// Package stream is the protocol half of the wireerrexhaustive golden
+// fixture: it mirrors the real broker's sentinel surface and carries a
+// remoteError decoder that deliberately drifts from the wire table —
+// one emitted code it fails to reconstruct (ErrValueTooLarge) and one
+// off-table sentinel it reconstructs anyway (ErrGhost).
+package stream
+
+import "errors"
+
+// The wire-crossing sentinel surface, mirroring wireCrossingErrors.
+var (
+	ErrNotLeader      = errors.New("not leader")
+	ErrFencedEpoch    = errors.New("fenced epoch")
+	ErrOffsetGap      = errors.New("offset gap")
+	ErrTopicExists    = errors.New("topic exists")
+	ErrUnknownTopic   = errors.New("unknown topic")
+	ErrBadPartition   = errors.New("bad partition")
+	ErrBrokerClosed   = errors.New("broker closed")
+	ErrPartitionDown  = errors.New("partition down")
+	ErrValueTooLarge  = errors.New("value too large")
+	ErrEmptyTopicName = errors.New("empty topic name")
+)
+
+// ErrClientClosed is produced on the client side of the connection and
+// never crosses the wire; matching it anywhere is legal.
+var ErrClientClosed = errors.New("client closed")
+
+// ErrGhost is reconstructed by the decoder below but absent from the
+// analyzer's wire table — check 1b's bait.
+var ErrGhost = errors.New("ghost")

@@ -17,9 +17,9 @@ import (
 // time.Duration math) are fine — only the functions that read or wait on
 // the wall clock are banned.
 var VirtualClock = &Analyzer{
-	Name: "virtualclock",
-	Doc:  "simulation packages must take an injected clock — no time.Now/Sleep/timers",
-	Run:  runVirtualClock,
+	Name:   "virtualclock",
+	Doc:    "simulation packages must take an injected clock — no time.Now/Sleep/timers",
+	RunPkg: runVirtualClock,
 }
 
 // virtualClockPkgs are the simulation packages (matched on the final
@@ -47,43 +47,41 @@ var wallClockFuncs = map[string]bool{
 	"Until":     true,
 }
 
-func runVirtualClock(prog *Program) []Finding {
+func runVirtualClock(prog *Program, pkg *Package) []Finding {
 	var out []Finding
-	for _, pkg := range prog.Pkgs {
-		if !virtualClockPkgs[pkgBase(pkg.Path)] {
+	if !virtualClockPkgs[pkgBase(pkg.Path)] {
+		return nil
+	}
+	for _, file := range pkg.Files {
+		timeNames := timeImportNames(file)
+		if len(timeNames) == 0 {
 			continue
 		}
-		for _, file := range pkg.Files {
-			timeNames := timeImportNames(file)
-			if len(timeNames) == 0 {
-				continue
-			}
-			ast.Inspect(file, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok || !timeNames[id.Name] || !wallClockFuncs[sel.Sel.Name] {
-					return true
-				}
-				// Only flag references through the package, not through a
-				// local variable that shadows the import (Uses resolves the
-				// qualifier to a PkgName for real package references).
-				if obj, known := pkg.Info.Uses[id]; known {
-					if _, isPkg := obj.(*types.PkgName); !isPkg {
-						return true
-					}
-				}
-				out = append(out, Finding{
-					Pos:      prog.Fset.Position(sel.Pos()),
-					Analyzer: "virtualclock",
-					Message: "wall-clock time." + sel.Sel.Name + " in simulation package " +
-						strconv.Quote(pkgBase(pkg.Path)) + "; take an injected clock (Now func / Sleep hook) instead",
-				})
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
 				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			// Only flag references through the package, not through a
+			// local variable that shadows the import (Uses resolves the
+			// qualifier to a PkgName for real package references).
+			if obj, known := pkg.Info.Uses[id]; known {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			out = append(out, Finding{
+				Pos:      prog.Fset.Position(sel.Pos()),
+				Analyzer: "virtualclock",
+				Message: "wall-clock time." + sel.Sel.Name + " in simulation package " +
+					strconv.Quote(pkgBase(pkg.Path)) + "; take an injected clock (Now func / Sleep hook) instead",
 			})
-		}
+			return true
+		})
 	}
 	return out
 }

@@ -39,6 +39,10 @@ var WireLayout = &Analyzer{
 	Name: "wirelayout",
 	Doc:  "wire-format size/offset constants must match the encoded layout computed from the AST",
 	Run:  runWireLayout,
+	// Cross-package: the codec constants live in core, the trace blob in
+	// obsv, and the frame encoders in stream; only those packages feed
+	// the result, so only they key the cache.
+	KeyPkgs: []string{"core", "obsv", "stream", "wire"},
 }
 
 func runWireLayout(prog *Program) []Finding {

@@ -185,9 +185,11 @@ func (e *Engine[T]) Step() (BatchStats, error) {
 	var pollErr error
 	recycler, pooled := e.cfg.Source.(intoPoller)
 	if pooled {
+		//cad3:allow lockdiscipline stepMu exists to serialize whole Step executions including the poll (msgBuf/items reuse); parallelism lives in the worker pool below it
 		msgs, pollErr = recycler.PollInto(e.msgBuf[:0], limit)
 		e.msgBuf = msgs
 	} else {
+		//cad3:allow lockdiscipline stepMu serializes whole Step executions including the poll; see the PollInto branch above
 		msgs, pollErr = e.cfg.Source.Poll(limit)
 	}
 	if pollErr != nil {

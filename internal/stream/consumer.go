@@ -65,6 +65,7 @@ func (c *Consumer) PollInto(dst []Message, max int) ([]Message, error) {
 	n := len(c.offsets)
 	for tried := 0; tried < n && len(out)-base < max; tried++ {
 		part := int32((c.next + tried) % n)
+		//cad3:allow lockdiscipline c.mu must cover the fetch: SwapClient's failover contract (documented there) requires that a swap never interleaves with a poll advancing offsets
 		msgs, err := c.client.Fetch(c.topic, part, c.offsets[part], max-(len(out)-base))
 		if err != nil {
 			// Keep draining the healthy partitions; report the first

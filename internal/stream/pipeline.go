@@ -201,18 +201,27 @@ func (c *TCPClient) readLoop() {
 }
 
 // fail marks the pipe broken and delivers the error to every parked
-// waiter. Idempotent; the first error wins.
+// waiter. Idempotent; the first error wins. The waiters are unparked
+// under the lock but delivered to after it: each response channel is
+// buffered for exactly one outstanding response, so the sends cannot
+// block — but keeping them outside the critical section means even a
+// misbehaving waiter can only stall fail, never every issuer parked on
+// p.mu.
 func (p *pipeState) fail(err error) {
 	p.mu.Lock()
 	if p.err == nil {
 		p.err = err
 	}
+	sticky := p.err
+	var failed []pipeWaiter
 	for p.head != p.tail {
-		w := p.ring[p.head%uint32(len(p.ring))]
+		failed = append(failed, p.ring[p.head%uint32(len(p.ring))])
 		p.head++
-		w.ch <- pipeResp{err: p.err}
 	}
 	p.mu.Unlock()
+	for _, w := range failed {
+		w.ch <- pipeResp{err: sticky}
+	}
 }
 
 // acquire takes a window token and a recycled response channel. It

@@ -570,6 +570,7 @@ func (rs *ReplicaSet) tickLoop(interval time.Duration, stop, done chan struct{})
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
+		//cad3:allow detorder wall-clock convenience loop; deterministic runs drive Tick() off the virtual clock and never start the ticker, and both arms are idempotent
 		select {
 		case <-stop:
 			return

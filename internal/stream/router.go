@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cad3/internal/obsv"
@@ -58,6 +59,13 @@ type SummaryRouter struct {
 	mu    sync.Mutex
 	dests map[string]*routerDest
 	names []string // sorted registration order for deterministic flushes
+
+	// flushing serializes flush rounds without a mutex: r.mu must stay
+	// free while Flush produces to destination brokers, or every
+	// Forward caller (and the shard.router.pending gauge) stalls for
+	// the full network round trip. A Flush that finds a round already
+	// in flight returns immediately instead of piling up behind it.
+	flushing atomic.Bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -144,18 +152,46 @@ func (r *SummaryRouter) Forward(dest string, key, value []byte) error {
 // at-least-once across transient broker outages — e.g. a destination
 // shard's leaderless window between a leader kill and the next
 // election. Returns the number of entries delivered and the last error.
+// A concurrent Flush (periodic flusher racing an explicit caller)
+// returns (0, nil) immediately rather than queueing behind the round in
+// flight.
 func (r *SummaryRouter) Flush() (sent int, err error) {
+	if !r.flushing.CompareAndSwap(false, true) {
+		return 0, nil
+	}
+	defer r.flushing.Store(false)
+
+	// Snapshot each backlog under the lock, produce with the lock
+	// released, then reconcile. Producing under r.mu held Forward and
+	// the pending gauge hostage for the full broker round trip.
+	type batch struct {
+		name    string
+		client  Client
+		entries []routedEntry
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	batches := make([]batch, 0, len(r.names))
 	for _, name := range r.names {
 		d := r.dests[name]
+		if len(d.queue) == 0 {
+			continue
+		}
+		batches = append(batches, batch{
+			name:    name,
+			client:  d.client,
+			entries: append([]routedEntry(nil), d.queue...),
+		})
+	}
+	r.mu.Unlock()
+
+	for _, b := range batches {
 		i := 0
-		for ; i < len(d.queue); i++ {
-			e := d.queue[i]
-			if _, _, perr := d.client.Produce(r.cfg.Topic, AutoPartition, e.key, e.value); perr != nil {
-				err = fmt.Errorf("router flush to %q: %w", name, perr)
+		for ; i < len(b.entries); i++ {
+			e := b.entries[i]
+			if _, _, perr := b.client.Produce(r.cfg.Topic, AutoPartition, e.key, e.value); perr != nil {
+				err = fmt.Errorf("router flush to %q: %w", b.name, perr)
 				if r.mRetries != nil {
-					r.mRetries.Add(int64(len(d.queue) - i))
+					r.mRetries.Add(int64(len(b.entries) - i))
 				}
 				break
 			}
@@ -164,9 +200,17 @@ func (r *SummaryRouter) Flush() (sent int, err error) {
 				r.mSent.Inc()
 			}
 		}
-		if i > 0 {
+		if i == 0 {
+			continue
+		}
+		// Drop the i delivered entries from the live queue's head.
+		// Entries Forwarded during the produce sit behind the snapshot
+		// and stay queued; only this round (the flushing latch) trims.
+		r.mu.Lock()
+		if d, ok := r.dests[b.name]; ok {
 			d.queue = append(d.queue[:0], d.queue[i:]...)
 		}
+		r.mu.Unlock()
 	}
 	return sent, err
 }
@@ -201,6 +245,7 @@ func (r *SummaryRouter) flushLoop(interval time.Duration, stop, done chan struct
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
+		//cad3:allow detorder wall-clock convenience loop; deterministic drivers schedule Flush() on the virtual clock and never call Run, and a stop/tick race only changes when the last flush lands
 		select {
 		case <-stop:
 			return

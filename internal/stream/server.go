@@ -626,7 +626,7 @@ func remoteError(msg string) error {
 	for _, sentinel := range []error{
 		ErrTopicExists, ErrUnknownTopic, ErrBadPartition,
 		ErrBrokerClosed, ErrPartitionDown, ErrValueTooLarge,
-		ErrFencedEpoch, ErrOffsetGap,
+		ErrEmptyTopicName, ErrFencedEpoch, ErrOffsetGap,
 	} {
 		if len(msg) >= len(sentinel.Error()) && msg[:len(sentinel.Error())] == sentinel.Error() {
 			return fmt.Errorf("%w (remote: %s)", sentinel, msg)

@@ -239,3 +239,25 @@ func TestWireDecoderTruncatedInput(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteErrorEmptyTopicName is the regression test for a decode gap:
+// the broker refuses CreateTopic("") with ErrEmptyTopicName, but
+// remoteError did not reconstruct it, so over TCP the refusal arrived as
+// an opaque remote failure — errors.Is never matched and the retry
+// client redialed a permanent refusal as if the transport had failed.
+func TestRemoteErrorEmptyTopicName(t *testing.T) {
+	_, s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.CreateTopic("", 1)
+	if !errors.Is(err, ErrEmptyTopicName) {
+		t.Fatalf("CreateTopic(\"\") over TCP = %v, want ErrEmptyTopicName", err)
+	}
+	if !brokerError(err) {
+		t.Error("brokerError must classify the reconstructed ErrEmptyTopicName as a broker refusal, not a transport error")
+	}
+}

@@ -213,6 +213,7 @@ func (v *Vehicle) SendNext(i int) (trace.Record, error) {
 func (v *Vehicle) PollWarnings() ([]core.Warning, error) {
 	v.pollMu.Lock()
 	defer v.pollMu.Unlock()
+	//cad3:allow lockdiscipline pollMu exists to serialize drain rounds so pollBuf reuse is safe; the poll is the critical section, and nothing else contends on pollMu
 	msgs, err := v.consumer.PollInto(v.pollBuf[:0], 64)
 	v.pollBuf = msgs
 	var out []core.Warning
